@@ -1,0 +1,21 @@
+//! Mesoscale carbon analysis (Section 3 of the paper).
+//!
+//! This crate reproduces the empirical study that motivates CarbonEdge:
+//!
+//! * [`mesoscale`] — per-region analyses: carbon-intensity snapshots and
+//!   inter-zone variation factors (Figure 2), yearly averages and spreads
+//!   (Figure 3), diurnal/seasonal temporal profiles (Figure 4), and the
+//!   pairwise one-way latency tables (Table 1);
+//! * [`radius`] — the continental analysis across CDN edge sites: for every
+//!   edge site, the best carbon saving available within a search radius, as
+//!   a CDF (Figure 5), plus the latency cost of each radius;
+//! * [`stats`] — small statistics helpers (CDFs, percentiles) shared by the
+//!   analyses and the simulator.
+
+pub mod mesoscale;
+pub mod radius;
+pub mod stats;
+
+pub use mesoscale::{RegionSnapshot, RegionYearly, TemporalProfile};
+pub use radius::{RadiusAnalysis, RadiusPoint};
+pub use stats::{percentile, Cdf};

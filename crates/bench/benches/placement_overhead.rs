@@ -1,0 +1,64 @@
+//! Section 6.5: per-request placement decision overhead on a regional edge
+//! deployment (the paper reports ~3.3 ms per placement decision), plus the
+//! radius analysis used by the motivation study.
+
+use carbonedge_analysis::RadiusAnalysis;
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::{EdgeSiteCatalog, MesoscaleRegion, StudyRegion, ZoneCatalog};
+use carbonedge_grid::HourOfYear;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn single_app_regional_problem() -> PlacementProblem {
+    let catalog = ZoneCatalog::worldwide();
+    let region = MesoscaleRegion::resolve(StudyRegion::Florida, &catalog);
+    let traces = catalog.generate_traces(42);
+    let now = HourOfYear::new(5000);
+    let servers: Vec<ServerSnapshot> = region
+        .zones
+        .iter()
+        .zip(region.members.iter())
+        .enumerate()
+        .map(|(site, (zone, (_, loc)))| {
+            ServerSnapshot::new(site, site, *zone, DeviceKind::A2, *loc)
+                .with_carbon_intensity(traces[zone.index()].at(now))
+        })
+        .collect();
+    let app = Application::new(
+        AppId(0),
+        ModelKind::ResNet50,
+        15.0,
+        20.0,
+        region.members[0].1,
+        0,
+    );
+    PlacementProblem::new(servers, vec![app], 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+fn bench_decision_overhead(c: &mut Criterion) {
+    let problem = single_app_regional_problem();
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+    let mut group = c.benchmark_group("placement_overhead");
+    group.sample_size(20);
+    group.bench_function("single_app_regional_decision", |b| {
+        b.iter(|| placer.place(&problem).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_radius_analysis(c: &mut Criterion) {
+    let catalog = ZoneCatalog::worldwide();
+    let sites = EdgeSiteCatalog::akamai_like(&catalog);
+    let traces = catalog.generate_traces(42);
+    let model = LatencyModel::deterministic();
+    let mut group = c.benchmark_group("radius_analysis");
+    group.sample_size(10);
+    group.bench_function("radius_500km_all_sites", |b| {
+        b.iter(|| RadiusAnalysis::run(&sites, &traces, &model, 500.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_overhead, bench_radius_analysis);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 17 / Section 6.5: scalability of the incremental placement
+//! algorithm with the number of servers and applications.
+
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::ZoneCatalog;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_problem(catalog: &ZoneCatalog, apps: usize, servers: usize) -> PlacementProblem {
+    let traces = catalog.generate_traces(42);
+    let zone_count = catalog.len();
+    let server_list: Vec<ServerSnapshot> = (0..servers)
+        .map(|j| {
+            let zone = &catalog.records()[j % zone_count];
+            ServerSnapshot::new(j, j, zone.id, DeviceKind::A2, zone.location)
+                .with_carbon_intensity(traces[zone.id.index()].mean())
+        })
+        .collect();
+    let app_list: Vec<Application> = (0..apps)
+        .map(|i| {
+            // Applications originate at zones that host a server, so every
+            // application has at least one latency-feasible candidate.
+            let zone = &catalog.records()[(i * 7) % servers.min(zone_count)];
+            Application::new(AppId(i), ModelKind::ResNet50, 10.0, 40.0, zone.location, 0)
+        })
+        .collect();
+    PlacementProblem::new(server_list, app_list, 1.0)
+        .with_latency_model(LatencyModel::deterministic())
+}
+
+fn bench_servers(c: &mut Criterion) {
+    let catalog = ZoneCatalog::worldwide();
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+    let mut group = c.benchmark_group("placement_vs_servers");
+    group.sample_size(10);
+    for servers in [100usize, 200, 300, 400] {
+        let problem = build_problem(&catalog, 50, servers);
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &problem, |b, p| {
+            b.iter(|| placer.place(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let catalog = ZoneCatalog::worldwide();
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+    let mut group = c.benchmark_group("placement_vs_apps");
+    group.sample_size(10);
+    for apps in [20usize, 60, 100, 140] {
+        let problem = build_problem(&catalog, apps, 400);
+        group.bench_with_input(BenchmarkId::from_parameter(apps), &problem, |b, p| {
+            b.iter(|| placer.place(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_servers, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: exact branch-and-bound MILP versus the assignment heuristic on
+//! testbed-sized placement instances (the solver-choice ablation called out
+//! in DESIGN.md).
+
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
+use carbonedge_grid::HourOfYear;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regional_problem(apps_per_site: usize) -> PlacementProblem {
+    let catalog = ZoneCatalog::worldwide();
+    let region = MesoscaleRegion::resolve(StudyRegion::CentralEu, &catalog);
+    let traces = catalog.generate_traces(42);
+    let now = HourOfYear::new(4000);
+    let servers: Vec<ServerSnapshot> = region
+        .zones
+        .iter()
+        .zip(region.members.iter())
+        .enumerate()
+        .map(|(site, (zone, (_, loc)))| {
+            ServerSnapshot::new(site, site, *zone, DeviceKind::A2, *loc)
+                .with_carbon_intensity(traces[zone.index()].at(now))
+        })
+        .collect();
+    let mut apps = Vec::new();
+    for (_, loc) in &region.members {
+        for _ in 0..apps_per_site {
+            apps.push(Application::new(
+                AppId(apps.len()),
+                ModelKind::ResNet50,
+                10.0,
+                20.0,
+                *loc,
+                0,
+            ));
+        }
+    }
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+fn bench_exact_vs_heuristic(c: &mut Criterion) {
+    let problem = regional_problem(1);
+    let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(1_000);
+    let heuristic = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+
+    // Both paths must agree on the objective for this instance.
+    let a = exact.place(&problem).unwrap();
+    let b = heuristic.place(&problem).unwrap();
+    assert!((a.total_carbon_g - b.total_carbon_g).abs() / a.total_carbon_g < 0.05);
+
+    let mut group = c.benchmark_group("solver_ablation");
+    group.sample_size(10);
+    group.bench_function("exact_milp_5x5", |bench| {
+        bench.iter(|| exact.place(&problem).unwrap())
+    });
+    group.bench_function("heuristic_5x5", |bench| {
+        bench.iter(|| heuristic.place(&problem).unwrap())
+    });
+    let larger = regional_problem(6);
+    group.bench_function("heuristic_30x5", |bench| {
+        bench.iter(|| heuristic.place(&larger).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_heuristic);
+criterion_main!(benches);

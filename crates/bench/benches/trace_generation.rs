@@ -1,0 +1,28 @@
+//! Throughput of the synthetic carbon-intensity trace generator (the data
+//! substrate every experiment depends on).
+
+use carbonedge_datasets::ZoneCatalog;
+use carbonedge_grid::TraceGenerator;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let catalog = ZoneCatalog::worldwide();
+    let profiles = catalog.profiles();
+    let single = profiles[0].clone();
+    let generator = TraceGenerator::new(42);
+
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("single_zone_year", |b| {
+        b.iter(|| generator.generate(&single))
+    });
+    group.bench_function("us_eu_catalog_year", |b| {
+        let us_eu = ZoneCatalog::us_and_europe();
+        let profiles = us_eu.profiles();
+        b.iter(|| generator.generate_all(&profiles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation);
+criterion_main!(benches);

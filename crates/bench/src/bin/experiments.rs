@@ -1,0 +1,544 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
+//!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
+//!              fig15 | fig16 | fig17]
+//! ```
+//!
+//! Each experiment prints the rows/series the paper reports.  `--quick`
+//! restricts the CDN-scale simulations to a subset of edge sites so the full
+//! suite finishes quickly; without it the full 496-site catalog is simulated.
+
+use carbonedge_analysis::mesoscale::{
+    region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly, TemporalProfile,
+};
+use carbonedge_analysis::RadiusAnalysis;
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_datasets::{EdgeSiteCatalog, StudyRegion, ZoneCatalog};
+use carbonedge_grid::{EnergySource, HourOfYear};
+use carbonedge_net::LatencyModel;
+use carbonedge_sim::cdn::{CdnConfig, CdnScenario, CdnSimulator};
+use carbonedge_sim::hetero::{run_heterogeneity, HeterogeneityConfig};
+use carbonedge_sim::testbed::{run_testbed, TestbedConfig, TestbedWorkload};
+use carbonedge_sim::TradeoffSweep;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind, WorkloadProfile};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(|s| s.as_str()).collect();
+    let run_all = which.is_empty() || which.contains(&"all");
+    let should = |name: &str| run_all || which.contains(&name);
+
+    let started = Instant::now();
+    if should("fig1") {
+        fig1();
+    }
+    if should("fig2") {
+        fig2();
+    }
+    if should("fig3") {
+        fig3();
+    }
+    if should("fig4") {
+        fig4();
+    }
+    if should("fig5") {
+        fig5();
+    }
+    if should("table1") {
+        table1();
+    }
+    if should("fig7") {
+        fig7();
+    }
+    if should("fig8") || should("fig9") || should("fig10") {
+        testbed_figures(should("fig8"), should("fig9"), should("fig10"));
+    }
+    if should("fig11") {
+        fig11(quick);
+    }
+    if should("fig12") {
+        fig12(quick);
+    }
+    if should("fig13") {
+        fig13(quick);
+    }
+    if should("fig14") {
+        fig14(quick);
+    }
+    if should("fig15") {
+        fig15();
+    }
+    if should("fig16") {
+        fig16();
+    }
+    if should("fig17") {
+        fig17();
+    }
+    eprintln!("\n[experiments completed in {:.1} s]", started.elapsed().as_secs_f64());
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Figure 1: energy mix and carbon intensity of four reference zones.
+fn fig1() {
+    header("Figure 1: energy mix and carbon intensity of four reference zones");
+    let catalog = ZoneCatalog::worldwide();
+    let traces = catalog.generate_traces(SEED);
+    let zones = ["Ontario", "California North", "New York", "Warsaw, PL"];
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>14}",
+        "zone", "hydro", "solar", "wind", "nuclear", "fossil", "mean gCO2/kWh"
+    );
+    for name in zones {
+        let record = catalog.by_name(name).unwrap();
+        let mix = record.profile().mix;
+        let trace = &traces[record.id.index()];
+        println!(
+            "{:<18} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>14.1}",
+            name,
+            mix.share(EnergySource::Hydro),
+            mix.share(EnergySource::Solar),
+            mix.share(EnergySource::Wind),
+            mix.share(EnergySource::Nuclear),
+            mix.fossil_share(),
+            trace.mean(),
+        );
+    }
+    println!("\nhourly carbon intensity, July 15-18 (6-hour samples):");
+    for name in zones {
+        let record = catalog.by_name(name).unwrap();
+        let trace = &traces[record.id.index()];
+        let series: Vec<String> = (0..16)
+            .map(|k| format!("{:.0}", trace.at(HourOfYear::new((195 * 24) + k * 6))))
+            .collect();
+        println!("  {:<18} {}", name, series.join(" "));
+    }
+}
+
+/// Figure 2: single-hour carbon-intensity snapshots of the mesoscale regions.
+fn fig2() {
+    header("Figure 2: mesoscale region snapshots (inter-zone variation)");
+    let (_, regions, traces) = standard_regions_and_traces(SEED);
+    println!("{:<12} {:>10} | per-zone intensity (g CO2eq/kWh)", "region", "variation");
+    for region in &regions {
+        let (_, snap) = RegionSnapshot::most_varied_hour(region, &traces);
+        let zones: Vec<String> = snap
+            .intensities
+            .iter()
+            .map(|(n, v)| format!("{n}={v:.0}"))
+            .collect();
+        println!("{:<12} {:>9.1}x | {}", snap.region, snap.variation_factor, zones.join(", "));
+    }
+    println!("(paper reports 2.5x Florida, 7.9x West US, 2.2x Italy, 19.5x Central EU)");
+}
+
+/// Figure 3: yearly mean carbon intensity per zone of two regions.
+fn fig3() {
+    header("Figure 3: yearly mean carbon intensity (West US and Central EU)");
+    let (_, regions, traces) = standard_regions_and_traces(SEED);
+    for region in &regions {
+        if region.region != StudyRegion::WestUs && region.region != StudyRegion::CentralEu {
+            continue;
+        }
+        let yearly = RegionYearly::compute(region, &traces);
+        println!(
+            "{} (spread {:.1}x; paper: {}):",
+            yearly.region,
+            yearly.spread,
+            if region.region == StudyRegion::WestUs { "2.7x" } else { "10.8x" }
+        );
+        for (name, mean) in &yearly.means {
+            println!("  {:<16} {:>8.1} g/kWh", name, mean);
+        }
+    }
+}
+
+/// Figure 4: two-day and monthly carbon-intensity variation in the West US.
+fn fig4() {
+    header("Figure 4: spatial-temporal variation, West US");
+    let (_, regions, traces) = standard_regions_and_traces(SEED);
+    let west = regions.iter().find(|r| r.region == StudyRegion::WestUs).unwrap();
+    let profile = TemporalProfile::compute(west, &traces, 358);
+    println!("two-day series (Dec 25-27), 4-hour samples:");
+    for (name, series) in &profile.two_day {
+        let samples: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.0}")).collect();
+        println!("  {:<12} {}", name, samples.join(" "));
+    }
+    println!("\nmonthly means:");
+    for (name, series) in &profile.monthly {
+        let samples: Vec<String> = series.iter().map(|v| format!("{v:.0}")).collect();
+        println!("  {:<12} {}", name, samples.join(" "));
+    }
+    println!(
+        "max monthly swing: {:.0} g/kWh (paper: ~200 g for Kingman)",
+        profile.max_monthly_swing()
+    );
+}
+
+/// Figure 5: carbon savings within a search radius, across the CDN sites.
+fn fig5() {
+    header("Figure 5: best carbon saving within radius D across edge sites");
+    let catalog = ZoneCatalog::worldwide();
+    let sites = EdgeSiteCatalog::akamai_like(&catalog);
+    let traces = catalog.generate_traces(SEED);
+    let model = LatencyModel::deterministic();
+    println!("{:>8} {:>14} {:>14} {:>18}", "radius", "saving<20%", "saving>40%", "median latency ms");
+    for radius in [200.0, 500.0, 1000.0] {
+        let analysis = RadiusAnalysis::run(&sites, &traces, &model, radius);
+        println!(
+            "{:>6}km {:>14.2} {:>14.2} {:>18.1}",
+            radius,
+            analysis.fraction_below(20.0),
+            analysis.fraction_above(40.0),
+            analysis.median_latency_ms()
+        );
+    }
+    println!("(paper: <20% fractions 0.68/0.43/0.22, >40% fractions 0.12/0.27/0.45, median latency 5.3-14.3 ms)");
+}
+
+/// Table 1: one-way latency between edge data centers in Florida and Central EU.
+fn table1() {
+    header("Table 1: one-way network latency (ms)");
+    let (_, regions, _) = standard_regions_and_traces(SEED);
+    let model = LatencyModel::deterministic();
+    for region in &regions {
+        if region.region != StudyRegion::Florida && region.region != StudyRegion::CentralEu {
+            continue;
+        }
+        let table = region_latency_table(region, &model);
+        println!("\n{}:", region.region.name());
+        print!("{:<16}", "");
+        for name in table.names() {
+            print!("{:>14}", name.split(',').next().unwrap());
+        }
+        println!();
+        for i in 0..table.len() {
+            print!("{:<16}", table.names()[i].split(',').next().unwrap());
+            for j in 0..table.len() {
+                if i == j {
+                    print!("{:>14}", "-");
+                } else {
+                    print!("{:>14.2}", table.one_way(i, j));
+                }
+            }
+            println!();
+        }
+    }
+}
+
+/// Figure 7: profiled energy, memory, and inference time of the ML workloads.
+fn fig7() {
+    header("Figure 7: workload profiles across devices");
+    println!(
+        "{:<16} {:<12} {:>12} {:>12} {:>14}",
+        "model", "device", "energy J", "memory MB", "inference ms"
+    );
+    for p in WorkloadProfile::all() {
+        println!(
+            "{:<16} {:<12} {:>12.3} {:>12.0} {:>14.1}",
+            p.model.name(),
+            p.device.name(),
+            p.energy_per_request_j,
+            p.memory_mb,
+            p.processing_time_ms
+        );
+    }
+}
+
+/// Figures 8-10: the regional testbed experiments.
+fn testbed_figures(fig8: bool, fig9: bool, fig10: bool) {
+    let configs = [
+        (StudyRegion::Florida, TestbedWorkload::SciCpu),
+        (StudyRegion::Florida, TestbedWorkload::ResNet50),
+        (StudyRegion::CentralEu, TestbedWorkload::SciCpu),
+        (StudyRegion::CentralEu, TestbedWorkload::ResNet50),
+    ];
+    let results: Vec<_> = configs
+        .iter()
+        .map(|(r, w)| run_testbed(&TestbedConfig::new(*r, *w)))
+        .collect();
+
+    if fig8 {
+        header("Figure 8: carbon intensity and emissions across Florida zones (Sci)");
+        let fl = &results[0];
+        println!("hourly carbon intensity (4-hour samples):");
+        for (name, series) in &fl.hourly_intensity {
+            let s: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.0}")).collect();
+            println!("  {:<14} {}", name, s.join(" "));
+        }
+        for policy in ["Latency-aware", "CarbonEdge"] {
+            let p = fl.policy(policy).unwrap();
+            println!("\n{policy} hourly emissions per origin zone (g, 4-hour samples):");
+            for (name, series) in &p.hourly_emissions {
+                let s: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.1}")).collect();
+                println!("  {:<14} {}", name, s.join(" "));
+            }
+        }
+    }
+    if fig9 {
+        header("Figure 9: end-to-end response times across Florida zones (ResNet50)");
+        let fl = &results[1];
+        println!("{:<14} {:>16} {:>16}", "origin", "Latency-aware ms", "CarbonEdge ms");
+        let la = fl.policy("Latency-aware").unwrap();
+        let ce = fl.policy("CarbonEdge").unwrap();
+        for ((name, rt_la), (_, rt_ce)) in la.response_time_ms.iter().zip(ce.response_time_ms.iter()) {
+            println!("{:<14} {:>16.1} {:>16.1}", name, rt_la, rt_ce);
+        }
+    }
+    if fig10 {
+        header("Figure 10: aggregate emissions and latency increases (testbed)");
+        println!(
+            "{:<12} {:<10} {:>18} {:>16} {:>14} {:>18}",
+            "region", "workload", "Latency-aware g", "CarbonEdge g", "saving %", "latency +ms"
+        );
+        for ((region, workload), result) in configs.iter().zip(results.iter()) {
+            let la = result.policy("Latency-aware").unwrap().outcome.carbon_g;
+            let ce = result.policy("CarbonEdge").unwrap().outcome.carbon_g;
+            println!(
+                "{:<12} {:<10} {:>18.1} {:>16.1} {:>14.1} {:>18.1}",
+                region.name(),
+                workload.name(),
+                la,
+                ce,
+                result.savings.carbon_percent,
+                result.savings.latency_increase_ms
+            );
+        }
+        println!("(paper: 39.4% Florida / 78.7% Central EU savings; +6.6 / +10.5 ms)");
+    }
+}
+
+fn cdn_config(area: ZoneArea, quick: bool) -> CdnConfig {
+    let config = CdnConfig::new(area);
+    if quick {
+        config.with_site_limit(80)
+    } else {
+        config
+    }
+}
+
+/// Figure 11: year-long CDN savings, latency increases and load distribution.
+fn fig11(quick: bool) {
+    header("Figure 11: year-long CDN-scale savings (20 ms RTT limit)");
+    println!(
+        "{:<8} {:>12} {:>16} {:>22} {:>22}",
+        "area", "saving %", "latency +ms", "mean assigned g/kWh", "(Latency-aware g/kWh)"
+    );
+    for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
+        let sim = CdnSimulator::new(cdn_config(area, quick));
+        let (ce, la, savings) = sim.compare();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{:<8} {:>12.1} {:>16.1} {:>22.1} {:>22.1}",
+            label,
+            savings.carbon_percent,
+            savings.latency_increase_ms,
+            mean(&ce.assigned_intensity),
+            mean(&la.assigned_intensity)
+        );
+    }
+    println!("(paper: 49.5% US / 67.8% Europe, ~+10.8 / +10.5 ms)");
+}
+
+/// Figure 12: effect of the latency limit on savings and latency increase.
+fn fig12(quick: bool) {
+    header("Figure 12: effect of latency tolerance (RTT limit sweep)");
+    println!("{:<8} {:>10} {:>12} {:>14}", "area", "limit ms", "saving %", "latency +ms");
+    for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
+        for limit in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+            let sim = CdnSimulator::new(cdn_config(area, quick).with_latency_limit(limit));
+            let (_, _, savings) = sim.compare();
+            println!(
+                "{:<8} {:>10.0} {:>12.1} {:>14.1}",
+                label, limit, savings.carbon_percent, savings.latency_increase_ms
+            );
+        }
+    }
+    println!("(paper: 28% US / 44.8% EU at 10 ms; diminishing returns beyond ~25 ms)");
+}
+
+/// Figure 13: seasonality of savings, latency, intensity and placements.
+fn fig13(quick: bool) {
+    header("Figure 13: seasonality (monthly savings, latency, intensity, placements)");
+    for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
+        let sim = CdnSimulator::new(cdn_config(area, quick));
+        let ce = sim.run(PlacementPolicy::CarbonAware);
+        let la = sim.run(PlacementPolicy::LatencyAware);
+        let savings: Vec<String> = ce
+            .monthly
+            .iter()
+            .zip(la.monthly.iter())
+            .map(|(c, l)| format!("{:.0}", (1.0 - c.carbon_g / l.carbon_g) * 100.0))
+            .collect();
+        let latency: Vec<String> = ce
+            .monthly
+            .iter()
+            .zip(la.monthly.iter())
+            .map(|(c, l)| format!("{:.1}", c.mean_latency_ms - l.mean_latency_ms))
+            .collect();
+        println!("{label} monthly savings %:   {}", savings.join(" "));
+        println!("{label} monthly latency +ms: {}", latency.join(" "));
+        if area == ZoneArea::Europe {
+            println!("\nmonthly carbon intensity of reference zones (g/kWh):");
+            for zone in ["Paris, FR", "Oslo, NO", "Vienna, AT", "Zagreb, HR"] {
+                if let Some(series) = sim.monthly_intensity_of(zone) {
+                    let s: Vec<String> = series.iter().map(|v| format!("{v:.0}")).collect();
+                    println!("  {:<12} {}", zone, s.join(" "));
+                }
+            }
+            println!("\nmonthly applications placed at reference sites:");
+            for site in ["Paris, FR", "Oslo, NO", "Vienna, AT", "Zagreb, HR"] {
+                if let Some(series) = ce.monthly_placements_for(site) {
+                    let s: Vec<String> = series.iter().map(|v| v.to_string()).collect();
+                    println!("  {:<12} {}", site, s.join(" "));
+                }
+            }
+        }
+    }
+}
+
+/// Figure 14: effect of population-skewed demand and capacity.
+fn fig14(quick: bool) {
+    header("Figure 14: effect of demand and capacity skew");
+    println!("{:<8} {:<10} {:>12} {:>14}", "area", "scenario", "saving %", "latency +ms");
+    for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
+        for scenario in [
+            CdnScenario::Homogeneous,
+            CdnScenario::PopulationDemand,
+            CdnScenario::PopulationCapacity,
+        ] {
+            let sim = CdnSimulator::new(cdn_config(area, quick).with_scenario(scenario));
+            let (_, _, savings) = sim.compare();
+            println!(
+                "{:<8} {:<10} {:>12.1} {:>14.1}",
+                label,
+                scenario.name(),
+                savings.carbon_percent,
+                savings.latency_increase_ms
+            );
+        }
+    }
+    println!("(paper: skew changes US savings by up to ~6%, EU by <1.6%)");
+}
+
+/// Figure 15: heterogeneity across devices and policies.
+fn fig15() {
+    header("Figure 15: carbon and energy across heterogeneous resources");
+    let results = run_heterogeneity(&HeterogeneityConfig::default());
+    println!(
+        "{:<12} {:<16} {:>14} {:>14} {:>12}",
+        "cluster", "policy", "carbon g", "energy kJ", "latency ms"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:<16} {:>14.1} {:>14.1} {:>12.1}",
+            r.cluster,
+            r.policy,
+            r.outcome.carbon_g,
+            r.outcome.energy_j / 1000.0,
+            r.outcome.mean_latency_ms
+        );
+    }
+    println!("(paper: CarbonEdge cuts carbon by 98%/79%/63% vs Latency-/Intensity-/Energy-aware on the heterogeneous cluster)");
+}
+
+/// Figure 16: carbon-energy trade-off (alpha sweep).
+fn fig16() {
+    header("Figure 16: carbon-energy trade-off (alpha sweep)");
+    for high in [false, true] {
+        let sweep = TradeoffSweep::run(high, &TradeoffSweep::default_alphas());
+        println!(
+            "\n{} utilization (Latency-aware: {:.1} g, {:.1} kJ):",
+            if high { "high" } else { "low" },
+            sweep.latency_aware.carbon_g,
+            sweep.latency_aware.energy_j / 1000.0
+        );
+        println!("{:>6} {:>14} {:>14} {:>18}", "alpha", "carbon g", "energy kJ", "savings retained");
+        for p in &sweep.points {
+            let retained = sweep.retained_savings_fraction(p.alpha).unwrap_or(f64::NAN);
+            println!(
+                "{:>6.1} {:>14.1} {:>14.1} {:>17.0}%",
+                p.alpha,
+                p.outcome.carbon_g,
+                p.outcome.energy_j / 1000.0,
+                retained * 100.0
+            );
+        }
+    }
+    println!("(paper: alpha=0.1 retains 97.5% of savings while cutting energy 67% at low utilization)");
+}
+
+/// Figure 17 / Section 6.5: placement runtime and memory scalability.
+fn fig17() {
+    header("Figure 17: placement runtime vs number of servers and applications");
+    let catalog = ZoneCatalog::worldwide();
+    let traces = catalog.generate_traces(SEED);
+    let build_problem = |apps: usize, servers: usize| -> PlacementProblem {
+        let zone_count = catalog.len();
+        let server_list: Vec<ServerSnapshot> = (0..servers)
+            .map(|j| {
+                let zone = &catalog.records()[j % zone_count];
+                ServerSnapshot::new(j, j, zone.id, DeviceKind::A2, zone.location)
+                    .with_carbon_intensity(traces[zone.id.index()].mean())
+            })
+            .collect();
+        let app_list: Vec<Application> = (0..apps)
+            .map(|i| {
+                // Applications originate at zones that host a server, so every
+                // application has at least one latency-feasible candidate.
+                let zone = &catalog.records()[(i * 7) % servers.min(zone_count)];
+                Application::new(AppId(i), ModelKind::ResNet50, 10.0, 40.0, zone.location, 0)
+            })
+            .collect();
+        PlacementProblem::new(server_list, app_list, 1.0)
+            .with_latency_model(LatencyModel::deterministic())
+    };
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+
+    println!("{:>10} {:>8} {:>14} {:>16}", "servers", "apps", "time ms", "approx mem MB");
+    for servers in [100, 200, 300, 400] {
+        let problem = build_problem(50, servers);
+        let start = Instant::now();
+        let _ = placer.place(&problem).unwrap();
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        println!("{:>10} {:>8} {:>14.1} {:>16.1}", servers, 50, elapsed, approx_problem_memory_mb(&problem));
+    }
+    for apps in [20, 60, 100, 140] {
+        let problem = build_problem(apps, 400);
+        let start = Instant::now();
+        let _ = placer.place(&problem).unwrap();
+        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+        println!("{:>10} {:>8} {:>14.1} {:>16.1}", 400, apps, elapsed, approx_problem_memory_mb(&problem));
+    }
+    println!("(paper: 50 apps x 400 servers completes within ~3 s and <200 MB with OR-Tools)");
+
+    let problem = build_problem(1, 5);
+    let placer_small = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+    let start = Instant::now();
+    let _ = placer_small.place(&problem).unwrap();
+    println!(
+        "single-application decision on a 5-server regional edge: {:.2} ms (paper: ~3.3 ms)",
+        start.elapsed().as_secs_f64() * 1000.0
+    );
+}
+
+/// Rough memory footprint of the cost/demand matrices used by a placement,
+/// in MB (the dominant allocation of the algorithm).
+fn approx_problem_memory_mb(problem: &PlacementProblem) -> f64 {
+    let (apps, servers) = problem.size();
+    let per_pair = 16.0 + 3.0 * 8.0;
+    (apps as f64 * servers as f64 * per_pair + servers as f64 * 128.0) / 1.0e6
+}

@@ -1,0 +1,556 @@
+//! The CarbonEdge incremental placement algorithm (Algorithm 1).
+//!
+//! The algorithm processes a batch of newly arriving applications:
+//!
+//! 1. compute the application-to-server latency matrix,
+//! 2. filter out servers violating each application's latency constraint,
+//! 3. fetch server telemetry (capacities, base power, power state, mean
+//!    forecast carbon intensity),
+//! 4. solve the placement optimization (Eq. 7) for the chosen policy,
+//! 5. commit the placement and power decisions and update server state.
+//!
+//! Steps 1–3 are embodied in [`crate::problem::PlacementProblem`]; this
+//! module performs steps 4–5.  Small instances are solved exactly (via the
+//! generic branch-and-bound MILP when requested, or exhaustive enumeration
+//! inside the assignment solver); large instances use the regret-greedy +
+//! local-search assignment heuristic, which is how the framework scales to
+//! CDN-sized batches (Figure 17).
+
+use crate::policy::PlacementPolicy;
+use crate::problem::PlacementProblem;
+use carbonedge_solver::{
+    AssignmentProblem, AssignmentSolver, BranchBoundSolver, Comparison, LinearExpr, MilpOutcome,
+    Model,
+};
+use serde::{Deserialize, Serialize};
+
+/// Errors returned by the placer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// The problem contains no applications.
+    EmptyBatch,
+    /// The problem contains no servers.
+    NoServers,
+    /// No feasible server exists for the listed applications.
+    NoFeasibleServer(Vec<usize>),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::EmptyBatch => write!(f, "placement batch is empty"),
+            PlacementError::NoServers => write!(f, "no servers available"),
+            PlacementError::NoFeasibleServer(apps) => {
+                write!(f, "no feasible server for applications {apps:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The outcome of one incremental placement round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// Chosen server index per application (`None` if the solver could not
+    /// place the application within capacity).
+    pub assignment: Vec<Option<usize>>,
+    /// Servers that must be newly powered on.
+    pub newly_activated: Vec<usize>,
+    /// Applications the solver failed to place.
+    pub unplaced: Vec<usize>,
+    /// Total carbon of the decision over one epoch (Eq. 6), grams CO2eq.
+    pub total_carbon_g: f64,
+    /// Total energy of the decision over one epoch, joules.
+    pub total_energy_j: f64,
+    /// Mean round-trip latency of the placed applications, ms.
+    pub mean_latency_ms: f64,
+    /// Which policy produced the decision.
+    pub policy: String,
+    /// Whether the exact MILP solver produced the decision (vs. the
+    /// assignment heuristic).
+    pub exact: bool,
+}
+
+/// The incremental placement service.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlacer {
+    /// The placement policy to optimize.
+    pub policy: PlacementPolicy,
+    /// Use the exact branch-and-bound MILP when the instance is small enough
+    /// (`apps * servers <= exact_size_limit`).
+    pub exact_size_limit: usize,
+    /// Heuristic assignment solver configuration.
+    pub assignment_solver: AssignmentSolver,
+    /// Branch-and-bound configuration for the exact path.
+    pub milp_solver: BranchBoundSolver,
+}
+
+impl IncrementalPlacer {
+    /// Creates a placer for a policy with default solver settings: exact
+    /// solving for instances up to 5 applications × 8 servers (the regional
+    /// testbed scale), heuristic beyond that.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        Self {
+            policy,
+            exact_size_limit: 40,
+            assignment_solver: AssignmentSolver::new(),
+            milp_solver: BranchBoundSolver::with_node_limit(20_000),
+        }
+    }
+
+    /// Forces the heuristic path regardless of instance size.
+    pub fn heuristic_only(mut self) -> Self {
+        self.exact_size_limit = 0;
+        self.assignment_solver.exhaustive_limit = 0;
+        self
+    }
+
+    /// Sets the exact-MILP size threshold (`apps * servers`).
+    pub fn with_exact_size_limit(mut self, limit: usize) -> Self {
+        self.exact_size_limit = limit;
+        self
+    }
+
+    /// Runs Algorithm 1 on a placement problem.
+    pub fn place(&self, problem: &PlacementProblem) -> Result<PlacementDecision, PlacementError> {
+        let (apps, servers) = problem.size();
+        if apps == 0 {
+            return Err(PlacementError::EmptyBatch);
+        }
+        if servers == 0 {
+            return Err(PlacementError::NoServers);
+        }
+
+        let (pair_cost, activation_cost) = self.policy.costs(problem);
+
+        // Applications with no feasible server at all: hard constraint failure.
+        let stranded: Vec<usize> = (0..apps)
+            .filter(|i| pair_cost[*i].iter().all(|c| c.is_none()))
+            .collect();
+        if !stranded.is_empty() {
+            return Err(PlacementError::NoFeasibleServer(stranded));
+        }
+
+        let (assignment, exact) = if apps * servers <= self.exact_size_limit {
+            match self.solve_exact(problem, &pair_cost, &activation_cost) {
+                Some(a) => (a, true),
+                None => (
+                    self.solve_heuristic(problem, &pair_cost, &activation_cost),
+                    false,
+                ),
+            }
+        } else {
+            (
+                self.solve_heuristic(problem, &pair_cost, &activation_cost),
+                false,
+            )
+        };
+
+        let unplaced: Vec<usize> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let mut newly_activated: Vec<usize> = assignment
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|j| !problem.servers[*j].powered_on)
+            .collect();
+        newly_activated.sort_unstable();
+        newly_activated.dedup();
+
+        Ok(PlacementDecision {
+            total_carbon_g: problem.total_carbon_g(&assignment).unwrap_or(f64::NAN),
+            total_energy_j: problem.total_energy_j(&assignment).unwrap_or(f64::NAN),
+            mean_latency_ms: problem.mean_latency_ms(&assignment),
+            assignment,
+            newly_activated,
+            unplaced,
+            policy: self.policy.name(),
+            exact,
+        })
+    }
+
+    /// Builds the assignment-problem form and solves it heuristically.
+    fn solve_heuristic(
+        &self,
+        problem: &PlacementProblem,
+        pair_cost: &[Vec<Option<f64>>],
+        activation_cost: &[f64],
+    ) -> Vec<Option<usize>> {
+        let (apps, servers) = problem.size();
+        let demand: Vec<Vec<Vec<f64>>> = (0..apps)
+            .map(|i| {
+                (0..servers)
+                    .map(|j| match problem.demand(i, j) {
+                        Some(d) => vec![d.compute, d.memory_mb, d.bandwidth_mbps],
+                        None => vec![0.0, 0.0, 0.0],
+                    })
+                    .collect()
+            })
+            .collect();
+        let capacity: Vec<Vec<f64>> = (0..servers)
+            .map(|j| {
+                let c = problem.servers[j].available;
+                vec![c.compute, c.memory_mb, c.bandwidth_mbps]
+            })
+            .collect();
+        let instance = AssignmentProblem {
+            cost: pair_cost.to_vec(),
+            demand,
+            capacity,
+            activation_cost: activation_cost.to_vec(),
+            open: problem.servers.iter().map(|s| s.powered_on).collect(),
+        };
+        self.assignment_solver.solve(&instance).assignment
+    }
+
+    /// Builds the MILP of Eq. 7 and solves it exactly with branch-and-bound.
+    ///
+    /// Variables: `x_ij` per feasible pair, `y_j` per server.  Constraints:
+    /// assignment (Eq. 3), capacity linked to power state (Eq. 1), power
+    /// consistency (Eq. 4) and assignment-requires-active (Eq. 5).
+    fn solve_exact(
+        &self,
+        problem: &PlacementProblem,
+        pair_cost: &[Vec<Option<f64>>],
+        activation_cost: &[f64],
+    ) -> Option<Vec<Option<usize>>> {
+        let (apps, servers) = problem.size();
+        let mut model = Model::new();
+        // x variables for feasible pairs only.
+        let mut x: Vec<Vec<Option<carbonedge_solver::VarId>>> = vec![vec![None; servers]; apps];
+        for i in 0..apps {
+            for j in 0..servers {
+                if let Some(cost) = pair_cost[i][j] {
+                    let v = model.add_binary();
+                    model.set_objective_term(v, cost);
+                    x[i][j] = Some(v);
+                }
+            }
+        }
+        // y variables per server; objective carries the activation cost for
+        // currently-off servers (y_j - y_j^curr reduces to y_j when off, and
+        // the power-consistency constraint pins y_j = 1 when already on).
+        let y: Vec<carbonedge_solver::VarId> = (0..servers).map(|_| model.add_binary()).collect();
+        for j in 0..servers {
+            if problem.servers[j].powered_on {
+                // Power-state consistency (Eq. 4): already-on servers stay on.
+                model.add_constraint(
+                    LinearExpr::new().with(y[j], 1.0),
+                    Comparison::Equal,
+                    1.0,
+                    format!("power-consistency-{j}"),
+                );
+            } else {
+                model.set_objective_term(y[j], activation_cost[j]);
+            }
+        }
+        // Assignment constraints (Eq. 3).
+        for i in 0..apps {
+            let mut expr = LinearExpr::new();
+            for j in 0..servers {
+                if let Some(v) = x[i][j] {
+                    expr.add(v, 1.0);
+                }
+            }
+            model.add_constraint(expr, Comparison::Equal, 1.0, format!("assign-{i}"));
+        }
+        // Capacity constraints per server and resource dimension (Eq. 1),
+        // with the y_j coupling, and x <= y linking (Eq. 5).
+        for j in 0..servers {
+            let cap = problem.servers[j].available;
+            for (k, cap_k) in [cap.compute, cap.memory_mb, cap.bandwidth_mbps]
+                .into_iter()
+                .enumerate()
+            {
+                let mut expr = LinearExpr::new();
+                for i in 0..apps {
+                    if let Some(v) = x[i][j] {
+                        let d = problem.demand(i, j).expect("feasible pair has demand");
+                        let d_k = [d.compute, d.memory_mb, d.bandwidth_mbps][k];
+                        expr.add(v, d_k);
+                    }
+                }
+                expr.add(y[j], -cap_k);
+                if !expr.terms.is_empty() {
+                    model.add_constraint(expr, Comparison::LessEq, 0.0, format!("cap-{j}-{k}"));
+                }
+            }
+            for i in 0..apps {
+                if let Some(v) = x[i][j] {
+                    model.add_constraint(
+                        LinearExpr::new().with(v, 1.0).with(y[j], -1.0),
+                        Comparison::LessEq,
+                        0.0,
+                        format!("active-{i}-{j}"),
+                    );
+                }
+            }
+        }
+
+        let solution = self.milp_solver.solve(&model);
+        if !matches!(solution.outcome, MilpOutcome::Optimal | MilpOutcome::Feasible) {
+            return None;
+        }
+        let mut assignment = vec![None; apps];
+        for i in 0..apps {
+            for j in 0..servers {
+                if let Some(v) = x[i][j] {
+                    if solution.values[v.index()] > 0.5 {
+                        assignment[i] = Some(j);
+                    }
+                }
+            }
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ServerSnapshot;
+    use carbonedge_geo::Coordinates;
+    use carbonedge_grid::ZoneId;
+    use carbonedge_net::LatencyModel;
+    use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind, ResourceDemand};
+
+    fn green_and_dirty_problem(slo_ms: f64) -> PlacementProblem {
+        let servers = vec![
+            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
+                .with_carbon_intensity(550.0),
+            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
+                .with_carbon_intensity(45.0),
+        ];
+        let apps = vec![Application::new(
+            AppId(0),
+            ModelKind::ResNet50,
+            20.0,
+            slo_ms,
+            Coordinates::new(48.14, 11.58),
+            0,
+        )];
+        PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+    }
+
+    #[test]
+    fn carbon_aware_shifts_to_green_zone() {
+        let p = green_and_dirty_problem(30.0);
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(1)]);
+        assert!(d.exact, "small instance should use the exact solver");
+        assert!(d.unplaced.is_empty());
+    }
+
+    #[test]
+    fn latency_aware_stays_local() {
+        let p = green_and_dirty_problem(30.0);
+        let d = IncrementalPlacer::new(PlacementPolicy::LatencyAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(0)]);
+    }
+
+    #[test]
+    fn tight_slo_forces_local_placement_even_for_carbon_aware() {
+        let p = green_and_dirty_problem(3.0);
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(0)]);
+    }
+
+    #[test]
+    fn impossible_slo_reports_stranded_apps() {
+        let mut p = green_and_dirty_problem(30.0);
+        p.apps[0].latency_slo_ms = 0.01;
+        let err = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap_err();
+        assert_eq!(err, PlacementError::NoFeasibleServer(vec![0]));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let p = PlacementProblem::new(vec![], vec![], 1.0);
+        assert_eq!(
+            IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap_err(),
+            PlacementError::EmptyBatch
+        );
+        let p2 = green_and_dirty_problem(30.0);
+        let no_servers = PlacementProblem::new(vec![], p2.apps.clone(), 1.0);
+        assert_eq!(
+            IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+                .place(&no_servers)
+                .unwrap_err(),
+            PlacementError::NoServers
+        );
+    }
+
+    #[test]
+    fn carbon_decision_never_exceeds_latency_aware_carbon() {
+        let p = green_and_dirty_problem(30.0);
+        let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware).place(&p).unwrap();
+        assert!(carbon.total_carbon_g <= latency.total_carbon_g + 1e-9);
+        assert!(carbon.mean_latency_ms >= latency.mean_latency_ms - 1e-9);
+    }
+
+    #[test]
+    fn capacity_overflow_spills_to_second_server() {
+        // One saturating batch: each A2 fits ~3 apps at 25 rps of ResNet50
+        // (25 * 13ms = 0.325 utilization each), so 6 apps need both servers.
+        let servers = vec![
+            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
+                .with_carbon_intensity(550.0),
+            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
+                .with_carbon_intensity(45.0),
+        ];
+        let apps: Vec<Application> = (0..6)
+            .map(|i| {
+                Application::new(
+                    AppId(i),
+                    ModelKind::ResNet50,
+                    25.0,
+                    40.0,
+                    Coordinates::new(48.14, 11.58),
+                    0,
+                )
+            })
+            .collect();
+        let p = PlacementProblem::new(servers, apps, 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert!(d.unplaced.is_empty());
+        let on_green = d.assignment.iter().filter(|a| **a == Some(1)).count();
+        let on_dirty = d.assignment.iter().filter(|a| **a == Some(0)).count();
+        assert_eq!(on_green, 3, "green server should be filled to capacity");
+        assert_eq!(on_dirty, 3, "capacity must force spillover to the dirty server");
+    }
+
+    #[test]
+    fn newly_activated_servers_are_reported() {
+        let mut p = green_and_dirty_problem(30.0);
+        p.servers[1].powered_on = false;
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        // Still worth activating the green server: activation carbon of an A2
+        // for one hour at 45 g/kWh is tiny compared to the operational savings.
+        assert_eq!(d.assignment, vec![Some(1)]);
+        assert_eq!(d.newly_activated, vec![1]);
+    }
+
+    #[test]
+    fn activation_cost_can_keep_app_local() {
+        // Make the green server's activation very expensive by giving it a
+        // huge base power; for a single small app the activation carbon then
+        // outweighs the operational savings.
+        let mut p = green_and_dirty_problem(30.0);
+        p.servers[1].powered_on = false;
+        p.servers[1].base_power_w = 100_000.0;
+        p.apps[0].request_rate_rps = 1.0;
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(0)]);
+        assert!(d.newly_activated.is_empty());
+    }
+
+    #[test]
+    fn heuristic_and_exact_agree_on_small_instances() {
+        let p = green_and_dirty_problem(30.0);
+        let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let heuristic = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .heuristic_only()
+            .place(&p)
+            .unwrap();
+        assert!(!heuristic.exact);
+        assert!((exact.total_carbon_g - heuristic.total_carbon_g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_aware_picks_efficient_device() {
+        let servers = vec![
+            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::Gtx1080, Coordinates::new(48.0, 11.0))
+                .with_carbon_intensity(50.0),
+            ServerSnapshot::new(1, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(48.0, 11.0))
+                .with_carbon_intensity(50.0),
+        ];
+        let apps = vec![Application::new(
+            AppId(0),
+            ModelKind::EfficientNetB0,
+            10.0,
+            20.0,
+            Coordinates::new(48.0, 11.0),
+            0,
+        )];
+        let p = PlacementProblem::new(servers, apps, 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        let d = IncrementalPlacer::new(PlacementPolicy::EnergyAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(1)]);
+    }
+
+    #[test]
+    fn larger_batch_uses_heuristic_and_respects_capacity() {
+        // 20 apps x 6 servers exceeds the default exact limit.
+        let servers: Vec<ServerSnapshot> = (0..6)
+            .map(|j| {
+                ServerSnapshot::new(
+                    j,
+                    j,
+                    ZoneId(j),
+                    DeviceKind::A2,
+                    Coordinates::new(46.0 + j as f64 * 0.5, 8.0 + j as f64 * 0.5),
+                )
+                .with_carbon_intensity(100.0 + 80.0 * j as f64)
+            })
+            .collect();
+        let apps: Vec<Application> = (0..20)
+            .map(|i| {
+                Application::new(
+                    AppId(i),
+                    ModelKind::ResNet50,
+                    15.0,
+                    60.0,
+                    Coordinates::new(46.0, 8.0),
+                    0,
+                )
+            })
+            .collect();
+        let p = PlacementProblem::new(servers, apps, 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert!(!d.exact);
+        assert!(d.unplaced.is_empty());
+        // Per-server compute usage must stay within one device each.
+        let mut usage = vec![0.0f64; 6];
+        for (i, a) in d.assignment.iter().enumerate() {
+            let j = a.unwrap();
+            usage[j] += p.demand(i, j).unwrap().compute;
+        }
+        for u in usage {
+            assert!(u <= 1.0 + 1e-6, "usage {u}");
+        }
+    }
+
+    #[test]
+    fn decision_metrics_are_consistent() {
+        let p = green_and_dirty_problem(30.0);
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert!((d.total_carbon_g - p.total_carbon_g(&d.assignment).unwrap()).abs() < 1e-9);
+        assert!((d.total_energy_j - p.total_energy_j(&d.assignment).unwrap()).abs() < 1e-9);
+        assert_eq!(d.policy, "CarbonEdge");
+    }
+
+    #[test]
+    fn placement_error_display() {
+        assert!(PlacementError::EmptyBatch.to_string().contains("empty"));
+        assert!(PlacementError::NoFeasibleServer(vec![1, 2]).to_string().contains("[1, 2]"));
+    }
+
+    #[test]
+    fn unused_capacity_override_respected() {
+        // A server with zero available compute cannot take the app.
+        let mut p = green_and_dirty_problem(30.0);
+        p.servers[1].available = ResourceDemand::new(0.0, 16_000.0, 1000.0);
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        assert_eq!(d.assignment, vec![Some(0)]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Placement policies.
+//!
+//! The paper evaluates its carbon-aware policy against three baselines
+//! (Section 6.1.3): `Latency-aware` (place on the nearest edge data center),
+//! `Energy-aware` (minimize energy subject to latency and resource
+//! constraints) and `Intensity-aware` (greedily choose the lowest-carbon-
+//! intensity feasible location).  Section 6.4 adds a multi-objective
+//! carbon–energy policy (Eq. 8) parameterized by a weight α.
+//!
+//! A policy is expressed as a cost function over feasible `(application,
+//! server)` pairs plus a per-server activation cost; the incremental
+//! placement algorithm minimizes the summed cost.
+
+use crate::problem::PlacementProblem;
+use serde::{Deserialize, Serialize};
+
+/// The placement policies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The CarbonEdge policy: minimize total carbon (Eq. 6) — operational
+    /// carbon plus server-activation carbon.
+    CarbonAware,
+    /// Place each application on its nearest (lowest-latency) feasible
+    /// server; ignores carbon and energy.
+    LatencyAware,
+    /// Minimize energy consumption (operational plus activation energy).
+    EnergyAware,
+    /// Greedily prefer the feasible server with the lowest carbon intensity,
+    /// regardless of the application's energy profile on it.
+    IntensityAware,
+    /// The multi-objective carbon–energy policy of Eq. 8:
+    /// `α · normalized-energy + (1 − α) · normalized-carbon`.
+    /// `α = 0` recovers `CarbonAware`, `α = 1` recovers `EnergyAware`.
+    CarbonEnergyTradeoff {
+        /// Energy weight α ∈ [0, 1].
+        alpha: f64,
+    },
+}
+
+impl PlacementPolicy {
+    /// Display name used in experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            PlacementPolicy::CarbonAware => "CarbonEdge".to_string(),
+            PlacementPolicy::LatencyAware => "Latency-aware".to_string(),
+            PlacementPolicy::EnergyAware => "Energy-aware".to_string(),
+            PlacementPolicy::IntensityAware => "Intensity-aware".to_string(),
+            PlacementPolicy::CarbonEnergyTradeoff { alpha } => format!("CarbonEdge(α={alpha:.2})"),
+        }
+    }
+
+    /// All single-objective policies (the four compared in Figure 15).
+    pub const BASELINE_SET: [PlacementPolicy; 4] = [
+        PlacementPolicy::LatencyAware,
+        PlacementPolicy::EnergyAware,
+        PlacementPolicy::IntensityAware,
+        PlacementPolicy::CarbonAware,
+    ];
+
+    /// Builds the per-pair operational costs and per-server activation costs
+    /// the placement optimizer should minimize for this policy.
+    ///
+    /// Returns `(pair_cost, activation_cost)`, where `pair_cost[i][j]` is
+    /// `None` for infeasible pairs (hardware or latency), and
+    /// `activation_cost[j]` is the extra cost of newly powering on server `j`.
+    pub fn costs(&self, problem: &PlacementProblem) -> (Vec<Vec<Option<f64>>>, Vec<f64>) {
+        let (apps, servers) = problem.size();
+        let feasible_cost = |i: usize, j: usize| -> Option<f64> {
+            if !problem.is_feasible_pair(i, j) {
+                return None;
+            }
+            match self {
+                PlacementPolicy::CarbonAware => problem.operational_carbon_g(i, j),
+                PlacementPolicy::LatencyAware => Some(problem.latency_ms(i, j)),
+                PlacementPolicy::EnergyAware => problem.energy_j(i, j),
+                PlacementPolicy::IntensityAware => Some(problem.servers[j].carbon_intensity),
+                PlacementPolicy::CarbonEnergyTradeoff { .. } => {
+                    // Filled in after normalization below; return raw carbon for now.
+                    problem.operational_carbon_g(i, j)
+                }
+            }
+        };
+
+        let mut pair_cost: Vec<Vec<Option<f64>>> = (0..apps)
+            .map(|i| (0..servers).map(|j| feasible_cost(i, j)).collect())
+            .collect();
+
+        let mut activation: Vec<f64> = (0..servers)
+            .map(|j| {
+                if problem.servers[j].powered_on {
+                    0.0
+                } else {
+                    match self {
+                        PlacementPolicy::CarbonAware => problem.activation_carbon_g(j),
+                        PlacementPolicy::EnergyAware => problem.activation_energy_j(j),
+                        PlacementPolicy::LatencyAware | PlacementPolicy::IntensityAware => 0.0,
+                        PlacementPolicy::CarbonEnergyTradeoff { .. } => 0.0, // set below
+                    }
+                }
+            })
+            .collect();
+
+        if let PlacementPolicy::CarbonEnergyTradeoff { alpha } = self {
+            let alpha = alpha.clamp(0.0, 1.0);
+            // Min-max normalize carbon and energy over the feasible pairs
+            // (the paper normalizes both objectives to [0, 1]).
+            let mut carbon_vals = Vec::new();
+            let mut energy_vals = Vec::new();
+            for i in 0..apps {
+                for j in 0..servers {
+                    if problem.is_feasible_pair(i, j) {
+                        if let (Some(c), Some(e)) =
+                            (problem.operational_carbon_g(i, j), problem.energy_j(i, j))
+                        {
+                            carbon_vals.push(c);
+                            energy_vals.push(e);
+                        }
+                    }
+                }
+            }
+            let range = |vals: &[f64]| -> (f64, f64) {
+                let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (min, (max - min).max(1e-12))
+            };
+            if !carbon_vals.is_empty() {
+                let (cmin, cspan) = range(&carbon_vals);
+                let (emin, espan) = range(&energy_vals);
+                for i in 0..apps {
+                    for j in 0..servers {
+                        if pair_cost[i][j].is_some() {
+                            let c = problem.operational_carbon_g(i, j).unwrap();
+                            let e = problem.energy_j(i, j).unwrap();
+                            let norm =
+                                alpha * (e - emin) / espan + (1.0 - alpha) * (c - cmin) / cspan;
+                            pair_cost[i][j] = Some(norm);
+                        }
+                    }
+                }
+                // Activation costs normalized against the same spans so they
+                // stay commensurate with the pair costs.
+                for j in 0..servers {
+                    if !problem.servers[j].powered_on {
+                        let c = problem.activation_carbon_g(j) / cspan;
+                        let e = problem.activation_energy_j(j) / espan;
+                        activation[j] = alpha * e + (1.0 - alpha) * c;
+                    }
+                }
+            }
+        }
+
+        (pair_cost, activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ServerSnapshot;
+    use carbonedge_geo::Coordinates;
+    use carbonedge_grid::ZoneId;
+    use carbonedge_net::LatencyModel;
+    use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+
+    fn problem() -> PlacementProblem {
+        let servers = vec![
+            // Local, dirty, energy-hungry GTX 1080.
+            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::Gtx1080, Coordinates::new(48.14, 11.58))
+                .with_carbon_intensity(500.0),
+            // Remote (~335 km), green, efficient A2 — currently off.
+            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
+                .with_carbon_intensity(50.0)
+                .with_powered_on(false),
+        ];
+        let app = Application::new(
+            AppId(0),
+            ModelKind::ResNet50,
+            20.0,
+            40.0,
+            Coordinates::new(48.14, 11.58),
+            0,
+        );
+        PlacementProblem::new(servers, vec![app], 1.0)
+            .with_latency_model(LatencyModel::deterministic())
+    }
+
+    #[test]
+    fn carbon_aware_prefers_green_server() {
+        let p = problem();
+        let (costs, _) = PlacementPolicy::CarbonAware.costs(&p);
+        assert!(costs[0][1].unwrap() < costs[0][0].unwrap());
+    }
+
+    #[test]
+    fn latency_aware_prefers_local_server() {
+        let p = problem();
+        let (costs, activation) = PlacementPolicy::LatencyAware.costs(&p);
+        assert!(costs[0][0].unwrap() < costs[0][1].unwrap());
+        assert_eq!(activation, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn energy_aware_prefers_efficient_device() {
+        let p = problem();
+        let (costs, _) = PlacementPolicy::EnergyAware.costs(&p);
+        // ResNet50 on A2 uses less energy than on GTX 1080.
+        assert!(costs[0][1].unwrap() < costs[0][0].unwrap());
+    }
+
+    #[test]
+    fn intensity_aware_uses_zone_intensity_only() {
+        let p = problem();
+        let (costs, _) = PlacementPolicy::IntensityAware.costs(&p);
+        assert_eq!(costs[0][0].unwrap(), 500.0);
+        assert_eq!(costs[0][1].unwrap(), 50.0);
+    }
+
+    #[test]
+    fn infeasible_pairs_have_no_cost() {
+        let mut p = problem();
+        p.apps[0].latency_slo_ms = 3.0; // remote server now violates the SLO
+        let (costs, _) = PlacementPolicy::CarbonAware.costs(&p);
+        assert!(costs[0][0].is_some());
+        assert!(costs[0][1].is_none());
+    }
+
+    #[test]
+    fn activation_costs_only_for_powered_off_servers() {
+        let p = problem();
+        let (_, act_carbon) = PlacementPolicy::CarbonAware.costs(&p);
+        assert_eq!(act_carbon[0], 0.0);
+        assert!(act_carbon[1] > 0.0);
+        let (_, act_energy) = PlacementPolicy::EnergyAware.costs(&p);
+        assert!(act_energy[1] > 0.0);
+    }
+
+    #[test]
+    fn tradeoff_alpha_zero_matches_carbon_ranking() {
+        let p = problem();
+        let (carbon, _) = PlacementPolicy::CarbonAware.costs(&p);
+        let (mixed, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 0.0 }.costs(&p);
+        // Same ranking of the two servers.
+        assert_eq!(
+            carbon[0][0] > carbon[0][1],
+            mixed[0][0] > mixed[0][1]
+        );
+    }
+
+    #[test]
+    fn tradeoff_costs_are_normalized() {
+        let p = problem();
+        let (mixed, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 0.5 }.costs(&p);
+        for j in 0..2 {
+            let c = mixed[0][j].unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&c), "cost {c}");
+        }
+    }
+
+    #[test]
+    fn tradeoff_alpha_is_clamped() {
+        let p = problem();
+        let (hi, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 5.0 }.costs(&p);
+        let (one, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 1.0 }.costs(&p);
+        assert_eq!(hi, one);
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: std::collections::HashSet<String> = PlacementPolicy::BASELINE_SET
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

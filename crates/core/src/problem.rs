@@ -1,0 +1,337 @@
+//! The carbon-aware placement problem (Table 2, Eqs. 1–6).
+
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::ZoneId;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{Application, DeviceKind, ResourceDemand};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one edge server at placement time: everything the placement
+/// service needs to know about it (Table 2 inputs `C_j^k`, `Ī_j`, `B_j`,
+/// `y_j^curr`), decoupled from the live cluster state so the optimizer can
+/// run against the simulator, the prototype, or a synthetic scenario alike.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSnapshot {
+    /// Global server id.
+    pub id: usize,
+    /// Edge site (data center) index the server belongs to.
+    pub site: usize,
+    /// Carbon zone powering the server.
+    pub zone: ZoneId,
+    /// Device type installed.
+    pub device: DeviceKind,
+    /// Server location (its site's location).
+    pub location: Coordinates,
+    /// Remaining resource capacity `C_j^k`.
+    pub available: ResourceDemand,
+    /// Base power when on, in watts (`B_j`).
+    pub base_power_w: f64,
+    /// Whether the server is currently powered on (`y_j^curr`).
+    pub powered_on: bool,
+    /// Average forecast carbon intensity `Ī_j` in g·CO2eq/kWh.
+    pub carbon_intensity: f64,
+}
+
+impl ServerSnapshot {
+    /// Creates a powered-on snapshot with full device capacity and the
+    /// device's base power; carbon intensity defaults to 400 g·CO2eq/kWh
+    /// until overridden.
+    pub fn new(id: usize, site: usize, zone: ZoneId, device: DeviceKind, location: Coordinates) -> Self {
+        Self {
+            id,
+            site,
+            zone,
+            device,
+            location,
+            available: ResourceDemand::new(device.compute_slots(), device.memory_mb(), 1000.0),
+            base_power_w: device.base_power_w(),
+            powered_on: true,
+            carbon_intensity: 400.0,
+        }
+    }
+
+    /// Sets the forecast carbon intensity `Ī_j`.
+    pub fn with_carbon_intensity(mut self, intensity: f64) -> Self {
+        self.carbon_intensity = intensity.max(0.0);
+        self
+    }
+
+    /// Sets the available capacity.
+    pub fn with_available(mut self, available: ResourceDemand) -> Self {
+        self.available = available;
+        self
+    }
+
+    /// Sets the current power state.
+    pub fn with_powered_on(mut self, on: bool) -> Self {
+        self.powered_on = on;
+        self
+    }
+}
+
+/// One instance of the incremental placement problem: a batch of arriving
+/// applications, the current server states, and the epoch length over which
+/// operational energy is accounted.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    /// Server snapshots `S`.
+    pub servers: Vec<ServerSnapshot>,
+    /// Arriving applications `A`.
+    pub apps: Vec<Application>,
+    /// Placement epoch length in hours (energy `E_ij` is accounted over one
+    /// epoch; the prototype batches deployments every few minutes, the
+    /// simulator uses one hour).
+    pub epoch_hours: f64,
+    /// Latency model used to compute `L_ij` between an application's origin
+    /// and a candidate server.
+    pub latency_model: LatencyModel,
+}
+
+impl PlacementProblem {
+    /// Creates a problem with the default latency model.
+    pub fn new(servers: Vec<ServerSnapshot>, apps: Vec<Application>, epoch_hours: f64) -> Self {
+        Self { servers, apps, epoch_hours: epoch_hours.max(1e-6), latency_model: LatencyModel::default() }
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = model;
+        self
+    }
+
+    /// Round-trip latency `L_ij` between application `i` and server `j`, ms.
+    pub fn latency_ms(&self, app: usize, server: usize) -> f64 {
+        self.latency_model
+            .round_trip_ms(self.apps[app].origin, self.servers[server].location)
+    }
+
+    /// Whether the `(app, server)` pair satisfies the latency constraint
+    /// (Eq. 2) and hardware compatibility.
+    pub fn is_feasible_pair(&self, app: usize, server: usize) -> bool {
+        let a = &self.apps[app];
+        let s = &self.servers[server];
+        a.can_run_on(s.device) && self.latency_ms(app, server) <= a.latency_slo_ms + 1e-9
+    }
+
+    /// Resource demand `R_ij` of application `i` on server `j`, when the
+    /// pair is hardware-compatible.
+    pub fn demand(&self, app: usize, server: usize) -> Option<ResourceDemand> {
+        self.apps[app].demand_on(self.servers[server].device)
+    }
+
+    /// Operational energy `E_ij` of application `i` on server `j` over one
+    /// placement epoch, in joules.
+    pub fn energy_j(&self, app: usize, server: usize) -> Option<f64> {
+        self.apps[app]
+            .energy_on(self.servers[server].device)
+            .map(|per_hour| per_hour * self.epoch_hours)
+    }
+
+    /// Operational carbon of application `i` on server `j` over one epoch,
+    /// in grams CO2-equivalent (the first term of Eq. 6 for one pair).
+    pub fn operational_carbon_g(&self, app: usize, server: usize) -> Option<f64> {
+        let energy = self.energy_j(app, server)?;
+        Some(energy / 3.6e6 * self.servers[server].carbon_intensity)
+    }
+
+    /// Activation energy of server `j` over one epoch (its base power for
+    /// the epoch), in joules.
+    pub fn activation_energy_j(&self, server: usize) -> f64 {
+        self.servers[server].base_power_w * self.epoch_hours * 3600.0
+    }
+
+    /// Activation carbon of server `j` (the second term of Eq. 6 for one
+    /// newly-activated server), in grams.
+    pub fn activation_carbon_g(&self, server: usize) -> f64 {
+        self.activation_energy_j(server) / 3.6e6 * self.servers[server].carbon_intensity
+    }
+
+    /// Total carbon (Eq. 6) of a full assignment: operational carbon of every
+    /// placed application plus activation carbon of every newly powered-on
+    /// server.  Returns `None` if any assignment refers to an infeasible pair.
+    pub fn total_carbon_g(&self, assignment: &[Option<usize>]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut newly_on = vec![false; self.servers.len()];
+        for (i, a) in assignment.iter().enumerate() {
+            let Some(j) = a else { continue };
+            total += self.operational_carbon_g(i, *j)?;
+            if !self.servers[*j].powered_on {
+                newly_on[*j] = true;
+            }
+        }
+        for (j, on) in newly_on.iter().enumerate() {
+            if *on {
+                total += self.activation_carbon_g(j);
+            }
+        }
+        Some(total)
+    }
+
+    /// Total energy of a full assignment in joules (operational energy of
+    /// placed applications plus base energy of newly activated servers).
+    pub fn total_energy_j(&self, assignment: &[Option<usize>]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut newly_on = vec![false; self.servers.len()];
+        for (i, a) in assignment.iter().enumerate() {
+            let Some(j) = a else { continue };
+            total += self.energy_j(i, *j)?;
+            if !self.servers[*j].powered_on {
+                newly_on[*j] = true;
+            }
+        }
+        for (j, on) in newly_on.iter().enumerate() {
+            if *on {
+                total += self.activation_energy_j(j);
+            }
+        }
+        Some(total)
+    }
+
+    /// Mean round-trip latency of the placed applications, in ms.
+    pub fn mean_latency_ms(&self, assignment: &[Option<usize>]) -> f64 {
+        let placed: Vec<f64> = assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|j| self.latency_ms(i, j)))
+            .collect();
+        if placed.is_empty() {
+            0.0
+        } else {
+            placed.iter().sum::<f64>() / placed.len() as f64
+        }
+    }
+
+    /// Number of applications and servers.
+    pub fn size(&self) -> (usize, usize) {
+        (self.apps.len(), self.servers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carbonedge_workload::{AppId, ModelKind};
+
+    fn servers() -> Vec<ServerSnapshot> {
+        vec![
+            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
+                .with_carbon_intensity(500.0),
+            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
+                .with_carbon_intensity(50.0)
+                .with_powered_on(false),
+        ]
+    }
+
+    fn app(slo_ms: f64) -> Application {
+        Application::new(
+            AppId(0),
+            ModelKind::ResNet50,
+            20.0,
+            slo_ms,
+            Coordinates::new(48.14, 11.58),
+            0,
+        )
+    }
+
+    #[test]
+    fn latency_feasibility_follows_slo() {
+        // Munich -> Bern is ~335 km, ~8-12 ms RTT in the deterministic model.
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        assert!(p.is_feasible_pair(0, 0));
+        assert!(p.is_feasible_pair(0, 1));
+        let tight = PlacementProblem::new(servers(), vec![app(3.0)], 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        assert!(tight.is_feasible_pair(0, 0));
+        assert!(!tight.is_feasible_pair(0, 1));
+    }
+
+    #[test]
+    fn incompatible_hardware_is_infeasible() {
+        let cpu_app = Application::new(
+            AppId(0),
+            ModelKind::SciCpu,
+            1.0,
+            100.0,
+            Coordinates::new(48.0, 11.0),
+            0,
+        );
+        let p = PlacementProblem::new(servers(), vec![cpu_app], 1.0);
+        assert!(!p.is_feasible_pair(0, 0));
+        assert!(p.demand(0, 0).is_none());
+        assert!(p.energy_j(0, 0).is_none());
+    }
+
+    #[test]
+    fn operational_carbon_scales_with_intensity() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        let dirty = p.operational_carbon_g(0, 0).unwrap();
+        let green = p.operational_carbon_g(0, 1).unwrap();
+        assert!((dirty / green - 10.0).abs() < 1e-6, "ratio {}", dirty / green);
+    }
+
+    #[test]
+    fn operational_carbon_scales_with_epoch() {
+        let p1 = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        let p2 = PlacementProblem::new(servers(), vec![app(30.0)], 2.0);
+        assert!(
+            (p2.operational_carbon_g(0, 0).unwrap() / p1.operational_carbon_g(0, 0).unwrap() - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn total_carbon_includes_activation_only_for_newly_on_servers() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        // Placing on server 0 (already on): no activation term.
+        let on_dirty = p.total_carbon_g(&[Some(0)]).unwrap();
+        assert!((on_dirty - p.operational_carbon_g(0, 0).unwrap()).abs() < 1e-9);
+        // Placing on server 1 (currently off): activation term added.
+        let on_green = p.total_carbon_g(&[Some(1)]).unwrap();
+        let expected = p.operational_carbon_g(0, 1).unwrap() + p.activation_carbon_g(1);
+        assert!((on_green - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unplaced_apps_contribute_nothing() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        assert_eq!(p.total_carbon_g(&[None]).unwrap(), 0.0);
+        assert_eq!(p.total_energy_j(&[None]).unwrap(), 0.0);
+        assert_eq!(p.mean_latency_ms(&[None]), 0.0);
+    }
+
+    #[test]
+    fn total_energy_accounts_activation() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        let e = p.total_energy_j(&[Some(1)]).unwrap();
+        let expected = p.energy_j(0, 1).unwrap() + p.activation_energy_j(1);
+        assert!((e - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_latency_of_local_placement_is_small() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0)
+            .with_latency_model(LatencyModel::deterministic());
+        assert!(p.mean_latency_ms(&[Some(0)]) < 1.0);
+        assert!(p.mean_latency_ms(&[Some(1)]) > 3.0);
+    }
+
+    #[test]
+    fn size_reports_dimensions() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        assert_eq!(p.size(), (1, 2));
+    }
+
+    #[test]
+    fn snapshot_builders_clamp_and_set() {
+        let s = ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(0.0, 0.0))
+            .with_carbon_intensity(-5.0)
+            .with_powered_on(false)
+            .with_available(ResourceDemand::new(0.5, 100.0, 10.0));
+        assert_eq!(s.carbon_intensity, 0.0);
+        assert!(!s.powered_on);
+        assert_eq!(s.available.compute, 0.5);
+        assert_eq!(s.base_power_w, DeviceKind::OrinNano.base_power_w());
+    }
+}

@@ -1,0 +1,28 @@
+//! Calibrated synthetic datasets for CarbonEdge.
+//!
+//! The paper combines four proprietary data sources (Section 6.1.1): hourly
+//! Electricity Maps carbon-intensity traces for 148 zones, WonderNetwork
+//! ping traces between 246 cities, Akamai CDN edge-site locations, and
+//! workload profiles measured on real accelerators.  This crate provides the
+//! synthetic equivalents, calibrated so the headline statistics of the paper
+//! (regional carbon-intensity spreads, latency ranges, site counts) are
+//! reproduced:
+//!
+//! * [`archetype`] — generation-mix archetypes (hydro-heavy, nuclear,
+//!   coal-heavy, …) used to assign realistic mixes to zones;
+//! * [`zones`] — the carbon-zone catalog: 54 US zones, 45 European zones and
+//!   49 rest-of-world zones (148 total, matching the paper's trace);
+//! * [`regions`] — the four mesoscale study regions of Figure 2 (Florida,
+//!   West US, Italy, Central EU) and the testbed deployments of Section 6.2;
+//! * [`edge_sites`] — an Akamai-like catalog of 496 edge data centers across
+//!   the US and Europe with population weights.
+
+pub mod archetype;
+pub mod edge_sites;
+pub mod regions;
+pub mod zones;
+
+pub use archetype::MixArchetype;
+pub use edge_sites::{EdgeSiteCatalog, EdgeSiteRecord};
+pub use regions::{MesoscaleRegion, StudyRegion};
+pub use zones::{ZoneCatalog, ZoneRecord};

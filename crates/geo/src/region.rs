@@ -1,0 +1,208 @@
+//! Bounding boxes and named mesoscale regions.
+
+use crate::coord::Coordinates;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned latitude/longitude bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southern edge (minimum latitude).
+    pub min_lat: f64,
+    /// Northern edge (maximum latitude).
+    pub max_lat: f64,
+    /// Western edge (minimum longitude).
+    pub min_lon: f64,
+    /// Eastern edge (maximum longitude).
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box; panics if min exceeds max on either axis.
+    pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Self {
+        assert!(min_lat <= max_lat, "min_lat must not exceed max_lat");
+        assert!(min_lon <= max_lon, "min_lon must not exceed max_lon");
+        Self { min_lat, max_lat, min_lon, max_lon }
+    }
+
+    /// Bounding box that tightly covers a set of coordinates.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn covering(points: &[Coordinates]) -> Option<Self> {
+        let first = points.first()?;
+        let mut bb = Self {
+            min_lat: first.lat,
+            max_lat: first.lat,
+            min_lon: first.lon,
+            max_lon: first.lon,
+        };
+        for p in &points[1..] {
+            bb.min_lat = bb.min_lat.min(p.lat);
+            bb.max_lat = bb.max_lat.max(p.lat);
+            bb.min_lon = bb.min_lon.min(p.lon);
+            bb.max_lon = bb.max_lon.max(p.lon);
+        }
+        Some(bb)
+    }
+
+    /// Whether the point lies inside (or on the boundary of) the box.
+    pub fn contains(&self, p: &Coordinates) -> bool {
+        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+    }
+
+    /// Geographic center of the box.
+    pub fn center(&self) -> Coordinates {
+        Coordinates::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Approximate extent of the box as (width_km, height_km), measured along
+    /// the box center.  The paper annotates each mesoscale region map with
+    /// such an extent (e.g. "807 km × 712 km" for Florida in Figure 2).
+    pub fn extent_km(&self) -> (f64, f64) {
+        let mid_lat = (self.min_lat + self.max_lat) / 2.0;
+        let west = Coordinates::new(mid_lat, self.min_lon);
+        let east = Coordinates::new(mid_lat, self.max_lon);
+        let south = Coordinates::new(self.min_lat, (self.min_lon + self.max_lon) / 2.0);
+        let north = Coordinates::new(self.max_lat, (self.min_lon + self.max_lon) / 2.0);
+        (west.distance_km(&east), south.distance_km(&north))
+    }
+}
+
+/// A named mesoscale region: a set of member locations plus a human-readable
+/// name, e.g. the "Florida" or "Central EU" regions of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable region name.
+    pub name: String,
+    /// Member locations (typically edge data-center cities).
+    pub members: Vec<(String, Coordinates)>,
+}
+
+impl Region {
+    /// Creates a region from named member locations.
+    pub fn new(name: impl Into<String>, members: Vec<(String, Coordinates)>) -> Self {
+        Self { name: name.into(), members }
+    }
+
+    /// Number of member locations.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the region has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Bounding box covering all members (None when empty).
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        let pts: Vec<Coordinates> = self.members.iter().map(|(_, c)| *c).collect();
+        BoundingBox::covering(&pts)
+    }
+
+    /// Maximum pairwise great-circle distance between members, in km.
+    ///
+    /// The paper's definition of a mesoscale region is one whose diameter is
+    /// tens to a few hundred kilometers; this accessor lets tests assert that
+    /// the preset regions satisfy that property.
+    pub fn diameter_km(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.members.len() {
+            for j in (i + 1)..self.members.len() {
+                max = max.max(self.members[i].1.distance_km(&self.members[j].1));
+            }
+        }
+        max
+    }
+
+    /// Looks up a member's coordinates by name.
+    pub fn coordinates_of(&self, name: &str) -> Option<Coordinates> {
+        self.members
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn florida() -> Region {
+        Region::new(
+            "Florida",
+            vec![
+                ("Miami".to_string(), Coordinates::new(25.7617, -80.1918)),
+                ("Orlando".to_string(), Coordinates::new(28.5384, -81.3789)),
+                ("Tampa".to_string(), Coordinates::new(27.9506, -82.4572)),
+                ("Tallahassee".to_string(), Coordinates::new(30.4383, -84.2807)),
+                ("Jacksonville".to_string(), Coordinates::new(30.3322, -81.6557)),
+            ],
+        )
+    }
+
+    #[test]
+    fn bounding_box_covering_contains_all() {
+        let region = florida();
+        let bb = region.bounding_box().unwrap();
+        for (_, c) in &region.members {
+            assert!(bb.contains(c));
+        }
+    }
+
+    #[test]
+    fn covering_empty_is_none() {
+        assert!(BoundingBox::covering(&[]).is_none());
+    }
+
+    #[test]
+    fn extent_of_florida_region_is_hundreds_of_km() {
+        let bb = florida().bounding_box().unwrap();
+        let (w, h) = bb.extent_km();
+        assert!(w > 200.0 && w < 1000.0, "width {w}");
+        assert!(h > 200.0 && h < 1000.0, "height {h}");
+    }
+
+    #[test]
+    fn diameter_of_florida_is_mesoscale() {
+        let d = florida().diameter_km();
+        // Tallahassee-Miami is the largest pairwise distance, ~650 km.
+        assert!(d > 400.0 && d < 800.0, "diameter {d}");
+    }
+
+    #[test]
+    fn contains_rejects_outside_points() {
+        let bb = BoundingBox::new(25.0, 31.0, -85.0, -80.0);
+        assert!(!bb.contains(&Coordinates::new(40.0, -82.0)));
+        assert!(!bb.contains(&Coordinates::new(27.0, -70.0)));
+    }
+
+    #[test]
+    fn center_is_inside() {
+        let bb = BoundingBox::new(25.0, 31.0, -85.0, -80.0);
+        assert!(bb.contains(&bb.center()));
+    }
+
+    #[test]
+    fn coordinates_of_finds_member() {
+        let region = florida();
+        assert!(region.coordinates_of("Miami").is_some());
+        assert!(region.coordinates_of("Boston").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounding_box_panics() {
+        BoundingBox::new(10.0, 5.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn empty_region_has_zero_diameter() {
+        let r = Region::new("empty", vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.diameter_km(), 0.0);
+        assert!(r.bounding_box().is_none());
+    }
+}

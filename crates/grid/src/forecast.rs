@@ -1,0 +1,152 @@
+//! Carbon-intensity forecasting.
+//!
+//! The placement objective of the paper uses the *average of the forecast
+//! carbon intensity values* Ī_j over the placement horizon (Section 4.2).
+//! This module provides the forecasters the carbon-intensity service can be
+//! configured with; the oracle forecaster doubles as an ablation baseline.
+
+use crate::time::HourOfYear;
+use crate::trace::CarbonTrace;
+
+/// A carbon-intensity forecaster: given the historical trace up to `now`,
+/// predict the mean carbon intensity over the next `horizon_hours` hours.
+pub trait Forecaster: Send + Sync {
+    /// Forecast the mean carbon intensity over `[now+1, now+horizon_hours]`.
+    fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, horizon_hours: usize) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Persistence forecast: the future equals the current value.
+///
+/// This is the standard naive baseline for short-horizon carbon forecasting
+/// and is what real-time-only carbon APIs effectively provide.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PersistenceForecaster;
+
+impl Forecaster for PersistenceForecaster {
+    fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, _horizon_hours: usize) -> f64 {
+        trace.at(now)
+    }
+
+    fn name(&self) -> &'static str {
+        "persistence"
+    }
+}
+
+/// Moving-average forecast: the future equals the mean of the last
+/// `window_hours` observed values.
+#[derive(Debug, Clone, Copy)]
+pub struct MovingAverageForecaster {
+    /// Number of past hours averaged.
+    pub window_hours: usize,
+}
+
+impl Default for MovingAverageForecaster {
+    fn default() -> Self {
+        Self { window_hours: 24 }
+    }
+}
+
+impl Forecaster for MovingAverageForecaster {
+    fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, _horizon_hours: usize) -> f64 {
+        let window = self.window_hours.max(1);
+        let mut sum = 0.0;
+        for k in 0..window {
+            // Look backwards, wrapping at the start of the year.
+            let idx = (now.index() + crate::time::HOURS_PER_YEAR - k) % crate::time::HOURS_PER_YEAR;
+            sum += trace.at(HourOfYear(idx));
+        }
+        sum / window as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+}
+
+/// Oracle forecast: the exact future mean, read from the trace.
+///
+/// Used for ablations that isolate forecast error from placement quality,
+/// analogous to the paper replaying historical Electricity Maps forecasts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleForecaster;
+
+impl Forecaster for OracleForecaster {
+    fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, horizon_hours: usize) -> f64 {
+        let horizon = horizon_hours.max(1);
+        let mut sum = 0.0;
+        for k in 1..=horizon {
+            sum += trace.at(now.plus(k));
+        }
+        sum / horizon as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOURS_PER_YEAR;
+
+    fn ramp_trace() -> CarbonTrace {
+        // A simple ramp 0,1,2,... so forecasts are easy to verify.
+        let values: Vec<f64> = (0..HOURS_PER_YEAR).map(|i| i as f64).collect();
+        CarbonTrace::from_values(values).unwrap()
+    }
+
+    #[test]
+    fn persistence_returns_current_value() {
+        let t = ramp_trace();
+        let f = PersistenceForecaster;
+        assert_eq!(f.forecast_mean(&t, HourOfYear(100), 6), 100.0);
+    }
+
+    #[test]
+    fn moving_average_over_window() {
+        let t = ramp_trace();
+        let f = MovingAverageForecaster { window_hours: 3 };
+        // hours 100, 99, 98 -> mean 99
+        assert!((f.forecast_mean(&t, HourOfYear(100), 6) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_handles_zero_window() {
+        let t = ramp_trace();
+        let f = MovingAverageForecaster { window_hours: 0 };
+        assert_eq!(f.forecast_mean(&t, HourOfYear(5), 1), 5.0);
+    }
+
+    #[test]
+    fn oracle_returns_future_mean() {
+        let t = ramp_trace();
+        let f = OracleForecaster;
+        // hours 101, 102, 103 -> mean 102
+        assert!((f.forecast_mean(&t, HourOfYear(100), 3) - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_on_constant_trace_equals_constant() {
+        let t = CarbonTrace::constant(250.0);
+        for f in [&OracleForecaster as &dyn Forecaster, &PersistenceForecaster] {
+            assert!((f.forecast_mean(&t, HourOfYear(0), 12) - 250.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecaster_names_are_distinct() {
+        let names = [
+            PersistenceForecaster.name(),
+            MovingAverageForecaster::default().name(),
+            OracleForecaster.name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            names.len()
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! The carbon-intensity service of the CarbonEdge architecture.
+//!
+//! In the prototype (Section 5.1) this service replays historical Electricity
+//! Maps traces and exposes real-time values and forecasts to the placement
+//! service.  Here it wraps the synthetic zone traces and a pluggable
+//! [`Forecaster`].
+
+use crate::forecast::{Forecaster, PersistenceForecaster};
+use crate::time::HourOfYear;
+use crate::trace::CarbonTrace;
+use crate::zone::ZoneId;
+
+/// Replays per-zone carbon-intensity traces and serves current values and
+/// forecast means, mirroring the "Carbon Intensity Service" box of Figure 6.
+pub struct CarbonIntensityService {
+    traces: Vec<CarbonTrace>,
+    forecaster: Box<dyn Forecaster>,
+    /// Forecast horizon used for the average intensity Ī (hours).
+    pub horizon_hours: usize,
+}
+
+impl CarbonIntensityService {
+    /// Creates a service over a set of zone traces (indexed by [`ZoneId`])
+    /// with the default persistence forecaster and a 1-hour horizon.
+    pub fn new(traces: Vec<CarbonTrace>) -> Self {
+        Self {
+            traces,
+            forecaster: Box::new(PersistenceForecaster),
+            horizon_hours: 1,
+        }
+    }
+
+    /// Replaces the forecaster.
+    pub fn with_forecaster(mut self, forecaster: Box<dyn Forecaster>, horizon_hours: usize) -> Self {
+        self.forecaster = forecaster;
+        self.horizon_hours = horizon_hours.max(1);
+        self
+    }
+
+    /// Number of zones served.
+    pub fn zone_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Real-time carbon intensity of a zone at `now` (g·CO2eq/kWh).
+    pub fn current(&self, zone: ZoneId, now: HourOfYear) -> f64 {
+        self.traces[zone.index()].at(now)
+    }
+
+    /// Average forecast carbon intensity Ī for a zone over the configured
+    /// horizon starting at `now`.
+    pub fn forecast_mean(&self, zone: ZoneId, now: HourOfYear) -> f64 {
+        self.forecaster
+            .forecast_mean(&self.traces[zone.index()], now, self.horizon_hours)
+    }
+
+    /// Direct access to a zone trace (used by the analysis crate).
+    pub fn trace(&self, zone: ZoneId) -> &CarbonTrace {
+        &self.traces[zone.index()]
+    }
+
+    /// All traces in zone order.
+    pub fn traces(&self) -> &[CarbonTrace] {
+        &self.traces
+    }
+
+    /// The zone with the lowest current carbon intensity at `now`.
+    pub fn greenest_zone(&self, now: HourOfYear) -> Option<ZoneId> {
+        (0..self.traces.len())
+            .min_by(|a, b| {
+                self.traces[*a]
+                    .at(now)
+                    .partial_cmp(&self.traces[*b].at(now))
+                    .unwrap()
+            })
+            .map(ZoneId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecast::OracleForecaster;
+    use crate::time::HOURS_PER_YEAR;
+
+    fn service() -> CarbonIntensityService {
+        CarbonIntensityService::new(vec![
+            CarbonTrace::constant(100.0),
+            CarbonTrace::constant(30.0),
+            CarbonTrace::constant(700.0),
+        ])
+    }
+
+    #[test]
+    fn current_reads_trace() {
+        let s = service();
+        assert_eq!(s.current(ZoneId(2), HourOfYear(0)), 700.0);
+        assert_eq!(s.zone_count(), 3);
+    }
+
+    #[test]
+    fn greenest_zone_is_lowest() {
+        let s = service();
+        assert_eq!(s.greenest_zone(HourOfYear(10)), Some(ZoneId(1)));
+    }
+
+    #[test]
+    fn greenest_zone_empty_is_none() {
+        let s = CarbonIntensityService::new(vec![]);
+        assert!(s.greenest_zone(HourOfYear(0)).is_none());
+    }
+
+    #[test]
+    fn forecast_mean_uses_configured_forecaster() {
+        let ramp: Vec<f64> = (0..HOURS_PER_YEAR).map(|i| i as f64).collect();
+        let s = CarbonIntensityService::new(vec![CarbonTrace::from_values(ramp).unwrap()])
+            .with_forecaster(Box::new(OracleForecaster), 2);
+        // Oracle over hours 11 and 12 -> 11.5
+        assert!((s.forecast_mean(ZoneId(0), HourOfYear(10)) - 11.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_forecast_is_persistence() {
+        let s = service();
+        assert_eq!(s.forecast_mean(ZoneId(0), HourOfYear(5)), 100.0);
+    }
+
+    #[test]
+    fn horizon_is_clamped_to_at_least_one() {
+        let s = service().with_forecaster(Box::new(OracleForecaster), 0);
+        assert_eq!(s.horizon_hours, 1);
+    }
+}

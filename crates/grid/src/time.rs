@@ -1,0 +1,146 @@
+//! Simulation time: hours of a (non-leap) year.
+
+use serde::{Deserialize, Serialize};
+
+/// Hours in a simulated day.
+pub const HOURS_PER_DAY: usize = 24;
+/// Hours in the simulated (non-leap) year used by all traces.
+pub const HOURS_PER_YEAR: usize = 365 * HOURS_PER_DAY;
+
+/// Days in each month of the simulated year (non-leap, like 2023).
+pub const DAYS_PER_MONTH: [usize; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// An hour index within the simulated year, in `[0, HOURS_PER_YEAR)`.
+///
+/// All traces in the workspace are indexed by `HourOfYear`, mirroring the
+/// hourly resolution of the Electricity Maps data used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HourOfYear(pub usize);
+
+impl HourOfYear {
+    /// First hour of the year.
+    pub const START: HourOfYear = HourOfYear(0);
+
+    /// Creates an hour index, wrapping values past the end of the year.
+    pub fn new(hour: usize) -> Self {
+        HourOfYear(hour % HOURS_PER_YEAR)
+    }
+
+    /// The raw hour index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Hour of day in `[0, 24)`.
+    pub fn hour_of_day(&self) -> usize {
+        self.0 % HOURS_PER_DAY
+    }
+
+    /// Day of year in `[0, 365)`.
+    pub fn day_of_year(&self) -> usize {
+        self.0 / HOURS_PER_DAY
+    }
+
+    /// Month index in `[0, 12)`.
+    pub fn month(&self) -> usize {
+        let mut day = self.day_of_year();
+        for (m, &len) in DAYS_PER_MONTH.iter().enumerate() {
+            if day < len {
+                return m;
+            }
+            day -= len;
+        }
+        11
+    }
+
+    /// Three-letter month name (Jan..Dec).
+    pub fn month_name(&self) -> &'static str {
+        const NAMES: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        NAMES[self.month()]
+    }
+
+    /// Advances by `hours`, wrapping at the end of the year.
+    pub fn plus(&self, hours: usize) -> HourOfYear {
+        HourOfYear::new(self.0 + hours)
+    }
+
+    /// Iterator over every hour of the simulated year.
+    pub fn all() -> impl Iterator<Item = HourOfYear> {
+        (0..HOURS_PER_YEAR).map(HourOfYear)
+    }
+
+    /// Iterator over every hour of a given month (0-based).
+    pub fn month_hours(month: usize) -> impl Iterator<Item = HourOfYear> {
+        let start_day: usize = DAYS_PER_MONTH[..month].iter().sum();
+        let days = DAYS_PER_MONTH[month];
+        (start_day * HOURS_PER_DAY..(start_day + days) * HOURS_PER_DAY).map(HourOfYear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_per_year_is_8760() {
+        assert_eq!(HOURS_PER_YEAR, 8760);
+        assert_eq!(DAYS_PER_MONTH.iter().sum::<usize>(), 365);
+    }
+
+    #[test]
+    fn wrapping_constructor() {
+        assert_eq!(HourOfYear::new(HOURS_PER_YEAR + 5).index(), 5);
+    }
+
+    #[test]
+    fn hour_of_day_and_day_of_year() {
+        let h = HourOfYear::new(25);
+        assert_eq!(h.hour_of_day(), 1);
+        assert_eq!(h.day_of_year(), 1);
+    }
+
+    #[test]
+    fn month_boundaries() {
+        assert_eq!(HourOfYear::new(0).month(), 0);
+        assert_eq!(HourOfYear::new(31 * 24 - 1).month(), 0);
+        assert_eq!(HourOfYear::new(31 * 24).month(), 1);
+        assert_eq!(HourOfYear::new(HOURS_PER_YEAR - 1).month(), 11);
+    }
+
+    #[test]
+    fn month_names() {
+        assert_eq!(HourOfYear::new(0).month_name(), "Jan");
+        assert_eq!(HourOfYear::new(HOURS_PER_YEAR - 1).month_name(), "Dec");
+    }
+
+    #[test]
+    fn month_hours_cover_year_exactly_once() {
+        let mut count = 0usize;
+        for m in 0..12 {
+            count += HourOfYear::month_hours(m).count();
+        }
+        assert_eq!(count, HOURS_PER_YEAR);
+    }
+
+    #[test]
+    fn month_hours_agree_with_month() {
+        for m in 0..12 {
+            for h in HourOfYear::month_hours(m) {
+                assert_eq!(h.month(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn plus_wraps() {
+        let h = HourOfYear::new(HOURS_PER_YEAR - 1);
+        assert_eq!(h.plus(2).index(), 1);
+    }
+
+    #[test]
+    fn all_yields_every_hour() {
+        assert_eq!(HourOfYear::all().count(), HOURS_PER_YEAR);
+    }
+}

@@ -1,0 +1,237 @@
+//! Distance-based network latency model.
+
+use carbonedge_geo::Coordinates;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in fiber, km per millisecond (≈ 2/3 c).
+const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// A single latency observation between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// One-way latency in milliseconds.
+    pub one_way_ms: f64,
+}
+
+impl LatencySample {
+    /// Round-trip latency in milliseconds.
+    pub fn round_trip_ms(&self) -> f64 {
+        self.one_way_ms * 2.0
+    }
+}
+
+/// Geodesic latency model replacing the WonderNetwork ping dataset.
+///
+/// One-way latency between two points is modeled as
+///
+/// ```text
+/// latency = access_delay + routing_inflation * distance / (2/3 c) + jitter
+/// ```
+///
+/// * `access_delay_ms` captures last-mile/metro access and processing delays
+///   at both endpoints (the WonderNetwork data shows a ~1–3 ms floor even for
+///   nearby cities, e.g. Orlando–Tampa at 1.86 ms one-way for ~135 km);
+/// * `routing_inflation` captures the fact that fiber paths do not follow
+///   great circles (typical inflation factors are 1.5–2.5×);
+/// * optional deterministic per-pair jitter captures topology irregularities
+///   such as the Graz–Lyon 16.2 ms outlier in Table 1b.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-path access and processing delay, in ms (one-way).
+    pub access_delay_ms: f64,
+    /// Multiplicative inflation of the great-circle distance.
+    pub routing_inflation: f64,
+    /// Maximum relative jitter applied per pair (0 disables jitter).
+    pub jitter_fraction: f64,
+    /// Seed controlling the deterministic per-pair jitter.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            access_delay_ms: 1.5,
+            routing_inflation: 1.8,
+            jitter_fraction: 0.25,
+            seed: 0x0ed6e,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model without jitter, useful for tests and analytical experiments.
+    pub fn deterministic() -> Self {
+        Self { jitter_fraction: 0.0, ..Self::default() }
+    }
+
+    fn pair_jitter(&self, a: Coordinates, b: Coordinates) -> f64 {
+        if self.jitter_fraction <= 0.0 {
+            return 0.0;
+        }
+        // Derive a per-pair seed that is symmetric in (a, b) so that the
+        // latency matrix stays symmetric, like a ping matrix.
+        let qa = ((a.lat * 1e4) as i64, (a.lon * 1e4) as i64);
+        let qb = ((b.lat * 1e4) as i64, (b.lon * 1e4) as i64);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let mut h: u64 = self.seed ^ 0x9e3779b97f4a7c15;
+        for v in [lo.0, lo.1, hi.0, hi.1] {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x100000001b3);
+            h ^= h >> 29;
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        rng.gen_range(-self.jitter_fraction..self.jitter_fraction)
+    }
+
+    /// One-way latency between two coordinates in milliseconds.
+    pub fn one_way_ms(&self, a: Coordinates, b: Coordinates) -> f64 {
+        let distance = a.distance_km(&b);
+        if distance < 1e-9 {
+            // Same site: only local processing delay applies.
+            return self.access_delay_ms * 0.2;
+        }
+        let propagation = self.routing_inflation * distance / FIBER_KM_PER_MS;
+        let base = self.access_delay_ms + propagation;
+        base * (1.0 + self.pair_jitter(a, b))
+    }
+
+    /// Round-trip latency between two coordinates in milliseconds.
+    pub fn round_trip_ms(&self, a: Coordinates, b: Coordinates) -> f64 {
+        self.one_way_ms(a, b) * 2.0
+    }
+
+    /// Convenience sample constructor.
+    pub fn sample(&self, a: Coordinates, b: Coordinates) -> LatencySample {
+        LatencySample { one_way_ms: self.one_way_ms(a, b) }
+    }
+
+    /// The maximum one-way reach (km) achievable within a round-trip latency
+    /// limit, ignoring jitter.  Used to translate the paper's latency limits
+    /// into search radii (20 ms RTT ≈ 500 km in Section 6.1.1).
+    pub fn reach_km(&self, round_trip_limit_ms: f64) -> f64 {
+        let one_way = round_trip_limit_ms / 2.0 - self.access_delay_ms;
+        if one_way <= 0.0 {
+            return 0.0;
+        }
+        one_way * FIBER_KM_PER_MS / self.routing_inflation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn coords() -> (Coordinates, Coordinates) {
+        (
+            Coordinates::new(25.7617, -80.1918), // Miami
+            Coordinates::new(28.5384, -81.3789), // Orlando
+        )
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let m = LatencyModel::deterministic();
+        let miami = Coordinates::new(25.7617, -80.1918);
+        let orlando = Coordinates::new(28.5384, -81.3789);
+        let tallahassee = Coordinates::new(30.4383, -84.2807);
+        assert!(m.one_way_ms(miami, tallahassee) > m.one_way_ms(miami, orlando));
+    }
+
+    #[test]
+    fn florida_scale_latencies_match_table1() {
+        // Table 1a reports one-way latencies between Florida cities in the
+        // 1.9 – 7.2 ms range; the deterministic model should land there.
+        let m = LatencyModel::deterministic();
+        let (miami, orlando) = coords();
+        let l = m.one_way_ms(miami, orlando);
+        assert!(l > 1.0 && l < 9.0, "got {l}");
+    }
+
+    #[test]
+    fn central_eu_scale_latencies_match_table1() {
+        // Bern–Graz is ~550 km; Table 1b reports 8.78 ms one-way.
+        let m = LatencyModel::deterministic();
+        let bern = Coordinates::new(46.9480, 7.4474);
+        let graz = Coordinates::new(47.0707, 15.4395);
+        let l = m.one_way_ms(bern, graz);
+        assert!(l > 4.0 && l < 13.0, "got {l}");
+    }
+
+    #[test]
+    fn same_location_has_small_latency() {
+        let m = LatencyModel::default();
+        let c = Coordinates::new(40.0, -75.0);
+        assert!(m.one_way_ms(c, c) < 1.0);
+    }
+
+    #[test]
+    fn round_trip_is_twice_one_way() {
+        let m = LatencyModel::default();
+        let (a, b) = coords();
+        assert!((m.round_trip_ms(a, b) - 2.0 * m.one_way_ms(a, b)).abs() < 1e-9);
+        let s = m.sample(a, b);
+        assert!((s.round_trip_ms() - 2.0 * s.one_way_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_symmetric_and_deterministic() {
+        let m = LatencyModel::default();
+        let (a, b) = coords();
+        assert!((m.one_way_ms(a, b) - m.one_way_ms(b, a)).abs() < 1e-9);
+        assert!((m.one_way_ms(a, b) - m.one_way_ms(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_give_different_jitter() {
+        let (a, b) = coords();
+        let m1 = LatencyModel { seed: 1, ..LatencyModel::default() };
+        let m2 = LatencyModel { seed: 2, ..LatencyModel::default() };
+        assert!((m1.one_way_ms(a, b) - m2.one_way_ms(a, b)).abs() > 1e-9);
+    }
+
+    #[test]
+    fn reach_of_20ms_rtt_is_about_500km() {
+        // The paper equates a 20 ms round-trip limit with roughly 500 km.
+        let m = LatencyModel::deterministic();
+        let reach = m.reach_km(20.0);
+        assert!(reach > 400.0 && reach < 1200.0, "got {reach}");
+    }
+
+    #[test]
+    fn reach_of_tiny_limit_is_zero() {
+        let m = LatencyModel::deterministic();
+        assert_eq!(m.reach_km(1.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn one_way_latency_nonnegative_and_symmetric(
+            lat1 in -60.0f64..70.0, lon1 in -170.0f64..170.0,
+            lat2 in -60.0f64..70.0, lon2 in -170.0f64..170.0,
+        ) {
+            let m = LatencyModel::default();
+            let a = Coordinates::new(lat1, lon1);
+            let b = Coordinates::new(lat2, lon2);
+            let ab = m.one_way_ms(a, b);
+            let ba = m.one_way_ms(b, a);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn latency_lower_bounded_by_propagation(
+            lat1 in -60.0f64..70.0, lon1 in -170.0f64..170.0,
+            lat2 in -60.0f64..70.0, lon2 in -170.0f64..170.0,
+        ) {
+            let m = LatencyModel::deterministic();
+            let a = Coordinates::new(lat1, lon1);
+            let b = Coordinates::new(lat2, lon2);
+            prop_assume!(a.distance_km(&b) > 1.0);
+            // Latency can never be lower than straight-line light-in-fiber time.
+            prop_assert!(m.one_way_ms(a, b) >= a.distance_km(&b) / FIBER_KM_PER_MS);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Pairwise latency matrices between named sites.
+
+use crate::latency::LatencyModel;
+use carbonedge_geo::Coordinates;
+use serde::{Deserialize, Serialize};
+
+/// A dense, symmetric matrix of one-way latencies (ms) between named sites.
+///
+/// This is the in-memory equivalent of the WonderNetwork city-pair dataset
+/// restricted to the sites of an experiment, e.g. the five Florida or
+/// Central-EU edge data centers of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyMatrix {
+    names: Vec<String>,
+    /// Row-major one-way latencies in milliseconds.
+    one_way_ms: Vec<f64>,
+}
+
+impl LatencyMatrix {
+    /// Builds a latency matrix for named sites using a latency model.
+    pub fn from_model(sites: &[(String, Coordinates)], model: &LatencyModel) -> Self {
+        let n = sites.len();
+        let mut one_way_ms = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                one_way_ms[i * n + j] = model.one_way_ms(sites[i].1, sites[j].1);
+            }
+        }
+        Self {
+            names: sites.iter().map(|(n, _)| n.clone()).collect(),
+            one_way_ms,
+        }
+    }
+
+    /// Builds a matrix from explicit one-way values (row-major, n×n).
+    ///
+    /// Returns `None` if the value count does not match the number of names
+    /// squared, or any value is negative/non-finite.
+    pub fn from_values(names: Vec<String>, one_way_ms: Vec<f64>) -> Option<Self> {
+        if one_way_ms.len() != names.len() * names.len() {
+            return None;
+        }
+        if one_way_ms.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return None;
+        }
+        Some(Self { names, one_way_ms })
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Site names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// One-way latency between site indices `i` and `j`, in ms.
+    pub fn one_way(&self, i: usize, j: usize) -> f64 {
+        self.one_way_ms[i * self.names.len() + j]
+    }
+
+    /// Round-trip latency between site indices `i` and `j`, in ms.
+    pub fn round_trip(&self, i: usize, j: usize) -> f64 {
+        self.one_way(i, j) * 2.0
+    }
+
+    /// Index of a site by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Indices of all sites within a round-trip latency limit of site `i`
+    /// (including `i` itself).
+    pub fn within_round_trip(&self, i: usize, limit_ms: f64) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&j| self.round_trip(i, j) <= limit_ms)
+            .collect()
+    }
+
+    /// Maximum one-way latency in the matrix (ignoring the diagonal).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let n = self.len();
+        let mut max = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    max = max.max(self.one_way(i, j));
+                }
+            }
+        }
+        max
+    }
+
+    /// Mean one-way latency over all ordered pairs (ignoring the diagonal).
+    pub fn mean_off_diagonal(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    sum += self.one_way(i, j);
+                }
+            }
+        }
+        sum / (n * (n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn florida_sites() -> Vec<(String, Coordinates)> {
+        vec![
+            ("Jacksonville".into(), Coordinates::new(30.3322, -81.6557)),
+            ("Miami".into(), Coordinates::new(25.7617, -80.1918)),
+            ("Orlando".into(), Coordinates::new(28.5384, -81.3789)),
+            ("Tampa".into(), Coordinates::new(27.9506, -82.4572)),
+            ("Tallahassee".into(), Coordinates::new(30.4383, -84.2807)),
+        ]
+    }
+
+    #[test]
+    fn model_matrix_is_symmetric() {
+        let m = LatencyMatrix::from_model(&florida_sites(), &LatencyModel::default());
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert!((m.one_way(i, j) - m.one_way(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_near_zero() {
+        let m = LatencyMatrix::from_model(&florida_sites(), &LatencyModel::default());
+        for i in 0..m.len() {
+            assert!(m.one_way(i, i) < 1.0);
+        }
+    }
+
+    #[test]
+    fn florida_latencies_in_table1_range() {
+        // Table 1a: one-way latencies among Florida cities range ~1.9 – 7.2 ms.
+        let m = LatencyMatrix::from_model(&florida_sites(), &LatencyModel::deterministic());
+        let max = m.max_off_diagonal();
+        let mean = m.mean_off_diagonal();
+        assert!(max > 3.0 && max < 12.0, "max {max}");
+        assert!(mean > 1.5 && mean < 8.0, "mean {mean}");
+    }
+
+    #[test]
+    fn within_round_trip_includes_self_and_respects_limit() {
+        let m = LatencyMatrix::from_model(&florida_sites(), &LatencyModel::deterministic());
+        let near = m.within_round_trip(1, 8.0); // Miami with an 8 ms RTT budget
+        assert!(near.contains(&1));
+        for j in near {
+            assert!(m.round_trip(1, j) <= 8.0);
+        }
+        let all = m.within_round_trip(1, 1000.0);
+        assert_eq!(all.len(), m.len());
+    }
+
+    #[test]
+    fn from_values_validation() {
+        assert!(LatencyMatrix::from_values(vec!["a".into(), "b".into()], vec![0.0; 3]).is_none());
+        assert!(LatencyMatrix::from_values(vec!["a".into()], vec![-1.0]).is_none());
+        let ok = LatencyMatrix::from_values(
+            vec!["a".into(), "b".into()],
+            vec![0.0, 5.0, 5.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(ok.one_way(0, 1), 5.0);
+        assert_eq!(ok.round_trip(0, 1), 10.0);
+    }
+
+    #[test]
+    fn index_of_lookup() {
+        let m = LatencyMatrix::from_model(&florida_sites(), &LatencyModel::default());
+        assert_eq!(m.index_of("Miami"), Some(1));
+        assert_eq!(m.index_of("Boston"), None);
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let m = LatencyMatrix::from_model(&[], &LatencyModel::default());
+        assert!(m.is_empty());
+        assert_eq!(m.mean_off_diagonal(), 0.0);
+        assert_eq!(m.max_off_diagonal(), 0.0);
+    }
+}

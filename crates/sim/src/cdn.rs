@@ -1,0 +1,427 @@
+//! Continental-scale CDN simulation — Figures 11, 12, 13 and 14.
+//!
+//! The paper simulates a CDN's edge data centers across the US and Europe
+//! for a full year: applications arrive at edge sites, and each policy
+//! places them on servers within the application's latency limit.  Carbon is
+//! accounted from the hourly intensity of the hosting zone.  This module
+//! reproduces that simulation at monthly granularity (placements happen per
+//! month against the month's mean forecast intensity, and energy is
+//! accounted over the month), which preserves the seasonal and spatial
+//! structure the paper studies while keeping a year-long run fast.
+
+use crate::metrics::{PolicyOutcome, Savings};
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_datasets::{EdgeSiteCatalog, ZoneCatalog};
+use carbonedge_grid::CarbonTrace;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+
+/// Demand/capacity scenarios of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdnScenario {
+    /// Uniform demand and uniform capacity across sites ("Homo").
+    Homogeneous,
+    /// Demand proportional to metro population, capacity uniform ("Demand").
+    PopulationDemand,
+    /// Capacity proportional to metro population, demand uniform ("Capacity").
+    PopulationCapacity,
+}
+
+impl CdnScenario {
+    /// Display name used in Figure 14.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CdnScenario::Homogeneous => "Homo",
+            CdnScenario::PopulationDemand => "Demand",
+            CdnScenario::PopulationCapacity => "Capacity",
+        }
+    }
+}
+
+/// Configuration of a CDN-scale simulation.
+#[derive(Debug, Clone)]
+pub struct CdnConfig {
+    /// Which continent to simulate (US or Europe).
+    pub area: ZoneArea,
+    /// Round-trip latency limit for every application (ms); 20 ms ≈ 500 km.
+    pub latency_limit_ms: f64,
+    /// Applications arriving per site per month.
+    pub apps_per_site: usize,
+    /// Number of servers per edge site in the homogeneous scenario.
+    pub servers_per_site: usize,
+    /// Device installed in the CDN servers.
+    pub device: DeviceKind,
+    /// Model served by the arriving applications.
+    pub model: ModelKind,
+    /// Per-application request rate (requests/second).
+    pub request_rate_rps: f64,
+    /// Demand/capacity scenario.
+    pub scenario: CdnScenario,
+    /// Optional cap on the number of edge sites (used to keep unit tests
+    /// fast); `None` simulates the full catalog.
+    pub site_limit: Option<usize>,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl CdnConfig {
+    /// The paper's default CDN setup for an area: 20 ms RTT limit, ResNet50
+    /// on NVIDIA A2 servers, homogeneous demand and capacity.
+    pub fn new(area: ZoneArea) -> Self {
+        Self {
+            area,
+            latency_limit_ms: 20.0,
+            apps_per_site: 1,
+            servers_per_site: 4,
+            device: DeviceKind::A2,
+            model: ModelKind::ResNet50,
+            request_rate_rps: 15.0,
+            scenario: CdnScenario::Homogeneous,
+            site_limit: None,
+            seed: 42,
+        }
+    }
+
+    /// Sets the latency limit (Figure 12 sweeps 5–30 ms).
+    pub fn with_latency_limit(mut self, ms: f64) -> Self {
+        self.latency_limit_ms = ms;
+        self
+    }
+
+    /// Sets the scenario (Figure 14).
+    pub fn with_scenario(mut self, scenario: CdnScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Restricts the simulation to the first `n` sites of the area.
+    pub fn with_site_limit(mut self, n: usize) -> Self {
+        self.site_limit = Some(n);
+        self
+    }
+}
+
+/// Per-month outcome of one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MonthlyOutcome {
+    /// Total carbon for the month, grams.
+    pub carbon_g: f64,
+    /// Total energy for the month, joules.
+    pub energy_j: f64,
+    /// Mean round-trip latency of placed applications, ms.
+    pub mean_latency_ms: f64,
+}
+
+/// Result of running one policy over the full year.
+#[derive(Debug, Clone)]
+pub struct CdnResult {
+    /// Policy name.
+    pub policy: String,
+    /// Aggregated outcome over the year.
+    pub outcome: PolicyOutcome,
+    /// Per-month outcomes (12 entries).
+    pub monthly: Vec<MonthlyOutcome>,
+    /// Per-site application counts per month (`[month][site]`, Figure 13d).
+    pub placements_per_site: Vec<Vec<usize>>,
+    /// The carbon intensity of the zone each placed application landed in
+    /// (one sample per app-month, Figure 11c).
+    pub assigned_intensity: Vec<f64>,
+    /// Site names in `placements_per_site` column order.
+    pub site_names: Vec<String>,
+}
+
+impl CdnResult {
+    /// Applications assigned to a named site per month.
+    pub fn monthly_placements_for(&self, site_name: &str) -> Option<Vec<usize>> {
+        let idx = self.site_names.iter().position(|n| n == site_name)?;
+        Some(self.placements_per_site.iter().map(|m| m[idx]).collect())
+    }
+}
+
+/// The CDN simulator: owns the catalog, traces and site list for one area.
+pub struct CdnSimulator {
+    config: CdnConfig,
+    catalog: ZoneCatalog,
+    traces: Vec<CarbonTrace>,
+    /// (site name, location, zone, population) restricted to the area.
+    sites: Vec<(String, carbonedge_geo::Coordinates, carbonedge_grid::ZoneId, f64)>,
+    latency_model: LatencyModel,
+}
+
+impl CdnSimulator {
+    /// Builds the simulator for a configuration.
+    pub fn new(config: CdnConfig) -> Self {
+        let catalog = ZoneCatalog::worldwide();
+        let traces = catalog.generate_traces(config.seed);
+        let site_catalog = EdgeSiteCatalog::akamai_like(&catalog);
+        let mut sites: Vec<_> = site_catalog
+            .in_area(config.area)
+            .iter()
+            .map(|s| (s.name.clone(), s.location, s.zone, s.population_m))
+            .collect();
+        if let Some(limit) = config.site_limit {
+            sites.truncate(limit);
+        }
+        Self {
+            config,
+            catalog,
+            traces,
+            sites,
+            latency_model: LatencyModel::deterministic(),
+        }
+    }
+
+    /// Number of simulated edge sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The zone catalog backing the simulation.
+    pub fn catalog(&self) -> &ZoneCatalog {
+        &self.catalog
+    }
+
+    /// Monthly mean carbon intensity of a named zone (Figure 13c).
+    pub fn monthly_intensity_of(&self, zone_name: &str) -> Option<Vec<f64>> {
+        let id = self.catalog.id_of(zone_name)?;
+        Some((0..12).map(|m| self.traces[id.index()].monthly_mean(m)).collect())
+    }
+
+    fn capacity_multiplier(&self, population: f64, mean_population: f64) -> usize {
+        match self.config.scenario {
+            CdnScenario::PopulationCapacity => {
+                ((population / mean_population) * self.config.servers_per_site as f64)
+                    .round()
+                    .max(1.0) as usize
+            }
+            _ => self.config.servers_per_site,
+        }
+    }
+
+    fn demand_for_site(&self, population: f64, mean_population: f64) -> usize {
+        match self.config.scenario {
+            CdnScenario::PopulationDemand => {
+                ((population / mean_population) * self.config.apps_per_site as f64)
+                    .round()
+                    .max(0.0) as usize
+            }
+            _ => self.config.apps_per_site,
+        }
+    }
+
+    /// Runs the year-long simulation for one policy.
+    pub fn run(&self, policy: PlacementPolicy) -> CdnResult {
+        let placer = IncrementalPlacer::new(policy).heuristic_only();
+        let mean_population =
+            self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
+
+        let mut outcome = PolicyOutcome::default();
+        let mut monthly = Vec::with_capacity(12);
+        let mut placements_per_site = Vec::with_capacity(12);
+        let mut assigned_intensity = Vec::new();
+
+        for month in 0..12 {
+            let hours_in_month = carbonedge_grid::time::DAYS_PER_MONTH[month] as f64 * 24.0;
+            // Server snapshots: capacity per site according to the scenario,
+            // intensity = the month's mean for the site's zone.
+            let mut servers = Vec::new();
+            let mut server_site = Vec::new();
+            for (site_idx, (_, loc, zone, pop)) in self.sites.iter().enumerate() {
+                let count = self.capacity_multiplier(*pop, mean_population);
+                let intensity = self.traces[zone.index()].monthly_mean(month);
+                for _ in 0..count {
+                    servers.push(
+                        ServerSnapshot::new(servers.len(), site_idx, *zone, self.config.device, *loc)
+                            .with_carbon_intensity(intensity),
+                    );
+                    server_site.push(site_idx);
+                }
+            }
+            // Applications: demand per site according to the scenario.
+            let mut apps = Vec::new();
+            for (_, loc, _, pop) in &self.sites {
+                let count = self.demand_for_site(*pop, mean_population);
+                for _ in 0..count {
+                    apps.push(Application::new(
+                        AppId(apps.len()),
+                        self.config.model,
+                        self.config.request_rate_rps,
+                        self.config.latency_limit_ms,
+                        *loc,
+                        0,
+                    ));
+                }
+            }
+            if apps.is_empty() || servers.is_empty() {
+                monthly.push(MonthlyOutcome::default());
+                placements_per_site.push(vec![0; self.sites.len()]);
+                continue;
+            }
+            let problem = PlacementProblem::new(servers, apps, hours_in_month)
+                .with_latency_model(self.latency_model.clone());
+            let decision = placer.place(&problem).expect("CDN placement has feasible options");
+
+            let placed = decision.assignment.iter().flatten().count();
+            outcome.accumulate(&PolicyOutcome {
+                carbon_g: decision.total_carbon_g,
+                energy_j: decision.total_energy_j,
+                mean_latency_ms: decision.mean_latency_ms,
+                placed_apps: placed,
+            });
+            monthly.push(MonthlyOutcome {
+                carbon_g: decision.total_carbon_g,
+                energy_j: decision.total_energy_j,
+                mean_latency_ms: decision.mean_latency_ms,
+            });
+
+            let mut site_counts = vec![0usize; self.sites.len()];
+            for assignment in decision.assignment.iter().flatten() {
+                let site = server_site[*assignment];
+                site_counts[site] += 1;
+                assigned_intensity.push(problem.servers[*assignment].carbon_intensity);
+            }
+            placements_per_site.push(site_counts);
+        }
+
+        CdnResult {
+            policy: policy.name(),
+            outcome,
+            monthly,
+            placements_per_site,
+            assigned_intensity,
+            site_names: self.sites.iter().map(|(n, _, _, _)| n.clone()).collect(),
+        }
+    }
+
+    /// Runs CarbonEdge and the Latency-aware baseline and returns
+    /// `(carbonedge, latency_aware, savings)` — the comparison reported in
+    /// Figures 11–14.
+    pub fn compare(&self) -> (CdnResult, CdnResult, Savings) {
+        let baseline = self.run(PlacementPolicy::LatencyAware);
+        let carbonedge = self.run(PlacementPolicy::CarbonAware);
+        let savings = Savings::versus(&carbonedge.outcome, &baseline.outcome);
+        (carbonedge, baseline, savings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(area: ZoneArea) -> CdnConfig {
+        CdnConfig::new(area).with_site_limit(60)
+    }
+
+    #[test]
+    fn carbonedge_saves_substantial_carbon_in_both_continents() {
+        // Figure 11a: 49.5% (US) and 67.8% (Europe) with a 20 ms limit.
+        let us = CdnSimulator::new(small_config(ZoneArea::UnitedStates)).compare().2;
+        let eu = CdnSimulator::new(small_config(ZoneArea::Europe)).compare().2;
+        assert!(us.carbon_percent > 20.0, "US savings {}", us.carbon_percent);
+        assert!(eu.carbon_percent > 40.0, "EU savings {}", eu.carbon_percent);
+        assert!(
+            eu.carbon_percent > us.carbon_percent,
+            "Europe should save more: US {} EU {}",
+            us.carbon_percent,
+            eu.carbon_percent
+        );
+    }
+
+    #[test]
+    fn latency_increase_stays_within_the_limit() {
+        // Figure 11b: mean round-trip latency increases by ~11 ms under a
+        // 20 ms limit — bounded by the limit itself.
+        let (_, _, savings) = CdnSimulator::new(small_config(ZoneArea::Europe)).compare();
+        assert!(savings.latency_increase_ms > 0.0);
+        assert!(savings.latency_increase_ms <= 20.0 + 1e-6);
+    }
+
+    #[test]
+    fn carbonedge_shifts_load_to_greener_zones() {
+        // Figure 11c: the distribution of assigned-location carbon intensity
+        // shifts left under CarbonEdge.
+        let sim = CdnSimulator::new(small_config(ZoneArea::Europe));
+        let (ce, la, _) = sim.compare();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&ce.assigned_intensity) < mean(&la.assigned_intensity));
+    }
+
+    #[test]
+    fn tighter_latency_limits_reduce_savings() {
+        // Figure 12a: savings grow with the latency limit.
+        let tight = CdnSimulator::new(small_config(ZoneArea::Europe).with_latency_limit(5.0))
+            .compare()
+            .2;
+        let loose = CdnSimulator::new(small_config(ZoneArea::Europe).with_latency_limit(30.0))
+            .compare()
+            .2;
+        assert!(loose.carbon_percent > tight.carbon_percent + 5.0,
+            "tight {} loose {}", tight.carbon_percent, loose.carbon_percent);
+    }
+
+    #[test]
+    fn monthly_results_cover_the_year() {
+        let sim = CdnSimulator::new(small_config(ZoneArea::UnitedStates));
+        let result = sim.run(PlacementPolicy::CarbonAware);
+        assert_eq!(result.monthly.len(), 12);
+        assert_eq!(result.placements_per_site.len(), 12);
+        assert!(result.monthly.iter().all(|m| m.carbon_g > 0.0));
+        // Savings vary by month but not wildly (Figure 13a shows <10% swings).
+        let baseline = sim.run(PlacementPolicy::LatencyAware);
+        let monthly_savings: Vec<f64> = result
+            .monthly
+            .iter()
+            .zip(baseline.monthly.iter())
+            .map(|(c, l)| (1.0 - c.carbon_g / l.carbon_g) * 100.0)
+            .collect();
+        let max = monthly_savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = monthly_savings.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 40.0, "monthly savings swing {max} - {min}");
+    }
+
+    #[test]
+    fn population_skew_changes_savings_moderately() {
+        // Figure 14: demand/capacity skew shifts savings by a few percent.
+        let homo = CdnSimulator::new(small_config(ZoneArea::UnitedStates)).compare().2;
+        let demand = CdnSimulator::new(
+            small_config(ZoneArea::UnitedStates).with_scenario(CdnScenario::PopulationDemand),
+        )
+        .compare()
+        .2;
+        let capacity = CdnSimulator::new(
+            small_config(ZoneArea::UnitedStates).with_scenario(CdnScenario::PopulationCapacity),
+        )
+        .compare()
+        .2;
+        for s in [&demand, &capacity] {
+            assert!(s.carbon_percent > 10.0, "skewed savings {}", s.carbon_percent);
+            assert!((s.carbon_percent - homo.carbon_percent).abs() < 30.0);
+        }
+    }
+
+    #[test]
+    fn monthly_intensity_lookup_works() {
+        let sim = CdnSimulator::new(small_config(ZoneArea::Europe));
+        let paris = sim.monthly_intensity_of("Paris, FR").unwrap();
+        assert_eq!(paris.len(), 12);
+        assert!(sim.monthly_intensity_of("Atlantis").is_none());
+    }
+
+    #[test]
+    fn site_limit_truncates() {
+        let sim = CdnSimulator::new(CdnConfig::new(ZoneArea::Europe).with_site_limit(10));
+        assert_eq!(sim.site_count(), 10);
+    }
+
+    #[test]
+    fn placements_per_site_sum_matches_demand() {
+        let sim = CdnSimulator::new(small_config(ZoneArea::Europe));
+        let result = sim.run(PlacementPolicy::CarbonAware);
+        for month_counts in &result.placements_per_site {
+            let placed: usize = month_counts.iter().sum();
+            // Homogeneous demand: one app per site per month, all placeable.
+            assert_eq!(placed, sim.site_count());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Trace-driven simulation of CarbonEdge deployments (Section 5.2 / 6).
+//!
+//! The paper evaluates CarbonEdge on a real regional testbed (Section 6.2)
+//! and through a year-long CDN-scale simulation (Section 6.3–6.5).  This
+//! crate provides both, driving the same placement service
+//! (`carbonedge-core`) that a production deployment would use:
+//!
+//! * [`testbed`] — the 5-site regional deployments (Florida and Central EU)
+//!   evaluated over 24 hours with CPU and GPU applications (Figures 8–10);
+//! * [`cdn`] — the continental-scale CDN simulation across the Akamai-like
+//!   edge-site catalog, including the latency-limit sweep, seasonality,
+//!   and demand/capacity-skew experiments (Figures 11–14);
+//! * [`hetero`] — the device-heterogeneity and policy comparison experiment
+//!   (Figure 15);
+//! * [`tradeoff`] — the carbon–energy α-sweep (Figure 16);
+//! * [`metrics`] — shared result types (per-policy totals, savings,
+//!   latency overheads).
+
+pub mod cdn;
+pub mod hetero;
+pub mod metrics;
+pub mod testbed;
+pub mod tradeoff;
+
+pub use cdn::{CdnConfig, CdnResult, CdnScenario, CdnSimulator};
+pub use hetero::{HeterogeneityConfig, HeterogeneityResult};
+pub use metrics::{PolicyOutcome, Savings};
+pub use testbed::{TestbedConfig, TestbedResult, TestbedWorkload};
+pub use tradeoff::{TradeoffPoint, TradeoffSweep};

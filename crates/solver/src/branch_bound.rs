@@ -1,0 +1,379 @@
+//! Exact branch-and-bound MILP solver over binary variables.
+//!
+//! The solver repeatedly solves LP relaxations with the simplex solver,
+//! branches on the most fractional binary variable, and prunes nodes whose
+//! relaxation bound cannot beat the incumbent.  It is exact given enough
+//! nodes; a node limit turns it into an anytime solver that reports the best
+//! incumbent found (mirroring how OR-Tools is used with a time limit in the
+//! paper's placement service).
+
+use crate::model::Model;
+use crate::simplex::{LpOutcome, SimplexSolver};
+
+/// Status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpOutcome {
+    /// Proven optimal integer solution.
+    Optimal,
+    /// A feasible integer solution was found but optimality was not proven
+    /// within the node limit.
+    Feasible,
+    /// No feasible integer solution exists (or none was found and the search
+    /// space was exhausted).
+    Infeasible,
+    /// The node limit was reached without finding any integer solution.
+    NodeLimit,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Solve status.
+    pub outcome: MilpOutcome,
+    /// Best objective value found.
+    pub objective: f64,
+    /// Variable values of the best solution (empty when none found).
+    pub values: Vec<f64>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl MilpSolution {
+    /// Whether a usable integer solution is available.
+    pub fn has_solution(&self) -> bool {
+        matches!(self.outcome, MilpOutcome::Optimal | MilpOutcome::Feasible)
+    }
+}
+
+/// Branch-and-bound solver configuration.
+#[derive(Debug, Clone)]
+pub struct BranchBoundSolver {
+    /// LP relaxation solver.
+    pub lp: SimplexSolver,
+    /// Maximum number of nodes to explore.
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for BranchBoundSolver {
+    fn default() -> Self {
+        Self { lp: SimplexSolver::new(), max_nodes: 50_000, tolerance: 1e-6 }
+    }
+}
+
+struct Node {
+    overrides: Vec<Option<(f64, f64)>>,
+    bound: f64,
+}
+
+impl BranchBoundSolver {
+    /// Creates a solver with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with a node limit (anytime behaviour).
+    pub fn with_node_limit(max_nodes: usize) -> Self {
+        Self { max_nodes, ..Self::default() }
+    }
+
+    fn most_fractional_binary(&self, model: &Model, values: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in model.binary_vars() {
+            let val = values[v.index()];
+            let frac = (val - val.round()).abs();
+            if frac > self.tolerance {
+                let distance_to_half = (val - 0.5).abs();
+                match best {
+                    Some((_, d)) if d <= distance_to_half => {}
+                    _ => best = Some((v.index(), distance_to_half)),
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Solves the MILP to optimality (or best effort within the node limit).
+    pub fn solve(&self, model: &Model) -> MilpSolution {
+        let n = model.num_vars();
+        let root = Node { overrides: vec![None; n], bound: f64::NEG_INFINITY };
+        let mut stack = vec![root];
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let mut nodes = 0usize;
+        let mut exhausted = true;
+
+        while let Some(node) = stack.pop() {
+            if nodes >= self.max_nodes {
+                exhausted = false;
+                break;
+            }
+            nodes += 1;
+
+            // Prune by bound.
+            if let Some((best_obj, _)) = &incumbent {
+                if node.bound >= *best_obj - self.tolerance {
+                    continue;
+                }
+            }
+
+            let relax = self.lp.solve_with_bounds(model, &node.overrides);
+            match relax.outcome {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => {
+                    // An unbounded relaxation of a bounded-binary problem can
+                    // only come from unbounded continuous variables; treat the
+                    // node as unusable.
+                    continue;
+                }
+                LpOutcome::IterationLimit => continue,
+                LpOutcome::Optimal => {}
+            }
+            if let Some((best_obj, _)) = &incumbent {
+                if relax.objective >= *best_obj - self.tolerance {
+                    continue;
+                }
+            }
+
+            match self.most_fractional_binary(model, &relax.values) {
+                None => {
+                    // Integer feasible: round binaries exactly and keep if improving.
+                    let mut values = relax.values.clone();
+                    for v in model.binary_vars() {
+                        values[v.index()] = values[v.index()].round();
+                    }
+                    if model.is_feasible(&values, 1e-5) {
+                        let obj = model.objective_value(&values);
+                        let improves = incumbent
+                            .as_ref()
+                            .map_or(true, |(best, _)| obj < *best - self.tolerance);
+                        if improves {
+                            incumbent = Some((obj, values));
+                        }
+                    }
+                }
+                Some(branch_var) => {
+                    // Branch: x = 0 and x = 1 children.
+                    for fixed in [1.0, 0.0] {
+                        let mut overrides = node.overrides.clone();
+                        overrides[branch_var] = Some((fixed, fixed));
+                        stack.push(Node { overrides, bound: relax.objective });
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some((objective, values)) => MilpSolution {
+                outcome: if exhausted { MilpOutcome::Optimal } else { MilpOutcome::Feasible },
+                objective,
+                values,
+                nodes,
+            },
+            None => MilpSolution {
+                outcome: if exhausted { MilpOutcome::Infeasible } else { MilpOutcome::NodeLimit },
+                objective: f64::INFINITY,
+                values: vec![],
+                nodes,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Comparison, LinearExpr, Model};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 6b + 4c st 5a + 4b + 3c <= 8  (as minimization)
+        // best: a + c = 14 (weight 8); a+b = 16 weight 9 infeasible -> optimum a,c.
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        let c = m.add_binary();
+        m.set_objective_term(a, -10.0);
+        m.set_objective_term(b, -6.0);
+        m.set_objective_term(c, -4.0);
+        m.add_constraint(
+            LinearExpr::new().with(a, 5.0).with(b, 4.0).with(c, 3.0),
+            Comparison::LessEq,
+            8.0,
+            "w",
+        );
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Optimal);
+        assert!(approx(sol.objective, -14.0), "obj {}", sol.objective);
+        assert!(approx(sol.values[a.index()], 1.0));
+        assert!(approx(sol.values[b.index()], 0.0));
+        assert!(approx(sol.values[c.index()], 1.0));
+    }
+
+    #[test]
+    fn assignment_with_capacity_is_exact() {
+        // 3 apps, 2 servers; server capacity 2 apps; costs force splitting.
+        let costs = [[1.0, 10.0], [1.0, 10.0], [1.0, 10.0]];
+        let mut m = Model::new();
+        let mut x = vec![vec![]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                let v = m.add_binary();
+                m.set_objective_term(v, costs[i][j]);
+                x[i].push(v);
+            }
+            let expr = LinearExpr::new().with(x[i][0], 1.0).with(x[i][1], 1.0);
+            m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
+        }
+        for j in 0..2 {
+            let mut expr = LinearExpr::new();
+            for i in 0..3 {
+                expr.add(x[i][j], 1.0);
+            }
+            m.add_constraint(expr, Comparison::LessEq, 2.0, format!("cap{j}"));
+        }
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Optimal);
+        // Two apps on cheap server (cost 1 each) + one forced to server 2 (10).
+        assert!(approx(sol.objective, 12.0), "obj {}", sol.objective);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn infeasible_milp_detected() {
+        // Two apps must each be assigned but single server capacity is 1.
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.add_constraint(LinearExpr::new().with(a, 1.0), Comparison::Equal, 1.0, "a1");
+        m.add_constraint(LinearExpr::new().with(b, 1.0), Comparison::Equal, 1.0, "a2");
+        m.add_constraint(LinearExpr::new().with(a, 1.0).with(b, 1.0), Comparison::LessEq, 1.0, "cap");
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Infeasible);
+        assert!(!sol.has_solution());
+    }
+
+    #[test]
+    fn fixed_charge_activation_structure() {
+        // One app can go to server A (op cost 10, activation 1) or server B
+        // (op cost 1, activation 100).  y_j >= x_j links activation.
+        let mut m = Model::new();
+        let xa = m.add_binary();
+        let xb = m.add_binary();
+        let ya = m.add_binary();
+        let yb = m.add_binary();
+        m.set_objective_term(xa, 10.0);
+        m.set_objective_term(xb, 1.0);
+        m.set_objective_term(ya, 1.0);
+        m.set_objective_term(yb, 100.0);
+        m.add_constraint(LinearExpr::new().with(xa, 1.0).with(xb, 1.0), Comparison::Equal, 1.0, "assign");
+        m.add_constraint(LinearExpr::new().with(xa, 1.0).with(ya, -1.0), Comparison::LessEq, 0.0, "linkA");
+        m.add_constraint(LinearExpr::new().with(xb, 1.0).with(yb, -1.0), Comparison::LessEq, 0.0, "linkB");
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Optimal);
+        // Choosing A costs 11, choosing B costs 101 -> A wins.
+        assert!(approx(sol.objective, 11.0), "obj {}", sol.objective);
+        assert!(approx(sol.values[xa.index()], 1.0));
+    }
+
+    #[test]
+    fn node_limit_produces_anytime_result() {
+        let mut m = Model::new();
+        // A slightly larger knapsack to force branching.
+        let vals = [12.0, 7.0, 11.0, 8.0, 9.0, 6.0, 7.0, 5.0];
+        let weights = [4.0, 3.0, 5.0, 3.0, 4.0, 2.0, 3.0, 2.0];
+        let vars: Vec<_> = (0..vals.len()).map(|_| m.add_binary()).collect();
+        let mut cap = LinearExpr::new();
+        for (i, v) in vars.iter().enumerate() {
+            m.set_objective_term(*v, -vals[i]);
+            cap.add(*v, weights[i]);
+        }
+        m.add_constraint(cap, Comparison::LessEq, 10.0, "w");
+        let limited = BranchBoundSolver::with_node_limit(3).solve(&m);
+        assert!(limited.nodes <= 3);
+        let full = BranchBoundSolver::new().solve(&m);
+        assert_eq!(full.outcome, MilpOutcome::Optimal);
+        if limited.has_solution() {
+            assert!(limited.objective >= full.objective - 1e-6);
+        }
+    }
+
+    #[test]
+    fn continuous_and_binary_mix() {
+        // min 5y + x  s.t. x >= 3 - 10*(1-y) i.e. x + 10y >= 3... simpler:
+        // x in [0, 10], y binary, x + 2y >= 3 -> either y=1 (cost 5 + x=1) = 6,
+        // or y=0 x=3 -> 3.  Optimum 3.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0);
+        let y = m.add_binary();
+        m.set_objective_term(x, 1.0);
+        m.set_objective_term(y, 5.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 2.0), Comparison::GreaterEq, 3.0, "cover");
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Optimal);
+        assert!(approx(sol.objective, 3.0), "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn optimum_matches_exhaustive_enumeration_on_random_instances() {
+        // Small random generalized-assignment instances; brute force vs B&B.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _case in 0..5 {
+            let apps = 4;
+            let servers = 3;
+            let costs: Vec<Vec<f64>> = (0..apps)
+                .map(|_| (0..servers).map(|_| rng.gen_range(1.0..20.0)).collect())
+                .collect();
+            let demand: Vec<f64> = (0..apps).map(|_| rng.gen_range(1.0..3.0)).collect();
+            let capacity = 5.0;
+
+            let mut m = Model::new();
+            let mut x = vec![vec![]; apps];
+            for i in 0..apps {
+                for j in 0..servers {
+                    let v = m.add_binary();
+                    m.set_objective_term(v, costs[i][j]);
+                    x[i].push(v);
+                }
+                let mut expr = LinearExpr::new();
+                for j in 0..servers {
+                    expr.add(x[i][j], 1.0);
+                }
+                m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
+            }
+            for j in 0..servers {
+                let mut expr = LinearExpr::new();
+                for i in 0..apps {
+                    expr.add(x[i][j], demand[i]);
+                }
+                m.add_constraint(expr, Comparison::LessEq, capacity, format!("cap{j}"));
+            }
+            let sol = BranchBoundSolver::new().solve(&m);
+
+            // Brute force over all server^apps assignments.
+            let mut best = f64::INFINITY;
+            for code in 0..servers.pow(apps as u32) {
+                let mut c = code;
+                let mut load = vec![0.0; servers];
+                let mut cost = 0.0;
+                for i in 0..apps {
+                    let j = c % servers;
+                    c /= servers;
+                    load[j] += demand[i];
+                    cost += costs[i][j];
+                }
+                if load.iter().all(|l| *l <= capacity + 1e-9) {
+                    best = best.min(cost);
+                }
+            }
+            assert_eq!(sol.outcome, MilpOutcome::Optimal);
+            assert!(approx(sol.objective, best), "bb {} brute {}", sol.objective, best);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Optimization substrate for CarbonEdge.
+//!
+//! The paper solves its carbon-aware placement MILP with Google OR-Tools
+//! (Section 5.1).  This crate is the from-scratch replacement:
+//!
+//! * [`model`] — a small modeling layer for mixed binary/continuous linear
+//!   programs (variables, linear constraints, minimization objective);
+//! * [`simplex`] — a dense Big-M primal simplex solver for the LP
+//!   relaxation;
+//! * [`branch_bound`] — an exact branch-and-bound MILP solver over the
+//!   binary variables, using the simplex relaxation for bounds;
+//! * [`assignment`] — a specialized solver for the incremental placement
+//!   problem (a generalized assignment problem with server-activation
+//!   costs): greedy construction with regret ordering plus local search,
+//!   and an exhaustive exact solver for tiny instances used to validate it.
+//!
+//! The placement policies in `carbonedge-core` use the exact solver for
+//! small instances and the assignment heuristic at CDN scale; benches in
+//! `carbonedge-bench` compare the two (the solver ablation called out in
+//! DESIGN.md).
+
+pub mod assignment;
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+
+pub use assignment::{AssignmentProblem, AssignmentSolution, AssignmentSolver};
+pub use branch_bound::{BranchBoundSolver, MilpOutcome, MilpSolution};
+pub use model::{Comparison, Constraint, LinearExpr, Model, VarId, VarKind};
+pub use simplex::{LpOutcome, LpSolution, SimplexSolver};

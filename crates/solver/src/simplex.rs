@@ -1,0 +1,477 @@
+//! A dense Big-M primal simplex solver for LP relaxations.
+//!
+//! The solver handles the models produced by [`crate::model::Model`]: a
+//! linear minimization objective over bounded continuous (and relaxed
+//! binary) variables with `<=`, `>=` and `=` constraints.  It uses the
+//! classic tableau simplex with the Big-M method for artificial variables
+//! and Bland's rule to avoid cycling.  It is intentionally dense and simple:
+//! the LP relaxations solved during branch-and-bound in this workspace have
+//! at most a few hundred variables.
+
+use crate::model::{Comparison, Model};
+
+/// The status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was exceeded.
+    IterationLimit,
+}
+
+/// The result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Solve status.
+    pub outcome: LpOutcome,
+    /// Objective value (meaningful only when `outcome == Optimal`).
+    pub objective: f64,
+    /// Variable values in model order (meaningful only when optimal).
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// Big-M tableau simplex solver.
+#[derive(Debug, Clone)]
+pub struct SimplexSolver {
+    /// Maximum number of pivots before giving up.
+    pub max_iterations: usize,
+    /// The Big-M penalty applied to artificial variables.
+    pub big_m: f64,
+    /// Numerical tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for SimplexSolver {
+    fn default() -> Self {
+        Self { max_iterations: 20_000, big_m: 1e7, tolerance: 1e-7 }
+    }
+}
+
+impl SimplexSolver {
+    /// Creates a solver with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the LP relaxation of `model` (binary variables relaxed to
+    /// `[0, 1]`), optionally with per-variable bound overrides used by the
+    /// branch-and-bound solver to fix branched variables.
+    ///
+    /// `bound_overrides[i]`, when present, replaces the natural bounds of
+    /// variable `i`.
+    pub fn solve_with_bounds(
+        &self,
+        model: &Model,
+        bound_overrides: &[Option<(f64, f64)>],
+    ) -> LpSolution {
+        let n = model.num_vars();
+        // Resolve bounds.
+        let mut lower = vec![0.0f64; n];
+        let mut upper = vec![f64::INFINITY; n];
+        for (i, kind) in model.vars().iter().enumerate() {
+            let (lo, hi) = kind.bounds();
+            lower[i] = lo;
+            upper[i] = hi;
+            if let Some(Some((olo, ohi))) = bound_overrides.get(i) {
+                lower[i] = *olo;
+                upper[i] = *ohi;
+            }
+            if lower[i] > upper[i] + self.tolerance {
+                return LpSolution {
+                    outcome: LpOutcome::Infeasible,
+                    objective: f64::INFINITY,
+                    values: vec![],
+                    iterations: 0,
+                };
+            }
+        }
+
+        // Build rows in terms of shifted variables y = x - lower (y >= 0).
+        // Each row: (coeffs over y, comparison, rhs).
+        let mut rows: Vec<(Vec<f64>, Comparison, f64)> = Vec::new();
+        for c in model.constraints() {
+            let mut coeffs = vec![0.0; n];
+            let mut rhs = c.rhs;
+            for (v, a) in &c.expr.terms {
+                coeffs[v.index()] += *a;
+                rhs -= *a * lower[v.index()];
+            }
+            rows.push((coeffs, c.cmp, rhs));
+        }
+        // Upper bounds as explicit constraints y_i <= upper_i - lower_i.
+        for i in 0..n {
+            let ub = upper[i] - lower[i];
+            if ub.is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                rows.push((coeffs, Comparison::LessEq, ub));
+            }
+        }
+
+        // Normalize rows so rhs >= 0.
+        for (coeffs, cmp, rhs) in &mut rows {
+            if *rhs < 0.0 {
+                for a in coeffs.iter_mut() {
+                    *a = -*a;
+                }
+                *rhs = -*rhs;
+                *cmp = match *cmp {
+                    Comparison::LessEq => Comparison::GreaterEq,
+                    Comparison::GreaterEq => Comparison::LessEq,
+                    Comparison::Equal => Comparison::Equal,
+                };
+            }
+        }
+
+        let m = rows.len();
+        // Count auxiliary columns: slack/surplus + artificial.
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for (_, cmp, _) in &rows {
+            match cmp {
+                Comparison::LessEq => num_slack += 1,
+                Comparison::GreaterEq => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                Comparison::Equal => num_artificial += 1,
+            }
+        }
+        let total = n + num_slack + num_artificial;
+
+        // Tableau: m rows of (total coeffs + rhs), plus objective row.
+        let mut tableau = vec![vec![0.0f64; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut obj = vec![0.0f64; total + 1];
+
+        // Objective coefficients for structural variables (shifted): the
+        // constant offset c' * lower is added back at the end.
+        let mut obj_offset = 0.0;
+        for (v, c) in &model.objective().terms {
+            obj[v.index()] += *c;
+            obj_offset += *c * lower[v.index()];
+        }
+
+        let mut slack_cursor = n;
+        let mut artificial_cursor = n + num_slack;
+        let mut artificial_cols: Vec<usize> = Vec::new();
+        for (r, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+            for (i, a) in coeffs.iter().enumerate() {
+                tableau[r][i] = *a;
+            }
+            tableau[r][total] = *rhs;
+            match cmp {
+                Comparison::LessEq => {
+                    tableau[r][slack_cursor] = 1.0;
+                    basis[r] = slack_cursor;
+                    slack_cursor += 1;
+                }
+                Comparison::GreaterEq => {
+                    tableau[r][slack_cursor] = -1.0;
+                    slack_cursor += 1;
+                    tableau[r][artificial_cursor] = 1.0;
+                    obj[artificial_cursor] = self.big_m;
+                    basis[r] = artificial_cursor;
+                    artificial_cols.push(artificial_cursor);
+                    artificial_cursor += 1;
+                }
+                Comparison::Equal => {
+                    tableau[r][artificial_cursor] = 1.0;
+                    obj[artificial_cursor] = self.big_m;
+                    basis[r] = artificial_cursor;
+                    artificial_cols.push(artificial_cursor);
+                    artificial_cursor += 1;
+                }
+            }
+        }
+
+        // Reduced-cost row: z_j - c_j, starting from the basis.
+        // We maintain the objective row as c_j - z_j (to minimize we pivot on
+        // negative entries of that row). Start: row = obj, then eliminate
+        // basic columns.
+        let mut objective_row = obj.clone();
+        let mut objective_value = 0.0;
+        for r in 0..m {
+            let b = basis[r];
+            let cb = obj[b];
+            if cb != 0.0 {
+                for j in 0..=total {
+                    let delta = cb * tableau[r][j];
+                    if j == total {
+                        objective_value += delta;
+                    } else {
+                        objective_row[j] -= delta;
+                    }
+                }
+            }
+        }
+        // Note: objective_row[j] now holds c_j - z_j; objective_value holds z0.
+
+        let mut iterations = 0usize;
+        loop {
+            if iterations >= self.max_iterations {
+                return LpSolution {
+                    outcome: LpOutcome::IterationLimit,
+                    objective: f64::INFINITY,
+                    values: vec![],
+                    iterations,
+                };
+            }
+            // Entering column: most negative reduced cost (Dantzig), with
+            // Bland's rule as a tie-breaking fallback to avoid cycling.
+            let mut entering: Option<usize> = None;
+            let mut best = -self.tolerance;
+            for j in 0..total {
+                if objective_row[j] < best {
+                    best = objective_row[j];
+                    entering = Some(j);
+                }
+            }
+            let Some(pivot_col) = entering else {
+                break; // optimal
+            };
+
+            // Ratio test.
+            let mut pivot_row: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = tableau[r][pivot_col];
+                if a > self.tolerance {
+                    let ratio = tableau[r][total] / a;
+                    if ratio < best_ratio - self.tolerance
+                        || (ratio < best_ratio + self.tolerance
+                            && pivot_row.map_or(true, |pr| basis[r] < basis[pr]))
+                    {
+                        best_ratio = ratio;
+                        pivot_row = Some(r);
+                    }
+                }
+            }
+            let Some(pivot_row) = pivot_row else {
+                return LpSolution {
+                    outcome: LpOutcome::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    values: vec![],
+                    iterations,
+                };
+            };
+
+            // Pivot.
+            let pivot_val = tableau[pivot_row][pivot_col];
+            for j in 0..=total {
+                tableau[pivot_row][j] /= pivot_val;
+            }
+            for r in 0..m {
+                if r != pivot_row {
+                    let factor = tableau[r][pivot_col];
+                    if factor.abs() > 0.0 {
+                        for j in 0..=total {
+                            tableau[r][j] -= factor * tableau[pivot_row][j];
+                        }
+                    }
+                }
+            }
+            let factor = objective_row[pivot_col];
+            if factor.abs() > 0.0 {
+                for j in 0..total {
+                    objective_row[j] -= factor * tableau[pivot_row][j];
+                }
+                objective_value -= factor * tableau[pivot_row][total];
+            }
+            basis[pivot_row] = pivot_col;
+            iterations += 1;
+        }
+
+        // Extract solution.
+        let mut shifted = vec![0.0f64; total];
+        for r in 0..m {
+            shifted[basis[r]] = tableau[r][total];
+        }
+        // If any artificial variable is still positive, the problem is infeasible.
+        for &a in &artificial_cols {
+            if shifted[a] > 1e-5 {
+                return LpSolution {
+                    outcome: LpOutcome::Infeasible,
+                    objective: f64::INFINITY,
+                    values: vec![],
+                    iterations,
+                };
+            }
+        }
+
+        let mut values = vec![0.0f64; n];
+        for i in 0..n {
+            values[i] = shifted[i] + lower[i];
+        }
+        // Recompute the objective from the model to avoid Big-M residue.
+        let objective = model.objective_value(&values) ;
+        let _ = objective_value + obj_offset;
+        LpSolution { outcome: LpOutcome::Optimal, objective, values, iterations }
+    }
+
+    /// Solves the LP relaxation of `model` with its natural bounds.
+    pub fn solve(&self, model: &Model) -> LpSolution {
+        self.solve_with_bounds(model, &vec![None; model.num_vars()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearExpr, Model};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn simple_two_variable_lp() {
+        // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2, x,y >= 0
+        // optimum at (2, 2) with objective -6.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 3.0);
+        let y = m.add_continuous(0.0, 2.0);
+        m.set_objective_term(x, -1.0);
+        m.set_objective_term(y, -2.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::LessEq, 4.0, "cap");
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.objective, -6.0), "obj {}", sol.objective);
+        assert!(approx(sol.values[x.index()], 2.0));
+        assert!(approx(sol.values[y.index()], 2.0));
+    }
+
+    #[test]
+    fn equality_constraint_is_honored() {
+        // min x + y s.t. x + y = 5, x <= 10, y <= 10 -> objective 5.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0);
+        let y = m.add_continuous(0.0, 10.0);
+        m.set_objective_term(x, 1.0);
+        m.set_objective_term(y, 1.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::Equal, 5.0, "eq");
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.objective, 5.0), "obj {}", sol.objective);
+        assert!(approx(sol.values[0] + sol.values[1], 5.0));
+    }
+
+    #[test]
+    fn greater_equal_constraint() {
+        // min 2x + 3y s.t. x + y >= 4, x <= 3, y <= 3 -> best is x=3, y=1 -> 9.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 3.0);
+        let y = m.add_continuous(0.0, 3.0);
+        m.set_objective_term(x, 2.0);
+        m.set_objective_term(y, 3.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::GreaterEq, 4.0, "cover");
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.objective, 9.0), "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn infeasible_problem_detected() {
+        // x <= 1 and x >= 2 simultaneously.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0);
+        m.set_objective_term(x, 1.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0), Comparison::LessEq, 1.0, "a");
+        m.add_constraint(LinearExpr::new().with(x, 1.0), Comparison::GreaterEq, 2.0, "b");
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_problem_detected() {
+        // min -x with x unbounded above.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY);
+        m.set_objective_term(x, -1.0);
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn binary_relaxation_uses_unit_bounds() {
+        // min -x over binary x relaxed -> x = 1.
+        let mut m = Model::new();
+        let x = m.add_binary();
+        m.set_objective_term(x, -1.0);
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.values[x.index()], 1.0));
+    }
+
+    #[test]
+    fn bound_overrides_fix_variables() {
+        let mut m = Model::new();
+        let x = m.add_binary();
+        let y = m.add_binary();
+        m.set_objective_term(x, -1.0);
+        m.set_objective_term(y, -1.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::LessEq, 1.0, "one");
+        // Fix x = 0; then y should go to 1.
+        let sol = SimplexSolver::new().solve_with_bounds(&m, &[Some((0.0, 0.0)), None]);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.values[x.index()], 0.0));
+        assert!(approx(sol.values[y.index()], 1.0));
+    }
+
+    #[test]
+    fn conflicting_bound_override_is_infeasible() {
+        let mut m = Model::new();
+        let _x = m.add_binary();
+        let sol = SimplexSolver::new().solve_with_bounds(&m, &[Some((1.0, 0.0))]);
+        assert_eq!(sol.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn negative_lower_bounds_are_handled() {
+        // min x with x in [-5, 5] -> -5.
+        let mut m = Model::new();
+        let x = m.add_continuous(-5.0, 5.0);
+        m.set_objective_term(x, 1.0);
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.values[x.index()], -5.0));
+        assert!(approx(sol.objective, -5.0));
+    }
+
+    #[test]
+    fn lp_relaxation_of_assignment_problem() {
+        // Two apps, two servers, assignment equality constraints, per-server
+        // capacity 1, distinct costs; LP optimum equals the integral optimum
+        // for this transportation-like structure.
+        let mut m = Model::new();
+        let x: Vec<Vec<_>> = (0..2)
+            .map(|_| (0..2).map(|_| m.add_binary()).collect())
+            .collect();
+        let costs = [[5.0, 1.0], [2.0, 4.0]];
+        for i in 0..2 {
+            let mut expr = LinearExpr::new();
+            for j in 0..2 {
+                m.set_objective_term(x[i][j], costs[i][j]);
+                expr.add(x[i][j], 1.0);
+            }
+            m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
+        }
+        for j in 0..2 {
+            let mut expr = LinearExpr::new();
+            for i in 0..2 {
+                expr.add(x[i][j], 1.0);
+            }
+            m.add_constraint(expr, Comparison::LessEq, 1.0, format!("cap{j}"));
+        }
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        // Optimal assignment: app0 -> server1 (1.0), app1 -> server0 (2.0) = 3.
+        assert!(approx(sol.objective, 3.0), "obj {}", sol.objective);
+    }
+}

@@ -1,0 +1,22 @@
+//! Edge workloads for CarbonEdge.
+//!
+//! The paper evaluates two compute-intensive edge workloads: a CPU-based
+//! sensor-data-processing application ("Sci") and GPU model-serving
+//! applications (EfficientNetB0, ResNet50, YOLOv4) profiled on three device
+//! types (Jetson Orin Nano, NVIDIA A2, GTX 1080); see Figure 7 and
+//! Section 6.1.  This crate provides:
+//!
+//! * the profiled per-request energy, memory, and inference-time table
+//!   ([`profiles`]),
+//! * application descriptions with resource demands, request rates and
+//!   latency SLOs ([`app`]),
+//! * arrival processes and demand models used by the CDN-scale experiments
+//!   ([`generator`]).
+
+pub mod app;
+pub mod generator;
+pub mod profiles;
+
+pub use app::{AppId, Application, ResourceDemand, ResourceKind, RESOURCE_KINDS};
+pub use generator::{ArrivalProcess, DemandModel, WorkloadGenerator};
+pub use profiles::{DeviceKind, ModelKind, WorkloadProfile};

@@ -1,0 +1,1 @@
+//! Shared helpers for the runnable CarbonEdge examples (intentionally minimal).

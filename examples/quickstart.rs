@@ -1,0 +1,59 @@
+//! Quickstart: place one edge application carbon-aware vs latency-aware.
+//!
+//! Builds a tiny two-site scenario (a fossil-heavy zone and a nearby green
+//! zone), places a ResNet50 inference application with both policies, and
+//! prints the carbon and latency of each decision.
+//!
+//! Run with `cargo run --release -p carbonedge-examples --bin quickstart`.
+
+use carbonedge_core::prelude::*;
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::ZoneId;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+
+fn main() {
+    // Two single-server edge sites ~335 km apart: Munich (fossil-heavy grid)
+    // and Bern (hydro-powered grid).
+    let servers = vec![
+        ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.135, 11.582))
+            .with_carbon_intensity(520.0),
+        ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.948, 7.447))
+            .with_carbon_intensity(45.0),
+    ];
+
+    // A ResNet50 inference application serving users in Munich with a 20 ms
+    // round-trip SLO.
+    let app = Application::new(
+        AppId(0),
+        ModelKind::ResNet50,
+        20.0,
+        20.0,
+        Coordinates::new(48.135, 11.582),
+        0,
+    );
+
+    let problem = PlacementProblem::new(servers, vec![app], 1.0)
+        .with_latency_model(LatencyModel::deterministic());
+
+    println!("CarbonEdge quickstart: one application, two edge sites\n");
+    for policy in [PlacementPolicy::LatencyAware, PlacementPolicy::CarbonAware] {
+        let decision = IncrementalPlacer::new(policy)
+            .place(&problem)
+            .expect("placement is feasible");
+        let target = match decision.assignment[0] {
+            Some(0) => "Munich (520 g/kWh)",
+            Some(1) => "Bern (45 g/kWh)",
+            _ => "unplaced",
+        };
+        println!(
+            "{:<16} -> {:<22} carbon {:>7.1} g/h   round-trip latency {:>5.1} ms",
+            decision.policy, target, decision.total_carbon_g, decision.mean_latency_ms
+        );
+    }
+    println!(
+        "\nShifting the workload ~335 km cuts its operational carbon by more than 10x\n\
+         while staying within the 20 ms round-trip SLO — the mesoscale opportunity\n\
+         CarbonEdge exploits."
+    );
+}

@@ -1,0 +1,1 @@
+//! Helper library target for the cross-crate integration-test package (intentionally empty).

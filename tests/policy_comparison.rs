@@ -1,0 +1,135 @@
+//! Cross-policy properties: the orderings the paper relies on must hold on
+//! randomized scenarios, not just the hand-picked ones.
+
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::ZoneId;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random mesoscale scenario: `n_sites` sites spread over a few
+/// hundred kilometres with random carbon intensities, and `n_apps`
+/// applications with random origins among the sites.
+fn random_scenario(seed: u64, n_sites: usize, n_apps: usize) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Coordinates::new(46.0, 8.0);
+    let servers: Vec<ServerSnapshot> = (0..n_sites)
+        .map(|j| {
+            let loc = Coordinates::new(
+                base.lat + rng.gen_range(-1.5..1.5),
+                base.lon + rng.gen_range(-2.0..2.0),
+            );
+            ServerSnapshot::new(j, j, ZoneId(j), DeviceKind::A2, loc)
+                .with_carbon_intensity(rng.gen_range(30.0..700.0))
+        })
+        .collect();
+    let apps: Vec<Application> = (0..n_apps)
+        .map(|i| {
+            let origin = servers[rng.gen_range(0..n_sites)].location;
+            Application::new(AppId(i), ModelKind::ResNet50, rng.gen_range(5.0..20.0), 30.0, origin, 0)
+        })
+        .collect();
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CarbonEdge never emits more than the Latency-aware baseline on the
+    /// same scenario (it can always fall back to the same placement).
+    #[test]
+    fn carbon_aware_never_worse_than_latency_aware(seed in 0u64..1000) {
+        let problem = random_scenario(seed, 6, 8);
+        let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .heuristic_only()
+            .place(&problem)
+            .unwrap();
+        let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+            .heuristic_only()
+            .place(&problem)
+            .unwrap();
+        prop_assume!(carbon.unplaced.is_empty() && latency.unplaced.is_empty());
+        prop_assert!(carbon.total_carbon_g <= latency.total_carbon_g * 1.001 + 1e-6);
+    }
+
+    /// Energy-aware placement never uses more energy than CarbonEdge.
+    #[test]
+    fn energy_aware_never_uses_more_energy(seed in 0u64..1000) {
+        let problem = random_scenario(seed, 6, 8);
+        let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .heuristic_only()
+            .place(&problem)
+            .unwrap();
+        let energy = IncrementalPlacer::new(PlacementPolicy::EnergyAware)
+            .heuristic_only()
+            .place(&problem)
+            .unwrap();
+        prop_assume!(carbon.unplaced.is_empty() && energy.unplaced.is_empty());
+        prop_assert!(energy.total_energy_j <= carbon.total_energy_j * 1.001 + 1e-6);
+    }
+
+    /// Every policy respects the latency SLO for every placed application.
+    #[test]
+    fn all_policies_respect_the_slo(seed in 0u64..1000) {
+        let problem = random_scenario(seed, 5, 6);
+        for policy in PlacementPolicy::BASELINE_SET {
+            let decision = IncrementalPlacer::new(policy)
+                .heuristic_only()
+                .place(&problem)
+                .unwrap();
+            for (i, server) in decision.assignment.iter().enumerate() {
+                if let Some(j) = server {
+                    prop_assert!(
+                        problem.latency_ms(i, *j) <= problem.apps[i].latency_slo_ms + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// Server compute capacity is never exceeded by any policy's placement.
+    #[test]
+    fn capacity_is_never_violated(seed in 0u64..1000) {
+        let problem = random_scenario(seed, 4, 12);
+        for policy in PlacementPolicy::BASELINE_SET {
+            let decision = IncrementalPlacer::new(policy)
+                .heuristic_only()
+                .place(&problem)
+                .unwrap();
+            let mut usage = vec![0.0f64; problem.servers.len()];
+            for (i, server) in decision.assignment.iter().enumerate() {
+                if let Some(j) = server {
+                    usage[*j] += problem.demand(i, *j).unwrap().compute;
+                }
+            }
+            for (j, u) in usage.iter().enumerate() {
+                prop_assert!(*u <= problem.servers[j].available.compute + 1e-6, "server {j} over capacity: {u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn intensity_aware_ranks_by_intensity_alone() {
+    // Build a scenario where the lowest-intensity server is energy-inefficient:
+    // Intensity-aware must still pick it, CarbonEdge weighs both.
+    let servers = vec![
+        ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(46.0, 8.0))
+            .with_carbon_intensity(200.0),
+        ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::Gtx1080, Coordinates::new(46.1, 8.1))
+            .with_carbon_intensity(150.0),
+    ];
+    let app = Application::new(AppId(0), ModelKind::ResNet50, 10.0, 30.0, Coordinates::new(46.0, 8.0), 0);
+    let problem = PlacementProblem::new(servers, vec![app], 1.0)
+        .with_latency_model(LatencyModel::deterministic());
+    let intensity = IncrementalPlacer::new(PlacementPolicy::IntensityAware).place(&problem).unwrap();
+    assert_eq!(intensity.assignment, vec![Some(1)], "Intensity-aware picks the greener zone");
+    let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&problem).unwrap();
+    // The Orin Nano is ~3x more energy efficient, which outweighs the 200 vs
+    // 150 g/kWh difference, so CarbonEdge picks the efficient device instead.
+    assert_eq!(carbon.assignment, vec![Some(0)], "CarbonEdge weighs energy and intensity");
+    assert!(carbon.total_carbon_g < intensity.total_carbon_g);
+}

@@ -1,0 +1,80 @@
+//! Integration tests for the testbed and CDN simulators: the headline
+//! results of the paper must hold qualitatively on the synthetic substrate.
+
+use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_datasets::StudyRegion;
+use carbonedge_sim::cdn::{CdnConfig, CdnSimulator};
+use carbonedge_sim::testbed::{run_testbed, TestbedConfig, TestbedWorkload};
+use carbonedge_sim::TradeoffSweep;
+
+#[test]
+fn headline_testbed_savings_hold() {
+    // Figure 10: CarbonEdge saves ~39% in Florida and ~79% in Central EU with
+    // single-digit-to-low-teens millisecond latency increases.
+    let florida = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
+    let central_eu = run_testbed(&TestbedConfig::new(StudyRegion::CentralEu, TestbedWorkload::SciCpu));
+
+    assert!(florida.savings.carbon_percent > 15.0);
+    assert!(central_eu.savings.carbon_percent > 55.0);
+    assert!(central_eu.savings.carbon_percent > florida.savings.carbon_percent);
+    for result in [&florida, &central_eu] {
+        assert!(result.savings.latency_increase_ms >= 0.0);
+        assert!(result.savings.latency_increase_ms <= 20.0);
+    }
+}
+
+#[test]
+fn headline_cdn_savings_hold() {
+    // Figure 11: large savings in both continents, larger in Europe, with the
+    // latency increase bounded by the 20 ms round-trip limit.
+    let us = CdnSimulator::new(CdnConfig::new(ZoneArea::UnitedStates).with_site_limit(60));
+    let eu = CdnSimulator::new(CdnConfig::new(ZoneArea::Europe).with_site_limit(60));
+    let (_, _, us_savings) = us.compare();
+    let (_, _, eu_savings) = eu.compare();
+    assert!(us_savings.carbon_percent > 20.0, "US {}", us_savings.carbon_percent);
+    assert!(eu_savings.carbon_percent > 40.0, "EU {}", eu_savings.carbon_percent);
+    assert!(eu_savings.carbon_percent > us_savings.carbon_percent);
+    assert!(us_savings.latency_increase_ms <= 20.0);
+    assert!(eu_savings.latency_increase_ms <= 20.0);
+}
+
+#[test]
+fn latency_limit_sweep_is_monotone_in_savings() {
+    // Figure 12: more latency tolerance can only help (savings are
+    // non-decreasing in the limit, modulo small heuristic noise).
+    let mut previous = -1.0;
+    for limit in [5.0, 15.0, 30.0] {
+        let sim = CdnSimulator::new(
+            CdnConfig::new(ZoneArea::Europe)
+                .with_site_limit(50)
+                .with_latency_limit(limit),
+        );
+        let (_, _, savings) = sim.compare();
+        assert!(
+            savings.carbon_percent >= previous - 2.0,
+            "savings dropped from {previous} to {} at limit {limit}",
+            savings.carbon_percent
+        );
+        previous = savings.carbon_percent;
+    }
+}
+
+#[test]
+fn tradeoff_endpoints_match_the_dedicated_policies() {
+    // Eq. 8: alpha = 0 is the carbon-optimal end, alpha = 1 the energy-optimal
+    // end; carbon must be weakly increasing and energy weakly decreasing.
+    let sweep = TradeoffSweep::run(false, &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    for pair in sweep.points.windows(2) {
+        assert!(pair[1].outcome.carbon_g >= pair[0].outcome.carbon_g - 1e-6);
+        assert!(pair[1].outcome.energy_j <= pair[0].outcome.energy_j + 1e-6);
+    }
+}
+
+#[test]
+fn cdn_simulation_is_deterministic() {
+    let config = CdnConfig::new(ZoneArea::Europe).with_site_limit(40);
+    let a = CdnSimulator::new(config.clone()).compare().2;
+    let b = CdnSimulator::new(config).compare().2;
+    assert_eq!(a.carbon_percent, b.carbon_percent);
+    assert_eq!(a.latency_increase_ms, b.latency_increase_ms);
+}
