@@ -28,8 +28,14 @@ impl RegionSnapshot {
             .zip(region.members.iter())
             .map(|(zone, (name, _))| (name.clone(), traces[zone.index()].at(hour)))
             .collect();
-        let max = intensities.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
-        let min = intensities.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let max = intensities
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = intensities
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
         RegionSnapshot {
             region: region.region.name().to_string(),
             intensities,
@@ -40,13 +46,16 @@ impl RegionSnapshot {
     /// The snapshot hour with the largest variation factor over the year
     /// (the paper picks an illustrative hour per region; this finds the most
     /// pronounced one deterministically).
-    pub fn most_varied_hour(region: &MesoscaleRegion, traces: &[CarbonTrace]) -> (HourOfYear, RegionSnapshot) {
+    pub fn most_varied_hour(
+        region: &MesoscaleRegion,
+        traces: &[CarbonTrace],
+    ) -> (HourOfYear, RegionSnapshot) {
         let mut best: Option<(HourOfYear, RegionSnapshot)> = None;
         for hour in HourOfYear::all().step_by(6) {
             let snap = Self::compute(region, traces, hour);
             let better = best
                 .as_ref()
-                .map_or(true, |(_, b)| snap.variation_factor > b.variation_factor);
+                .is_none_or(|(_, b)| snap.variation_factor > b.variation_factor);
             if better && snap.variation_factor.is_finite() {
                 best = Some((hour, snap));
             }
@@ -76,7 +85,10 @@ impl RegionYearly {
             .zip(region.members.iter())
             .map(|(zone, (name, _))| (name.clone(), traces[zone.index()].mean()))
             .collect();
-        let max = means.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        let max = means
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = means.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
         RegionYearly {
             region: region.region.name().to_string(),
@@ -108,7 +120,9 @@ impl TemporalProfile {
             .iter()
             .zip(region.members.iter())
             .map(|(zone, (name, _))| {
-                let series: Vec<f64> = (0..48).map(|k| traces[zone.index()].at(start.plus(k))).collect();
+                let series: Vec<f64> = (0..48)
+                    .map(|k| traces[zone.index()].at(start.plus(k)))
+                    .collect();
                 (name.clone(), series)
             })
             .collect();
@@ -117,11 +131,17 @@ impl TemporalProfile {
             .iter()
             .zip(region.members.iter())
             .map(|(zone, (name, _))| {
-                let series: Vec<f64> = (0..12).map(|m| traces[zone.index()].monthly_mean(m)).collect();
+                let series: Vec<f64> = (0..12)
+                    .map(|m| traces[zone.index()].monthly_mean(m))
+                    .collect();
                 (name.clone(), series)
             })
             .collect();
-        Self { region: region.region.name().to_string(), two_day, monthly }
+        Self {
+            region: region.region.name().to_string(),
+            two_day,
+            monthly,
+        }
     }
 
     /// The largest month-to-month change seen by any zone in the region
@@ -145,7 +165,9 @@ pub fn region_latency_table(region: &MesoscaleRegion, model: &LatencyModel) -> L
 
 /// Convenience: resolve the study regions, generate traces and return
 /// everything needed by the Section-3 experiments.
-pub fn standard_regions_and_traces(seed: u64) -> (ZoneCatalog, Vec<MesoscaleRegion>, Vec<CarbonTrace>) {
+pub fn standard_regions_and_traces(
+    seed: u64,
+) -> (ZoneCatalog, Vec<MesoscaleRegion>, Vec<CarbonTrace>) {
     let catalog = ZoneCatalog::worldwide();
     let regions = MesoscaleRegion::all(&catalog);
     let traces = catalog.generate_traces(seed);
@@ -173,7 +195,12 @@ mod tests {
             let (_, snap) = RegionSnapshot::most_varied_hour(region, &traces);
             assert_eq!(snap.intensities.len(), 5);
             factors.insert(region.region, snap.variation_factor);
-            assert!(snap.variation_factor > 2.0, "{}: {}", snap.region, snap.variation_factor);
+            assert!(
+                snap.variation_factor > 2.0,
+                "{}: {}",
+                snap.region,
+                snap.variation_factor
+            );
         }
         assert!(
             factors[&StudyRegion::CentralEu] > factors[&StudyRegion::Italy],
@@ -188,10 +215,18 @@ mod tests {
             let yearly = RegionYearly::compute(region, &traces);
             match region.region {
                 StudyRegion::WestUs => {
-                    assert!(yearly.spread > 1.8 && yearly.spread < 4.0, "West US {}", yearly.spread)
+                    assert!(
+                        yearly.spread > 1.8 && yearly.spread < 4.0,
+                        "West US {}",
+                        yearly.spread
+                    )
                 }
                 StudyRegion::CentralEu => {
-                    assert!(yearly.spread > 6.0 && yearly.spread < 18.0, "Central EU {}", yearly.spread)
+                    assert!(
+                        yearly.spread > 6.0 && yearly.spread < 18.0,
+                        "Central EU {}",
+                        yearly.spread
+                    )
                 }
                 _ => assert!(yearly.spread > 1.0),
             }
@@ -211,7 +246,11 @@ mod tests {
         assert!(profile.two_day.iter().all(|(_, s)| s.len() == 48));
         assert!(profile.monthly.iter().all(|(_, s)| s.len() == 12));
         // Section 3.1: seasonal swings on the order of 100+ g exist in the West US.
-        assert!(profile.max_monthly_swing() > 30.0, "swing {}", profile.max_monthly_swing());
+        assert!(
+            profile.max_monthly_swing() > 30.0,
+            "swing {}",
+            profile.max_monthly_swing()
+        );
     }
 
     #[test]

@@ -135,10 +135,24 @@ mod tests {
         let r500 = RadiusAnalysis::run(&sites, &traces, &model, 500.0);
         let r1000 = RadiusAnalysis::run(&sites, &traces, &model, 1000.0);
         let f = |r: &RadiusAnalysis| r.fraction_above(20.0);
-        assert!(f(&r200) < f(&r500), "200km {} vs 500km {}", f(&r200), f(&r500));
-        assert!(f(&r500) < f(&r1000), "500km {} vs 1000km {}", f(&r500), f(&r1000));
+        assert!(
+            f(&r200) < f(&r500),
+            "200km {} vs 500km {}",
+            f(&r200),
+            f(&r500)
+        );
+        assert!(
+            f(&r500) < f(&r1000),
+            "500km {} vs 1000km {}",
+            f(&r500),
+            f(&r1000)
+        );
         // Broad agreement with the paper's magnitudes.
-        assert!(f(&r200) > 0.10 && f(&r200) < 0.75, "200km fraction {}", f(&r200));
+        assert!(
+            f(&r200) > 0.10 && f(&r200) < 0.75,
+            "200km fraction {}",
+            f(&r200)
+        );
         assert!(f(&r1000) > 0.50, "1000km fraction {}", f(&r1000));
     }
 
@@ -159,7 +173,11 @@ mod tests {
         let r200 = RadiusAnalysis::run(&sites, &traces, &model, 200.0);
         let r1000 = RadiusAnalysis::run(&sites, &traces, &model, 1000.0);
         assert!(r200.median_latency_ms() < r1000.median_latency_ms());
-        assert!(r200.median_latency_ms() < 10.0, "200km median {}", r200.median_latency_ms());
+        assert!(
+            r200.median_latency_ms() < 10.0,
+            "200km median {}",
+            r200.median_latency_ms()
+        );
         assert!(r1000.median_latency_ms() < 30.0);
     }
 

@@ -138,6 +138,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn quantiles_are_within_sample_range(values in proptest::collection::vec(-1e6f64..1e6, 1..100),
                                              q in 0.0f64..1.0) {

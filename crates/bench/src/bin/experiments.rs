@@ -13,7 +13,8 @@
 //! suite finishes quickly; without it the full 496-site catalog is simulated.
 
 use carbonedge_analysis::mesoscale::{
-    region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly, TemporalProfile,
+    region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly,
+    TemporalProfile,
 };
 use carbonedge_analysis::RadiusAnalysis;
 use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
@@ -30,10 +31,44 @@ use std::time::Instant;
 
 const SEED: u64 = 42;
 
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+];
+
+fn print_usage() {
+    println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
+    println!();
+    println!(
+        "usage: experiments [--quick] [all | {}]",
+        EXPERIMENTS.join(" | ")
+    );
+    println!();
+    println!("  --quick   restrict CDN-scale simulations to a subset of edge sites");
+    println!("  (no experiment names runs the full suite)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(|s| s.as_str())
+        .collect();
+    if let Some(unknown) = which
+        .iter()
+        .find(|a| **a != "all" && !EXPERIMENTS.contains(a))
+    {
+        eprintln!("error: unknown experiment `{unknown}`");
+        eprintln!();
+        print_usage();
+        std::process::exit(2);
+    }
     let run_all = which.is_empty() || which.contains(&"all");
     let should = |name: &str| run_all || which.contains(&name);
 
@@ -83,7 +118,10 @@ fn main() {
     if should("fig17") {
         fig17();
     }
-    eprintln!("\n[experiments completed in {:.1} s]", started.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[experiments completed in {:.1} s]",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn header(title: &str) {
@@ -132,7 +170,10 @@ fn fig1() {
 fn fig2() {
     header("Figure 2: mesoscale region snapshots (inter-zone variation)");
     let (_, regions, traces) = standard_regions_and_traces(SEED);
-    println!("{:<12} {:>10} | per-zone intensity (g CO2eq/kWh)", "region", "variation");
+    println!(
+        "{:<12} {:>10} | per-zone intensity (g CO2eq/kWh)",
+        "region", "variation"
+    );
     for region in &regions {
         let (_, snap) = RegionSnapshot::most_varied_hour(region, &traces);
         let zones: Vec<String> = snap
@@ -140,7 +181,12 @@ fn fig2() {
             .iter()
             .map(|(n, v)| format!("{n}={v:.0}"))
             .collect();
-        println!("{:<12} {:>9.1}x | {}", snap.region, snap.variation_factor, zones.join(", "));
+        println!(
+            "{:<12} {:>9.1}x | {}",
+            snap.region,
+            snap.variation_factor,
+            zones.join(", ")
+        );
     }
     println!("(paper reports 2.5x Florida, 7.9x West US, 2.2x Italy, 19.5x Central EU)");
 }
@@ -158,7 +204,11 @@ fn fig3() {
             "{} (spread {:.1}x; paper: {}):",
             yearly.region,
             yearly.spread,
-            if region.region == StudyRegion::WestUs { "2.7x" } else { "10.8x" }
+            if region.region == StudyRegion::WestUs {
+                "2.7x"
+            } else {
+                "10.8x"
+            }
         );
         for (name, mean) in &yearly.means {
             println!("  {:<16} {:>8.1} g/kWh", name, mean);
@@ -170,11 +220,18 @@ fn fig3() {
 fn fig4() {
     header("Figure 4: spatial-temporal variation, West US");
     let (_, regions, traces) = standard_regions_and_traces(SEED);
-    let west = regions.iter().find(|r| r.region == StudyRegion::WestUs).unwrap();
+    let west = regions
+        .iter()
+        .find(|r| r.region == StudyRegion::WestUs)
+        .unwrap();
     let profile = TemporalProfile::compute(west, &traces, 358);
     println!("two-day series (Dec 25-27), 4-hour samples:");
     for (name, series) in &profile.two_day {
-        let samples: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.0}")).collect();
+        let samples: Vec<String> = series
+            .iter()
+            .step_by(4)
+            .map(|v| format!("{v:.0}"))
+            .collect();
         println!("  {:<12} {}", name, samples.join(" "));
     }
     println!("\nmonthly means:");
@@ -195,7 +252,10 @@ fn fig5() {
     let sites = EdgeSiteCatalog::akamai_like(&catalog);
     let traces = catalog.generate_traces(SEED);
     let model = LatencyModel::deterministic();
-    println!("{:>8} {:>14} {:>14} {:>18}", "radius", "saving<20%", "saving>40%", "median latency ms");
+    println!(
+        "{:>8} {:>14} {:>14} {:>18}",
+        "radius", "saving<20%", "saving>40%", "median latency ms"
+    );
     for radius in [200.0, 500.0, 1000.0] {
         let analysis = RadiusAnalysis::run(&sites, &traces, &model, radius);
         println!(
@@ -276,14 +336,22 @@ fn testbed_figures(fig8: bool, fig9: bool, fig10: bool) {
         let fl = &results[0];
         println!("hourly carbon intensity (4-hour samples):");
         for (name, series) in &fl.hourly_intensity {
-            let s: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.0}")).collect();
+            let s: Vec<String> = series
+                .iter()
+                .step_by(4)
+                .map(|v| format!("{v:.0}"))
+                .collect();
             println!("  {:<14} {}", name, s.join(" "));
         }
         for policy in ["Latency-aware", "CarbonEdge"] {
             let p = fl.policy(policy).unwrap();
             println!("\n{policy} hourly emissions per origin zone (g, 4-hour samples):");
             for (name, series) in &p.hourly_emissions {
-                let s: Vec<String> = series.iter().step_by(4).map(|v| format!("{v:.1}")).collect();
+                let s: Vec<String> = series
+                    .iter()
+                    .step_by(4)
+                    .map(|v| format!("{v:.1}"))
+                    .collect();
                 println!("  {:<14} {}", name, s.join(" "));
             }
         }
@@ -291,10 +359,15 @@ fn testbed_figures(fig8: bool, fig9: bool, fig10: bool) {
     if fig9 {
         header("Figure 9: end-to-end response times across Florida zones (ResNet50)");
         let fl = &results[1];
-        println!("{:<14} {:>16} {:>16}", "origin", "Latency-aware ms", "CarbonEdge ms");
+        println!(
+            "{:<14} {:>16} {:>16}",
+            "origin", "Latency-aware ms", "CarbonEdge ms"
+        );
         let la = fl.policy("Latency-aware").unwrap();
         let ce = fl.policy("CarbonEdge").unwrap();
-        for ((name, rt_la), (_, rt_ce)) in la.response_time_ms.iter().zip(ce.response_time_ms.iter()) {
+        for ((name, rt_la), (_, rt_ce)) in
+            la.response_time_ms.iter().zip(ce.response_time_ms.iter())
+        {
             println!("{:<14} {:>16.1} {:>16.1}", name, rt_la, rt_ce);
         }
     }
@@ -356,7 +429,10 @@ fn fig11(quick: bool) {
 /// Figure 12: effect of the latency limit on savings and latency increase.
 fn fig12(quick: bool) {
     header("Figure 12: effect of latency tolerance (RTT limit sweep)");
-    println!("{:<8} {:>10} {:>12} {:>14}", "area", "limit ms", "saving %", "latency +ms");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14}",
+        "area", "limit ms", "saving %", "latency +ms"
+    );
     for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
         for limit in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
             let sim = CdnSimulator::new(cdn_config(area, quick).with_latency_limit(limit));
@@ -413,7 +489,10 @@ fn fig13(quick: bool) {
 /// Figure 14: effect of population-skewed demand and capacity.
 fn fig14(quick: bool) {
     header("Figure 14: effect of demand and capacity skew");
-    println!("{:<8} {:<10} {:>12} {:>14}", "area", "scenario", "saving %", "latency +ms");
+    println!(
+        "{:<8} {:<10} {:>12} {:>14}",
+        "area", "scenario", "saving %", "latency +ms"
+    );
     for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
         for scenario in [
             CdnScenario::Homogeneous,
@@ -466,7 +545,10 @@ fn fig16() {
             sweep.latency_aware.carbon_g,
             sweep.latency_aware.energy_j / 1000.0
         );
-        println!("{:>6} {:>14} {:>14} {:>18}", "alpha", "carbon g", "energy kJ", "savings retained");
+        println!(
+            "{:>6} {:>14} {:>14} {:>18}",
+            "alpha", "carbon g", "energy kJ", "savings retained"
+        );
         for p in &sweep.points {
             let retained = sweep.retained_savings_fraction(p.alpha).unwrap_or(f64::NAN);
             println!(
@@ -478,7 +560,9 @@ fn fig16() {
             );
         }
     }
-    println!("(paper: alpha=0.1 retains 97.5% of savings while cutting energy 67% at low utilization)");
+    println!(
+        "(paper: alpha=0.1 retains 97.5% of savings while cutting energy 67% at low utilization)"
+    );
 }
 
 /// Figure 17 / Section 6.5: placement runtime and memory scalability.
@@ -508,20 +592,35 @@ fn fig17() {
     };
     let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
 
-    println!("{:>10} {:>8} {:>14} {:>16}", "servers", "apps", "time ms", "approx mem MB");
+    println!(
+        "{:>10} {:>8} {:>14} {:>16}",
+        "servers", "apps", "time ms", "approx mem MB"
+    );
     for servers in [100, 200, 300, 400] {
         let problem = build_problem(50, servers);
         let start = Instant::now();
         let _ = placer.place(&problem).unwrap();
         let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-        println!("{:>10} {:>8} {:>14.1} {:>16.1}", servers, 50, elapsed, approx_problem_memory_mb(&problem));
+        println!(
+            "{:>10} {:>8} {:>14.1} {:>16.1}",
+            servers,
+            50,
+            elapsed,
+            approx_problem_memory_mb(&problem)
+        );
     }
     for apps in [20, 60, 100, 140] {
         let problem = build_problem(apps, 400);
         let start = Instant::now();
         let _ = placer.place(&problem).unwrap();
         let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-        println!("{:>10} {:>8} {:>14.1} {:>16.1}", 400, apps, elapsed, approx_problem_memory_mb(&problem));
+        println!(
+            "{:>10} {:>8} {:>14.1} {:>16.1}",
+            400,
+            apps,
+            elapsed,
+            approx_problem_memory_mb(&problem)
+        );
     }
     println!("(paper: 50 apps x 400 servers completes within ~3 s and <200 MB with OR-Tools)");
 

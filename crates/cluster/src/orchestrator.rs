@@ -51,7 +51,12 @@ impl Orchestrator {
                 server_index.insert(server.spec.id, (si, ki));
             }
         }
-        Self { sites, server_index, placements: HashMap::new(), deploy_latency_s: 1.01 }
+        Self {
+            sites,
+            server_index,
+            placements: HashMap::new(),
+            deploy_latency_s: 1.01,
+        }
     }
 
     /// The managed sites.
@@ -88,7 +93,11 @@ impl Orchestrator {
     /// Deploys an application onto a specific server (the decision made by
     /// the placement service).  Fails if the server does not exist, cannot
     /// host the application, or the application is already deployed.
-    pub fn deploy(&mut self, app: &Application, server: ServerId) -> Result<DeploymentOutcome, String> {
+    pub fn deploy(
+        &mut self,
+        app: &Application,
+        server: ServerId,
+    ) -> Result<DeploymentOutcome, String> {
         if self.placements.contains_key(&app.id) {
             return Err(format!("application {:?} is already deployed", app.id));
         }
@@ -155,9 +164,19 @@ mod tests {
     use carbonedge_workload::{DeviceKind, ModelKind};
 
     fn two_site_cluster() -> Orchestrator {
-        let mut s0 = EdgeSite::new(SiteId(0), "Miami", Coordinates::new(25.76, -80.19), ZoneId(0));
+        let mut s0 = EdgeSite::new(
+            SiteId(0),
+            "Miami",
+            Coordinates::new(25.76, -80.19),
+            ZoneId(0),
+        );
         s0.add_servers(DeviceKind::A2, 1, 0);
-        let mut s1 = EdgeSite::new(SiteId(1), "Tampa", Coordinates::new(27.95, -82.45), ZoneId(1));
+        let mut s1 = EdgeSite::new(
+            SiteId(1),
+            "Tampa",
+            Coordinates::new(27.95, -82.45),
+            ZoneId(1),
+        );
         s1.add_servers(DeviceKind::Gtx1080, 1, 1);
         Orchestrator::new(vec![s0, s1])
     }

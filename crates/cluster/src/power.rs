@@ -142,6 +142,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn power_is_monotone_in_utilization(base in 0.0f64..200.0, span in 0.0f64..300.0,
                                             u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {

@@ -74,7 +74,12 @@ impl Server {
     /// Creates a powered-off server with full capacity available.
     pub fn new(spec: ServerSpec) -> Self {
         let available = spec.capacity;
-        Self { spec, power_state: PowerState::Off, available, hosted: Vec::new() }
+        Self {
+            spec,
+            power_state: PowerState::Off,
+            available,
+            hosted: Vec::new(),
+        }
     }
 
     /// Creates a powered-on server with full capacity available.
@@ -138,7 +143,9 @@ impl Server {
 
     /// Instantaneous power draw in watts.
     pub fn power_w(&self) -> f64 {
-        self.spec.power.power_w(self.power_state, self.utilization())
+        self.spec
+            .power
+            .power_w(self.power_state, self.utilization())
     }
 
     /// Powers the server off.  Fails (returns false) if applications are
@@ -222,7 +229,7 @@ mod tests {
                 break;
             }
         }
-        assert!(placed >= 1 && placed < 100, "placed {placed}");
+        assert!((1..100).contains(&placed), "placed {placed}");
         assert!(!s.can_host(&app(999, 20.0)));
     }
 

@@ -60,7 +60,12 @@ impl EdgeSite {
     /// Adds `count` servers of the given device type, numbered after the
     /// existing servers, using the supplied global id offset.  Returns the
     /// ids of the new servers.
-    pub fn add_servers(&mut self, device: DeviceKind, count: usize, next_global_id: usize) -> Vec<usize> {
+    pub fn add_servers(
+        &mut self,
+        device: DeviceKind,
+        count: usize,
+        next_global_id: usize,
+    ) -> Vec<usize> {
         let mut ids = Vec::with_capacity(count);
         for k in 0..count {
             let gid = next_global_id + k;
@@ -103,14 +108,24 @@ mod tests {
     use carbonedge_workload::{AppId, Application, ModelKind};
 
     fn site() -> EdgeSite {
-        let mut s = EdgeSite::new(SiteId(0), "Miami", Coordinates::new(25.76, -80.19), ZoneId(3));
+        let mut s = EdgeSite::new(
+            SiteId(0),
+            "Miami",
+            Coordinates::new(25.76, -80.19),
+            ZoneId(3),
+        );
         s.add_servers(DeviceKind::A2, 2, 0);
         s
     }
 
     #[test]
     fn add_servers_assigns_sequential_ids() {
-        let mut s = EdgeSite::new(SiteId(1), "Tampa", Coordinates::new(27.95, -82.45), ZoneId(1));
+        let mut s = EdgeSite::new(
+            SiteId(1),
+            "Tampa",
+            Coordinates::new(27.95, -82.45),
+            ZoneId(1),
+        );
         let ids = s.add_servers(DeviceKind::Gtx1080, 3, 10);
         assert_eq!(ids, vec![10, 11, 12]);
         assert_eq!(s.servers.len(), 3);

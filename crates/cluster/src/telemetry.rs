@@ -79,7 +79,10 @@ impl Telemetry {
             self.total.add(base, intensity);
         }
         for (app, energy) in app_energy_j {
-            self.per_app.entry(*app).or_default().add(*energy, intensity);
+            self.per_app
+                .entry(*app)
+                .or_default()
+                .add(*energy, intensity);
             self.total.add(*energy, intensity);
         }
     }
@@ -87,7 +90,10 @@ impl Telemetry {
     /// Records an arbitrary energy amount against an application at a given
     /// carbon intensity (used by the simulator's fast path).
     pub fn record_app_energy(&mut self, app: AppId, energy_j: f64, intensity: f64) {
-        self.per_app.entry(app).or_default().add(energy_j, intensity);
+        self.per_app
+            .entry(app)
+            .or_default()
+            .add(energy_j, intensity);
         self.total.add(energy_j, intensity);
     }
 
@@ -121,7 +127,10 @@ mod tests {
     use carbonedge_workload::DeviceKind;
 
     fn carbon_service() -> CarbonIntensityService {
-        CarbonIntensityService::new(vec![CarbonTrace::constant(360.0), CarbonTrace::constant(36.0)])
+        CarbonIntensityService::new(vec![
+            CarbonTrace::constant(360.0),
+            CarbonTrace::constant(36.0),
+        ])
     }
 
     fn server(zone: usize) -> Server {
@@ -173,8 +182,20 @@ mod tests {
     fn greener_zone_emits_less_for_same_energy() {
         let carbon = carbon_service();
         let mut t = Telemetry::new();
-        t.record_epoch(&server(0), &[(AppId(0), 1.0e6)], &carbon, HourOfYear(0), 0.0);
-        t.record_epoch(&server(1), &[(AppId(1), 1.0e6)], &carbon, HourOfYear(0), 0.0);
+        t.record_epoch(
+            &server(0),
+            &[(AppId(0), 1.0e6)],
+            &carbon,
+            HourOfYear(0),
+            0.0,
+        );
+        t.record_epoch(
+            &server(1),
+            &[(AppId(1), 1.0e6)],
+            &carbon,
+            HourOfYear(0),
+            0.0,
+        );
         assert!(t.app(AppId(1)).carbon_g < t.app(AppId(0)).carbon_g);
         assert!((t.app(AppId(0)).carbon_g / t.app(AppId(1)).carbon_g - 10.0).abs() < 1e-6);
     }

@@ -250,12 +250,10 @@ impl IncrementalPlacer {
             }
         }
         // Assignment constraints (Eq. 3).
-        for i in 0..apps {
+        for (i, x_row) in x.iter().enumerate() {
             let mut expr = LinearExpr::new();
-            for j in 0..servers {
-                if let Some(v) = x[i][j] {
-                    expr.add(v, 1.0);
-                }
+            for v in x_row.iter().flatten() {
+                expr.add(*v, 1.0);
             }
             model.add_constraint(expr, Comparison::Equal, 1.0, format!("assign-{i}"));
         }
@@ -268,8 +266,8 @@ impl IncrementalPlacer {
                 .enumerate()
             {
                 let mut expr = LinearExpr::new();
-                for i in 0..apps {
-                    if let Some(v) = x[i][j] {
+                for (i, x_row) in x.iter().enumerate() {
+                    if let Some(v) = x_row[j] {
                         let d = problem.demand(i, j).expect("feasible pair has demand");
                         let d_k = [d.compute, d.memory_mb, d.bandwidth_mbps][k];
                         expr.add(v, d_k);
@@ -280,8 +278,8 @@ impl IncrementalPlacer {
                     model.add_constraint(expr, Comparison::LessEq, 0.0, format!("cap-{j}-{k}"));
                 }
             }
-            for i in 0..apps {
-                if let Some(v) = x[i][j] {
+            for (i, x_row) in x.iter().enumerate() {
+                if let Some(v) = x_row[j] {
                     model.add_constraint(
                         LinearExpr::new().with(v, 1.0).with(y[j], -1.0),
                         Comparison::LessEq,
@@ -293,13 +291,16 @@ impl IncrementalPlacer {
         }
 
         let solution = self.milp_solver.solve(&model);
-        if !matches!(solution.outcome, MilpOutcome::Optimal | MilpOutcome::Feasible) {
+        if !matches!(
+            solution.outcome,
+            MilpOutcome::Optimal | MilpOutcome::Feasible
+        ) {
             return None;
         }
         let mut assignment = vec![None; apps];
-        for i in 0..apps {
-            for j in 0..servers {
-                if let Some(v) = x[i][j] {
+        for (i, x_row) in x.iter().enumerate() {
+            for (j, v) in x_row.iter().enumerate() {
+                if let Some(v) = v {
                     if solution.values[v.index()] > 0.5 {
                         assignment[i] = Some(j);
                     }
@@ -321,10 +322,22 @@ mod tests {
 
     fn green_and_dirty_problem(slo_ms: f64) -> PlacementProblem {
         let servers = vec![
-            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
-                .with_carbon_intensity(550.0),
-            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
-                .with_carbon_intensity(45.0),
+            ServerSnapshot::new(
+                0,
+                0,
+                ZoneId(0),
+                DeviceKind::A2,
+                Coordinates::new(48.14, 11.58),
+            )
+            .with_carbon_intensity(550.0),
+            ServerSnapshot::new(
+                1,
+                1,
+                ZoneId(1),
+                DeviceKind::A2,
+                Coordinates::new(46.95, 7.45),
+            )
+            .with_carbon_intensity(45.0),
         ];
         let apps = vec![Application::new(
             AppId(0),
@@ -340,7 +353,9 @@ mod tests {
     #[test]
     fn carbon_aware_shifts_to_green_zone() {
         let p = green_and_dirty_problem(30.0);
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(1)]);
         assert!(d.exact, "small instance should use the exact solver");
         assert!(d.unplaced.is_empty());
@@ -349,14 +364,18 @@ mod tests {
     #[test]
     fn latency_aware_stays_local() {
         let p = green_and_dirty_problem(30.0);
-        let d = IncrementalPlacer::new(PlacementPolicy::LatencyAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(0)]);
     }
 
     #[test]
     fn tight_slo_forces_local_placement_even_for_carbon_aware() {
         let p = green_and_dirty_problem(3.0);
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(0)]);
     }
 
@@ -374,7 +393,9 @@ mod tests {
     fn empty_inputs_are_rejected() {
         let p = PlacementProblem::new(vec![], vec![], 1.0);
         assert_eq!(
-            IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap_err(),
+            IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+                .place(&p)
+                .unwrap_err(),
             PlacementError::EmptyBatch
         );
         let p2 = green_and_dirty_problem(30.0);
@@ -390,8 +411,12 @@ mod tests {
     #[test]
     fn carbon_decision_never_exceeds_latency_aware_carbon() {
         let p = green_and_dirty_problem(30.0);
-        let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
-        let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware).place(&p).unwrap();
+        let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
+        let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+            .place(&p)
+            .unwrap();
         assert!(carbon.total_carbon_g <= latency.total_carbon_g + 1e-9);
         assert!(carbon.mean_latency_ms >= latency.mean_latency_ms - 1e-9);
     }
@@ -401,10 +426,22 @@ mod tests {
         // One saturating batch: each A2 fits ~3 apps at 25 rps of ResNet50
         // (25 * 13ms = 0.325 utilization each), so 6 apps need both servers.
         let servers = vec![
-            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
-                .with_carbon_intensity(550.0),
-            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
-                .with_carbon_intensity(45.0),
+            ServerSnapshot::new(
+                0,
+                0,
+                ZoneId(0),
+                DeviceKind::A2,
+                Coordinates::new(48.14, 11.58),
+            )
+            .with_carbon_intensity(550.0),
+            ServerSnapshot::new(
+                1,
+                1,
+                ZoneId(1),
+                DeviceKind::A2,
+                Coordinates::new(46.95, 7.45),
+            )
+            .with_carbon_intensity(45.0),
         ];
         let apps: Vec<Application> = (0..6)
             .map(|i| {
@@ -420,19 +457,26 @@ mod tests {
             .collect();
         let p = PlacementProblem::new(servers, apps, 1.0)
             .with_latency_model(LatencyModel::deterministic());
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert!(d.unplaced.is_empty());
         let on_green = d.assignment.iter().filter(|a| **a == Some(1)).count();
         let on_dirty = d.assignment.iter().filter(|a| **a == Some(0)).count();
         assert_eq!(on_green, 3, "green server should be filled to capacity");
-        assert_eq!(on_dirty, 3, "capacity must force spillover to the dirty server");
+        assert_eq!(
+            on_dirty, 3,
+            "capacity must force spillover to the dirty server"
+        );
     }
 
     #[test]
     fn newly_activated_servers_are_reported() {
         let mut p = green_and_dirty_problem(30.0);
         p.servers[1].powered_on = false;
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         // Still worth activating the green server: activation carbon of an A2
         // for one hour at 45 g/kWh is tiny compared to the operational savings.
         assert_eq!(d.assignment, vec![Some(1)]);
@@ -448,7 +492,9 @@ mod tests {
         p.servers[1].powered_on = false;
         p.servers[1].base_power_w = 100_000.0;
         p.apps[0].request_rate_rps = 1.0;
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(0)]);
         assert!(d.newly_activated.is_empty());
     }
@@ -456,7 +502,9 @@ mod tests {
     #[test]
     fn heuristic_and_exact_agree_on_small_instances() {
         let p = green_and_dirty_problem(30.0);
-        let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         let heuristic = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
             .heuristic_only()
             .place(&p)
@@ -468,10 +516,22 @@ mod tests {
     #[test]
     fn energy_aware_picks_efficient_device() {
         let servers = vec![
-            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::Gtx1080, Coordinates::new(48.0, 11.0))
-                .with_carbon_intensity(50.0),
-            ServerSnapshot::new(1, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(48.0, 11.0))
-                .with_carbon_intensity(50.0),
+            ServerSnapshot::new(
+                0,
+                0,
+                ZoneId(0),
+                DeviceKind::Gtx1080,
+                Coordinates::new(48.0, 11.0),
+            )
+            .with_carbon_intensity(50.0),
+            ServerSnapshot::new(
+                1,
+                0,
+                ZoneId(0),
+                DeviceKind::OrinNano,
+                Coordinates::new(48.0, 11.0),
+            )
+            .with_carbon_intensity(50.0),
         ];
         let apps = vec![Application::new(
             AppId(0),
@@ -483,7 +543,9 @@ mod tests {
         )];
         let p = PlacementProblem::new(servers, apps, 1.0)
             .with_latency_model(LatencyModel::deterministic());
-        let d = IncrementalPlacer::new(PlacementPolicy::EnergyAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::EnergyAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(1)]);
     }
 
@@ -516,7 +578,9 @@ mod tests {
             .collect();
         let p = PlacementProblem::new(servers, apps, 1.0)
             .with_latency_model(LatencyModel::deterministic());
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert!(!d.exact);
         assert!(d.unplaced.is_empty());
         // Per-server compute usage must stay within one device each.
@@ -533,7 +597,9 @@ mod tests {
     #[test]
     fn decision_metrics_are_consistent() {
         let p = green_and_dirty_problem(30.0);
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert!((d.total_carbon_g - p.total_carbon_g(&d.assignment).unwrap()).abs() < 1e-9);
         assert!((d.total_energy_j - p.total_energy_j(&d.assignment).unwrap()).abs() < 1e-9);
         assert_eq!(d.policy, "CarbonEdge");
@@ -542,7 +608,9 @@ mod tests {
     #[test]
     fn placement_error_display() {
         assert!(PlacementError::EmptyBatch.to_string().contains("empty"));
-        assert!(PlacementError::NoFeasibleServer(vec![1, 2]).to_string().contains("[1, 2]"));
+        assert!(PlacementError::NoFeasibleServer(vec![1, 2])
+            .to_string()
+            .contains("[1, 2]"));
     }
 
     #[test]
@@ -550,7 +618,9 @@ mod tests {
         // A server with zero available compute cannot take the app.
         let mut p = green_and_dirty_problem(30.0);
         p.servers[1].available = ResourceDemand::new(0.0, 16_000.0, 1000.0);
-        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&p).unwrap();
+        let d = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+            .place(&p)
+            .unwrap();
         assert_eq!(d.assignment, vec![Some(0)]);
     }
 }

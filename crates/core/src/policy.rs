@@ -126,24 +126,24 @@ impl PlacementPolicy {
             if !carbon_vals.is_empty() {
                 let (cmin, cspan) = range(&carbon_vals);
                 let (emin, espan) = range(&energy_vals);
-                for i in 0..apps {
-                    for j in 0..servers {
-                        if pair_cost[i][j].is_some() {
+                for (i, row) in pair_cost.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        if cell.is_some() {
                             let c = problem.operational_carbon_g(i, j).unwrap();
                             let e = problem.energy_j(i, j).unwrap();
                             let norm =
                                 alpha * (e - emin) / espan + (1.0 - alpha) * (c - cmin) / cspan;
-                            pair_cost[i][j] = Some(norm);
+                            *cell = Some(norm);
                         }
                     }
                 }
                 // Activation costs normalized against the same spans so they
                 // stay commensurate with the pair costs.
-                for j in 0..servers {
+                for (j, act) in activation.iter_mut().enumerate() {
                     if !problem.servers[j].powered_on {
                         let c = problem.activation_carbon_g(j) / cspan;
                         let e = problem.activation_energy_j(j) / espan;
-                        activation[j] = alpha * e + (1.0 - alpha) * c;
+                        *act = alpha * e + (1.0 - alpha) * c;
                     }
                 }
             }
@@ -165,12 +165,24 @@ mod tests {
     fn problem() -> PlacementProblem {
         let servers = vec![
             // Local, dirty, energy-hungry GTX 1080.
-            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::Gtx1080, Coordinates::new(48.14, 11.58))
-                .with_carbon_intensity(500.0),
+            ServerSnapshot::new(
+                0,
+                0,
+                ZoneId(0),
+                DeviceKind::Gtx1080,
+                Coordinates::new(48.14, 11.58),
+            )
+            .with_carbon_intensity(500.0),
             // Remote (~335 km), green, efficient A2 — currently off.
-            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
-                .with_carbon_intensity(50.0)
-                .with_powered_on(false),
+            ServerSnapshot::new(
+                1,
+                1,
+                ZoneId(1),
+                DeviceKind::A2,
+                Coordinates::new(46.95, 7.45),
+            )
+            .with_carbon_intensity(50.0)
+            .with_powered_on(false),
         ];
         let app = Application::new(
             AppId(0),
@@ -240,18 +252,15 @@ mod tests {
         let (carbon, _) = PlacementPolicy::CarbonAware.costs(&p);
         let (mixed, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 0.0 }.costs(&p);
         // Same ranking of the two servers.
-        assert_eq!(
-            carbon[0][0] > carbon[0][1],
-            mixed[0][0] > mixed[0][1]
-        );
+        assert_eq!(carbon[0][0] > carbon[0][1], mixed[0][0] > mixed[0][1]);
     }
 
     #[test]
     fn tradeoff_costs_are_normalized() {
         let p = problem();
         let (mixed, _) = PlacementPolicy::CarbonEnergyTradeoff { alpha: 0.5 }.costs(&p);
-        for j in 0..2 {
-            let c = mixed[0][j].unwrap();
+        for cell in mixed[0].iter().take(2) {
+            let c = cell.unwrap();
             assert!((0.0..=1.0 + 1e-9).contains(&c), "cost {c}");
         }
     }

@@ -36,7 +36,13 @@ impl ServerSnapshot {
     /// Creates a powered-on snapshot with full device capacity and the
     /// device's base power; carbon intensity defaults to 400 g·CO2eq/kWh
     /// until overridden.
-    pub fn new(id: usize, site: usize, zone: ZoneId, device: DeviceKind, location: Coordinates) -> Self {
+    pub fn new(
+        id: usize,
+        site: usize,
+        zone: ZoneId,
+        device: DeviceKind,
+        location: Coordinates,
+    ) -> Self {
         Self {
             id,
             site,
@@ -90,7 +96,12 @@ pub struct PlacementProblem {
 impl PlacementProblem {
     /// Creates a problem with the default latency model.
     pub fn new(servers: Vec<ServerSnapshot>, apps: Vec<Application>, epoch_hours: f64) -> Self {
-        Self { servers, apps, epoch_hours: epoch_hours.max(1e-6), latency_model: LatencyModel::default() }
+        Self {
+            servers,
+            apps,
+            epoch_hours: epoch_hours.max(1e-6),
+            latency_model: LatencyModel::default(),
+        }
     }
 
     /// Overrides the latency model.
@@ -214,11 +225,23 @@ mod tests {
 
     fn servers() -> Vec<ServerSnapshot> {
         vec![
-            ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.14, 11.58))
-                .with_carbon_intensity(500.0),
-            ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.95, 7.45))
-                .with_carbon_intensity(50.0)
-                .with_powered_on(false),
+            ServerSnapshot::new(
+                0,
+                0,
+                ZoneId(0),
+                DeviceKind::A2,
+                Coordinates::new(48.14, 11.58),
+            )
+            .with_carbon_intensity(500.0),
+            ServerSnapshot::new(
+                1,
+                1,
+                ZoneId(1),
+                DeviceKind::A2,
+                Coordinates::new(46.95, 7.45),
+            )
+            .with_carbon_intensity(50.0)
+            .with_powered_on(false),
         ]
     }
 
@@ -267,7 +290,11 @@ mod tests {
         let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
         let dirty = p.operational_carbon_g(0, 0).unwrap();
         let green = p.operational_carbon_g(0, 1).unwrap();
-        assert!((dirty / green - 10.0).abs() < 1e-6, "ratio {}", dirty / green);
+        assert!(
+            (dirty / green - 10.0).abs() < 1e-6,
+            "ratio {}",
+            dirty / green
+        );
     }
 
     #[test]
@@ -325,10 +352,16 @@ mod tests {
 
     #[test]
     fn snapshot_builders_clamp_and_set() {
-        let s = ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(0.0, 0.0))
-            .with_carbon_intensity(-5.0)
-            .with_powered_on(false)
-            .with_available(ResourceDemand::new(0.5, 100.0, 10.0));
+        let s = ServerSnapshot::new(
+            0,
+            0,
+            ZoneId(0),
+            DeviceKind::OrinNano,
+            Coordinates::new(0.0, 0.0),
+        )
+        .with_carbon_intensity(-5.0)
+        .with_powered_on(false)
+        .with_available(ResourceDemand::new(0.5, 100.0, 10.0));
         assert_eq!(s.carbon_intensity, 0.0);
         assert!(!s.powered_on);
         assert_eq!(s.available.compute, 0.5);

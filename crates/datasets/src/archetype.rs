@@ -45,6 +45,7 @@ impl MixArchetype {
     ];
 
     /// The baseline energy mix of the archetype.
+    #[rustfmt::skip]
     pub fn mix(&self) -> EnergyMix {
         use EnergySource::*;
         let shares: &[(EnergySource, f64)] = match self {

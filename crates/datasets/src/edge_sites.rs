@@ -64,7 +64,12 @@ impl EdgeSiteCatalog {
         // Adjust to exactly PAPER_SITE_COUNT: add to (or remove from) the
         // largest cities round-robin.
         let mut order: Vec<usize> = (0..zones.len()).collect();
-        order.sort_by(|a, b| zones[*b].population_m.partial_cmp(&zones[*a].population_m).unwrap());
+        order.sort_by(|a, b| {
+            zones[*b]
+                .population_m
+                .partial_cmp(&zones[*a].population_m)
+                .unwrap()
+        });
         let mut cursor = 0usize;
         while total < PAPER_SITE_COUNT {
             allocations[order[cursor % order.len()]] += 1;
@@ -162,7 +167,11 @@ mod tests {
         let zones = ZoneCatalog::worldwide();
         let sites = EdgeSiteCatalog::akamai_like(&zones);
         let zone_ids: std::collections::HashSet<_> = sites.sites().iter().map(|s| s.zone).collect();
-        let us_eu_zones = zones.records().iter().filter(|r| r.area != ZoneArea::RestOfWorld).count();
+        let us_eu_zones = zones
+            .records()
+            .iter()
+            .filter(|r| r.area != ZoneArea::RestOfWorld)
+            .count();
         assert_eq!(zone_ids.len(), us_eu_zones);
     }
 

@@ -47,8 +47,20 @@ impl StudyRegion {
         match self {
             StudyRegion::Florida => ["Jacksonville", "Miami", "Orlando", "Tampa", "Tallahassee"],
             StudyRegion::WestUs => ["Kingman", "Las Vegas", "Flagstaff", "Phoenix", "San Diego"],
-            StudyRegion::Italy => ["Milan, IT", "Rome, IT", "Cagliari, IT", "Palermo, IT", "Arezzo, IT"],
-            StudyRegion::CentralEu => ["Bern, CH", "Graz, AT", "Lyon, FR", "Milan, IT", "Munich, DE"],
+            StudyRegion::Italy => [
+                "Milan, IT",
+                "Rome, IT",
+                "Cagliari, IT",
+                "Palermo, IT",
+                "Arezzo, IT",
+            ],
+            StudyRegion::CentralEu => [
+                "Bern, CH",
+                "Graz, AT",
+                "Lyon, FR",
+                "Milan, IT",
+                "Munich, DE",
+            ],
         }
     }
 }
@@ -78,7 +90,11 @@ impl MesoscaleRegion {
             zones.push(record.id);
             members.push((record.name.clone(), record.location));
         }
-        Self { region, zones, members }
+        Self {
+            region,
+            zones,
+            members,
+        }
     }
 
     /// All four study regions resolved against a catalog.

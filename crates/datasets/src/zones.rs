@@ -70,6 +70,7 @@ pub struct ZoneCatalog {
 
 type RawZone = (&'static str, f64, f64, MixArchetype, f64, f64);
 
+#[rustfmt::skip]
 const US_ZONES: &[RawZone] = &[
     // name, lat, lon, archetype, fossil_delta, population (millions)
     // --- Florida mesoscale region (Fig. 2a, Sec. 6.2) ---
@@ -136,6 +137,7 @@ const US_ZONES: &[RawZone] = &[
     ("Buffalo", 42.8864, -78.8784, MixArchetype::HydroHeavy, 0.25, 1.1),
 ];
 
+#[rustfmt::skip]
 const EUROPE_ZONES: &[RawZone] = &[
     // --- Central-EU mesoscale region (Fig. 2d, Sec. 6.2) ---
     ("Bern, CH", 46.9480, 7.4474, MixArchetype::HydroHeavy, -0.50, 0.4),
@@ -190,6 +192,7 @@ const EUROPE_ZONES: &[RawZone] = &[
     ("Athens, GR", 37.9838, 23.7275, MixArchetype::SolarGas, 0.15, 3.2),
 ];
 
+#[rustfmt::skip]
 const WORLD_ZONES: &[RawZone] = &[
     ("Tokyo, JP", 35.6762, 139.6503, MixArchetype::GasHeavy, 0.05, 37.0),
     ("Osaka, JP", 34.6937, 135.5023, MixArchetype::GasHeavy, 0.00, 19.0),
@@ -370,11 +373,31 @@ mod tests {
     fn study_zones_exist() {
         let cat = ZoneCatalog::worldwide();
         for name in [
-            "Miami", "Orlando", "Tampa", "Jacksonville", "Tallahassee",
-            "San Diego", "Phoenix", "Las Vegas", "Kingman", "Flagstaff",
-            "Bern, CH", "Lyon, FR", "Graz, AT", "Milan, IT", "Munich, DE",
-            "Rome, IT", "Cagliari, IT", "Palermo, IT", "Arezzo, IT",
-            "Ontario", "Warsaw, PL", "Paris, FR", "Oslo, NO", "Vienna, AT", "Zagreb, HR",
+            "Miami",
+            "Orlando",
+            "Tampa",
+            "Jacksonville",
+            "Tallahassee",
+            "San Diego",
+            "Phoenix",
+            "Las Vegas",
+            "Kingman",
+            "Flagstaff",
+            "Bern, CH",
+            "Lyon, FR",
+            "Graz, AT",
+            "Milan, IT",
+            "Munich, DE",
+            "Rome, IT",
+            "Cagliari, IT",
+            "Palermo, IT",
+            "Arezzo, IT",
+            "Ontario",
+            "Warsaw, PL",
+            "Paris, FR",
+            "Oslo, NO",
+            "Vienna, AT",
+            "Zagreb, HR",
         ] {
             assert!(cat.by_name(name).is_some(), "missing {name}");
         }
@@ -383,8 +406,16 @@ mod tests {
     #[test]
     fn poland_is_coal_heavy_and_ontario_is_clean() {
         let cat = ZoneCatalog::worldwide();
-        let poland = cat.by_name("Warsaw, PL").unwrap().profile().baseline_intensity();
-        let ontario = cat.by_name("Ontario").unwrap().profile().baseline_intensity();
+        let poland = cat
+            .by_name("Warsaw, PL")
+            .unwrap()
+            .profile()
+            .baseline_intensity();
+        let ontario = cat
+            .by_name("Ontario")
+            .unwrap()
+            .profile()
+            .baseline_intensity();
         assert!(poland > 600.0, "Poland {poland}");
         assert!(ontario < 80.0, "Ontario {ontario}");
     }
@@ -393,7 +424,13 @@ mod tests {
     fn central_eu_yearly_spread_matches_paper() {
         // Figure 3b: ~10.8x between max and min yearly average in Central EU.
         let cat = ZoneCatalog::worldwide();
-        let names = ["Bern, CH", "Lyon, FR", "Graz, AT", "Milan, IT", "Munich, DE"];
+        let names = [
+            "Bern, CH",
+            "Lyon, FR",
+            "Graz, AT",
+            "Milan, IT",
+            "Munich, DE",
+        ];
         let intensities: Vec<f64> = names
             .iter()
             .map(|n| cat.by_name(n).unwrap().profile().baseline_intensity())
@@ -440,7 +477,11 @@ mod tests {
         let cat = ZoneCatalog::worldwide();
         let mean = |area: ZoneArea| {
             let zones = cat.in_area(area);
-            zones.iter().map(|r| r.profile().baseline_intensity()).sum::<f64>() / zones.len() as f64
+            zones
+                .iter()
+                .map(|r| r.profile().baseline_intensity())
+                .sum::<f64>()
+                / zones.len() as f64
         };
         assert!(mean(ZoneArea::Europe) < mean(ZoneArea::UnitedStates));
     }

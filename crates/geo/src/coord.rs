@@ -49,8 +49,7 @@ impl Coordinates {
         let dlon = lon2 - lon1;
         let bx = lat2.cos() * dlon.cos();
         let by = lat2.cos() * dlon.sin();
-        let lat3 = (lat1.sin() + lat2.sin())
-            .atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by.powi(2)).sqrt());
         let lon3 = lon1 + by.atan2(lat1.cos() + bx);
         Coordinates::new(lat3.to_degrees(), lon3.to_degrees())
     }
@@ -148,6 +147,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn distance_is_symmetric(lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
                                  lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0) {

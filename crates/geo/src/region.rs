@@ -21,7 +21,12 @@ impl BoundingBox {
     pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Self {
         assert!(min_lat <= max_lat, "min_lat must not exceed max_lat");
         assert!(min_lon <= max_lon, "min_lon must not exceed max_lon");
-        Self { min_lat, max_lat, min_lon, max_lon }
+        Self {
+            min_lat,
+            max_lat,
+            min_lon,
+            max_lon,
+        }
     }
 
     /// Bounding box that tightly covers a set of coordinates.
@@ -46,7 +51,10 @@ impl BoundingBox {
 
     /// Whether the point lies inside (or on the boundary of) the box.
     pub fn contains(&self, p: &Coordinates) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon && p.lon <= self.max_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
     }
 
     /// Geographic center of the box.
@@ -83,7 +91,10 @@ pub struct Region {
 impl Region {
     /// Creates a region from named member locations.
     pub fn new(name: impl Into<String>, members: Vec<(String, Coordinates)>) -> Self {
-        Self { name: name.into(), members }
+        Self {
+            name: name.into(),
+            members,
+        }
     }
 
     /// Number of member locations.
@@ -137,8 +148,14 @@ mod tests {
                 ("Miami".to_string(), Coordinates::new(25.7617, -80.1918)),
                 ("Orlando".to_string(), Coordinates::new(28.5384, -81.3789)),
                 ("Tampa".to_string(), Coordinates::new(27.9506, -82.4572)),
-                ("Tallahassee".to_string(), Coordinates::new(30.4383, -84.2807)),
-                ("Jacksonville".to_string(), Coordinates::new(30.3322, -81.6557)),
+                (
+                    "Tallahassee".to_string(),
+                    Coordinates::new(30.4383, -84.2807),
+                ),
+                (
+                    "Jacksonville".to_string(),
+                    Coordinates::new(30.3322, -81.6557),
+                ),
             ],
         )
     }

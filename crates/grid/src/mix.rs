@@ -42,7 +42,9 @@ impl EnergyMix {
 
     /// Convenience constructor for a single-source mix.
     pub fn pure(source: EnergySource) -> Self {
-        Self { shares: vec![(source, 1.0)] }
+        Self {
+            shares: vec![(source, 1.0)],
+        }
     }
 
     /// Share of a given source (0 if absent).
@@ -228,6 +230,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn carbon_intensity_bounded_by_source_factors(
             hydro in 0.0f64..1.0, solar in 0.0f64..1.0, wind in 0.0f64..1.0,

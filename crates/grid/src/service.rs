@@ -31,7 +31,11 @@ impl CarbonIntensityService {
     }
 
     /// Replaces the forecaster.
-    pub fn with_forecaster(mut self, forecaster: Box<dyn Forecaster>, horizon_hours: usize) -> Self {
+    pub fn with_forecaster(
+        mut self,
+        forecaster: Box<dyn Forecaster>,
+        horizon_hours: usize,
+    ) -> Self {
         self.forecaster = forecaster;
         self.horizon_hours = horizon_hours.max(1);
         self

@@ -83,7 +83,10 @@ impl EnergySource {
 
     /// Whether the source is a fossil fuel.
     pub fn is_fossil(&self) -> bool {
-        matches!(self, EnergySource::Coal | EnergySource::Gas | EnergySource::Oil)
+        matches!(
+            self,
+            EnergySource::Coal | EnergySource::Gas | EnergySource::Oil
+        )
     }
 
     /// Short lowercase label (matches the legend style of Figure 1a).

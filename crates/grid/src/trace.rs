@@ -31,7 +31,9 @@ impl CarbonTrace {
 
     /// A constant trace (useful in tests and for hypothetical zero-carbon zones).
     pub fn constant(value: f64) -> Self {
-        Self { values: vec![value.max(0.0); HOURS_PER_YEAR] }
+        Self {
+            values: vec![value.max(0.0); HOURS_PER_YEAR],
+        }
     }
 
     /// Carbon intensity at a given hour.
@@ -56,7 +58,10 @@ impl CarbonTrace {
 
     /// Maximum hourly value.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean over an arbitrary window of hours starting at `start`
@@ -162,8 +167,8 @@ impl TraceGenerator {
             };
             // Normalize so the *average* solar factor over the year stays near 1.0
             // (the baseline mix is an annual average): the mean of the half-sine
-            // over 24h is 2/PI * 12/24 ≈ 0.318.
-            let solar_factor = (solar_diurnal * seasonal_scale) / 0.318;
+            // over 24h is 2/PI * 12/24 = 1/PI.
+            let solar_factor = (solar_diurnal * seasonal_scale) / std::f64::consts::FRAC_1_PI;
 
             // Wind capacity factor: persistent AR(1) noise around 1.0.
             let noise: f64 = rng.gen_range(-1.0..1.0);
@@ -221,7 +226,12 @@ mod tests {
         ZoneProfile::new(
             "CoalZone",
             Coordinates::new(52.0, 19.0),
-            EnergyMix::new(&[(EnergySource::Coal, 0.7), (EnergySource::Gas, 0.2), (EnergySource::Wind, 0.1)]).unwrap(),
+            EnergyMix::new(&[
+                (EnergySource::Coal, 0.7),
+                (EnergySource::Gas, 0.2),
+                (EnergySource::Wind, 0.1),
+            ])
+            .unwrap(),
         )
     }
 

@@ -63,7 +63,10 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// A model without jitter, useful for tests and analytical experiments.
     pub fn deterministic() -> Self {
-        Self { jitter_fraction: 0.0, ..Self::default() }
+        Self {
+            jitter_fraction: 0.0,
+            ..Self::default()
+        }
     }
 
     fn pair_jitter(&self, a: Coordinates, b: Coordinates) -> f64 {
@@ -104,7 +107,9 @@ impl LatencyModel {
 
     /// Convenience sample constructor.
     pub fn sample(&self, a: Coordinates, b: Coordinates) -> LatencySample {
-        LatencySample { one_way_ms: self.one_way_ms(a, b) }
+        LatencySample {
+            one_way_ms: self.one_way_ms(a, b),
+        }
     }
 
     /// The maximum one-way reach (km) achievable within a round-trip latency
@@ -187,8 +192,14 @@ mod tests {
     #[test]
     fn different_seeds_give_different_jitter() {
         let (a, b) = coords();
-        let m1 = LatencyModel { seed: 1, ..LatencyModel::default() };
-        let m2 = LatencyModel { seed: 2, ..LatencyModel::default() };
+        let m1 = LatencyModel {
+            seed: 1,
+            ..LatencyModel::default()
+        };
+        let m2 = LatencyModel {
+            seed: 2,
+            ..LatencyModel::default()
+        };
         assert!((m1.one_way_ms(a, b) - m2.one_way_ms(a, b)).abs() > 1e-9);
     }
 
@@ -207,6 +218,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn one_way_latency_nonnegative_and_symmetric(
             lat1 in -60.0f64..70.0, lon1 in -170.0f64..170.0,

@@ -174,11 +174,8 @@ mod tests {
     fn from_values_validation() {
         assert!(LatencyMatrix::from_values(vec!["a".into(), "b".into()], vec![0.0; 3]).is_none());
         assert!(LatencyMatrix::from_values(vec!["a".into()], vec![-1.0]).is_none());
-        let ok = LatencyMatrix::from_values(
-            vec!["a".into(), "b".into()],
-            vec![0.0, 5.0, 5.0, 0.0],
-        )
-        .unwrap();
+        let ok = LatencyMatrix::from_values(vec!["a".into(), "b".into()], vec![0.0, 5.0, 5.0, 0.0])
+            .unwrap();
         assert_eq!(ok.one_way(0, 1), 5.0);
         assert_eq!(ok.round_trip(0, 1), 10.0);
     }

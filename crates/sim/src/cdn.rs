@@ -145,7 +145,12 @@ pub struct CdnSimulator {
     catalog: ZoneCatalog,
     traces: Vec<CarbonTrace>,
     /// (site name, location, zone, population) restricted to the area.
-    sites: Vec<(String, carbonedge_geo::Coordinates, carbonedge_grid::ZoneId, f64)>,
+    sites: Vec<(
+        String,
+        carbonedge_geo::Coordinates,
+        carbonedge_grid::ZoneId,
+        f64,
+    )>,
     latency_model: LatencyModel,
 }
 
@@ -185,27 +190,29 @@ impl CdnSimulator {
     /// Monthly mean carbon intensity of a named zone (Figure 13c).
     pub fn monthly_intensity_of(&self, zone_name: &str) -> Option<Vec<f64>> {
         let id = self.catalog.id_of(zone_name)?;
-        Some((0..12).map(|m| self.traces[id.index()].monthly_mean(m)).collect())
+        Some(
+            (0..12)
+                .map(|m| self.traces[id.index()].monthly_mean(m))
+                .collect(),
+        )
     }
 
     fn capacity_multiplier(&self, population: f64, mean_population: f64) -> usize {
         match self.config.scenario {
-            CdnScenario::PopulationCapacity => {
-                ((population / mean_population) * self.config.servers_per_site as f64)
-                    .round()
-                    .max(1.0) as usize
-            }
+            CdnScenario::PopulationCapacity => ((population / mean_population)
+                * self.config.servers_per_site as f64)
+                .round()
+                .max(1.0) as usize,
             _ => self.config.servers_per_site,
         }
     }
 
     fn demand_for_site(&self, population: f64, mean_population: f64) -> usize {
         match self.config.scenario {
-            CdnScenario::PopulationDemand => {
-                ((population / mean_population) * self.config.apps_per_site as f64)
-                    .round()
-                    .max(0.0) as usize
-            }
+            CdnScenario::PopulationDemand => ((population / mean_population)
+                * self.config.apps_per_site as f64)
+                .round()
+                .max(0.0) as usize,
             _ => self.config.apps_per_site,
         }
     }
@@ -232,8 +239,14 @@ impl CdnSimulator {
                 let intensity = self.traces[zone.index()].monthly_mean(month);
                 for _ in 0..count {
                     servers.push(
-                        ServerSnapshot::new(servers.len(), site_idx, *zone, self.config.device, *loc)
-                            .with_carbon_intensity(intensity),
+                        ServerSnapshot::new(
+                            servers.len(),
+                            site_idx,
+                            *zone,
+                            self.config.device,
+                            *loc,
+                        )
+                        .with_carbon_intensity(intensity),
                     );
                     server_site.push(site_idx);
                 }
@@ -260,7 +273,9 @@ impl CdnSimulator {
             }
             let problem = PlacementProblem::new(servers, apps, hours_in_month)
                 .with_latency_model(self.latency_model.clone());
-            let decision = placer.place(&problem).expect("CDN placement has feasible options");
+            let decision = placer
+                .place(&problem)
+                .expect("CDN placement has feasible options");
 
             let placed = decision.assignment.iter().flatten().count();
             outcome.accumulate(&PolicyOutcome {
@@ -316,8 +331,12 @@ mod tests {
     #[test]
     fn carbonedge_saves_substantial_carbon_in_both_continents() {
         // Figure 11a: 49.5% (US) and 67.8% (Europe) with a 20 ms limit.
-        let us = CdnSimulator::new(small_config(ZoneArea::UnitedStates)).compare().2;
-        let eu = CdnSimulator::new(small_config(ZoneArea::Europe)).compare().2;
+        let us = CdnSimulator::new(small_config(ZoneArea::UnitedStates))
+            .compare()
+            .2;
+        let eu = CdnSimulator::new(small_config(ZoneArea::Europe))
+            .compare()
+            .2;
         assert!(us.carbon_percent > 20.0, "US savings {}", us.carbon_percent);
         assert!(eu.carbon_percent > 40.0, "EU savings {}", eu.carbon_percent);
         assert!(
@@ -356,8 +375,12 @@ mod tests {
         let loose = CdnSimulator::new(small_config(ZoneArea::Europe).with_latency_limit(30.0))
             .compare()
             .2;
-        assert!(loose.carbon_percent > tight.carbon_percent + 5.0,
-            "tight {} loose {}", tight.carbon_percent, loose.carbon_percent);
+        assert!(
+            loose.carbon_percent > tight.carbon_percent + 5.0,
+            "tight {} loose {}",
+            tight.carbon_percent,
+            loose.carbon_percent
+        );
     }
 
     #[test]
@@ -375,15 +398,23 @@ mod tests {
             .zip(baseline.monthly.iter())
             .map(|(c, l)| (1.0 - c.carbon_g / l.carbon_g) * 100.0)
             .collect();
-        let max = monthly_savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = monthly_savings.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = monthly_savings
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = monthly_savings
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max - min < 40.0, "monthly savings swing {max} - {min}");
     }
 
     #[test]
     fn population_skew_changes_savings_moderately() {
         // Figure 14: demand/capacity skew shifts savings by a few percent.
-        let homo = CdnSimulator::new(small_config(ZoneArea::UnitedStates)).compare().2;
+        let homo = CdnSimulator::new(small_config(ZoneArea::UnitedStates))
+            .compare()
+            .2;
         let demand = CdnSimulator::new(
             small_config(ZoneArea::UnitedStates).with_scenario(CdnScenario::PopulationDemand),
         )
@@ -395,7 +426,11 @@ mod tests {
         .compare()
         .2;
         for s in [&demand, &capacity] {
-            assert!(s.carbon_percent > 10.0, "skewed savings {}", s.carbon_percent);
+            assert!(
+                s.carbon_percent > 10.0,
+                "skewed savings {}",
+                s.carbon_percent
+            );
             assert!((s.carbon_percent - homo.carbon_percent).abs() < 30.0);
         }
     }

@@ -113,7 +113,9 @@ pub fn run_heterogeneity(config: &HeterogeneityConfig) -> Vec<HeterogeneityResul
     for cluster in ClusterKind::ALL {
         // Build server snapshots: each site hosts `devices()` servers.
         let mut servers = Vec::new();
-        for (site_idx, (zone, (_, loc))) in region.zones.iter().zip(region.members.iter()).enumerate() {
+        for (site_idx, (zone, (_, loc))) in
+            region.zones.iter().zip(region.members.iter()).enumerate()
+        {
             for device in cluster.devices() {
                 servers.push(
                     ServerSnapshot::new(servers.len(), site_idx, *zone, device, *loc)
@@ -172,7 +174,11 @@ pub fn outcome_of<'a>(
 }
 
 /// Savings of CarbonEdge over a baseline policy for one cluster kind.
-pub fn savings_versus(results: &[HeterogeneityResult], cluster: &str, baseline: &str) -> Option<Savings> {
+pub fn savings_versus(
+    results: &[HeterogeneityResult],
+    cluster: &str,
+    baseline: &str,
+) -> Option<Savings> {
     let ce = outcome_of(results, cluster, "CarbonEdge")?;
     let base = outcome_of(results, cluster, baseline)?;
     Some(Savings::versus(ce, base))
@@ -191,8 +197,16 @@ mod tests {
         let r = results();
         assert_eq!(r.len(), 4 * 4);
         for cluster in ClusterKind::ALL {
-            for policy in ["CarbonEdge", "Latency-aware", "Energy-aware", "Intensity-aware"] {
-                assert!(outcome_of(&r, cluster.name(), policy).is_some(), "{cluster:?} {policy}");
+            for policy in [
+                "CarbonEdge",
+                "Latency-aware",
+                "Energy-aware",
+                "Intensity-aware",
+            ] {
+                assert!(
+                    outcome_of(&r, cluster.name(), policy).is_some(),
+                    "{cluster:?} {policy}"
+                );
             }
         }
     }
@@ -202,8 +216,12 @@ mod tests {
         // Figure 15b: serving the same load on Orin Nano uses far less energy
         // than on GTX 1080 (the paper reports ~95% less).
         let r = results();
-        let nano = outcome_of(&r, "Orin Nano", "Latency-aware").unwrap().energy_j;
-        let gtx = outcome_of(&r, "GTX 1080", "Latency-aware").unwrap().energy_j;
+        let nano = outcome_of(&r, "Orin Nano", "Latency-aware")
+            .unwrap()
+            .energy_j;
+        let gtx = outcome_of(&r, "GTX 1080", "Latency-aware")
+            .unwrap()
+            .energy_j;
         assert!(nano < gtx * 0.5, "nano {nano} gtx {gtx}");
     }
 
@@ -218,7 +236,11 @@ mod tests {
             assert!(ce <= b + 1e-9, "CarbonEdge {ce} vs {baseline} {b}");
         }
         let vs_latency = savings_versus(&r, "Hetero.", "Latency-aware").unwrap();
-        assert!(vs_latency.carbon_percent > 40.0, "savings {}", vs_latency.carbon_percent);
+        assert!(
+            vs_latency.carbon_percent > 40.0,
+            "savings {}",
+            vs_latency.carbon_percent
+        );
     }
 
     #[test]
@@ -238,7 +260,10 @@ mod tests {
         let r = results();
         let ce = outcome_of(&r, "Hetero.", "CarbonEdge").unwrap().energy_j;
         let ea = outcome_of(&r, "Hetero.", "Energy-aware").unwrap().energy_j;
-        assert!(ce >= ea - 1e-9, "CarbonEdge energy {ce} vs Energy-aware {ea}");
+        assert!(
+            ce >= ea - 1e-9,
+            "CarbonEdge energy {ce} vs Energy-aware {ea}"
+        );
     }
 
     #[test]

@@ -79,8 +79,18 @@ mod tests {
 
     #[test]
     fn accumulate_merges_and_averages_latency() {
-        let mut a = PolicyOutcome { carbon_g: 10.0, energy_j: 100.0, mean_latency_ms: 4.0, placed_apps: 2 };
-        let b = PolicyOutcome { carbon_g: 20.0, energy_j: 300.0, mean_latency_ms: 10.0, placed_apps: 4 };
+        let mut a = PolicyOutcome {
+            carbon_g: 10.0,
+            energy_j: 100.0,
+            mean_latency_ms: 4.0,
+            placed_apps: 2,
+        };
+        let b = PolicyOutcome {
+            carbon_g: 20.0,
+            energy_j: 300.0,
+            mean_latency_ms: 10.0,
+            placed_apps: 4,
+        };
         a.accumulate(&b);
         assert_eq!(a.carbon_g, 30.0);
         assert_eq!(a.energy_j, 400.0);
@@ -90,7 +100,12 @@ mod tests {
 
     #[test]
     fn accumulate_with_empty_outcome_is_identity() {
-        let mut a = PolicyOutcome { carbon_g: 5.0, energy_j: 50.0, mean_latency_ms: 3.0, placed_apps: 1 };
+        let mut a = PolicyOutcome {
+            carbon_g: 5.0,
+            energy_j: 50.0,
+            mean_latency_ms: 3.0,
+            placed_apps: 1,
+        };
         a.accumulate(&PolicyOutcome::default());
         assert_eq!(a.placed_apps, 1);
         assert_eq!(a.mean_latency_ms, 3.0);
@@ -98,8 +113,18 @@ mod tests {
 
     #[test]
     fn savings_versus_baseline() {
-        let policy = PolicyOutcome { carbon_g: 30.0, energy_j: 200.0, mean_latency_ms: 12.0, placed_apps: 5 };
-        let baseline = PolicyOutcome { carbon_g: 100.0, energy_j: 100.0, mean_latency_ms: 5.0, placed_apps: 5 };
+        let policy = PolicyOutcome {
+            carbon_g: 30.0,
+            energy_j: 200.0,
+            mean_latency_ms: 12.0,
+            placed_apps: 5,
+        };
+        let baseline = PolicyOutcome {
+            carbon_g: 100.0,
+            energy_j: 100.0,
+            mean_latency_ms: 5.0,
+            placed_apps: 5,
+        };
         let s = Savings::versus(&policy, &baseline);
         assert!((s.carbon_percent - 70.0).abs() < 1e-9);
         assert!((s.latency_increase_ms - 7.0).abs() < 1e-9);
@@ -115,7 +140,12 @@ mod tests {
 
     #[test]
     fn unit_conversions() {
-        let o = PolicyOutcome { carbon_g: 2.5e6, energy_j: 7.2e6, mean_latency_ms: 0.0, placed_apps: 0 };
+        let o = PolicyOutcome {
+            carbon_g: 2.5e6,
+            energy_j: 7.2e6,
+            mean_latency_ms: 0.0,
+            placed_apps: 0,
+        };
         assert!((o.carbon_t() - 2.5).abs() < 1e-12);
         assert!((o.energy_kwh() - 2.0).abs() < 1e-12);
     }

@@ -153,7 +153,14 @@ pub fn run_testbed_with_policies(
 
     let mut results = Vec::new();
     for policy in policies {
-        results.push(run_policy(config, &region, &traces, &latency_model, &profile, *policy));
+        results.push(run_policy(
+            config,
+            &region,
+            &traces,
+            &latency_model,
+            &profile,
+            *policy,
+        ));
     }
 
     let baseline = results
@@ -223,9 +230,11 @@ fn run_policy(
                 )
             })
             .collect();
-        let problem = PlacementProblem::new(servers, apps, 1.0)
-            .with_latency_model(latency_model.clone());
-        let decision = placer.place(&problem).expect("testbed placement is feasible");
+        let problem =
+            PlacementProblem::new(servers, apps, 1.0).with_latency_model(latency_model.clone());
+        let decision = placer
+            .place(&problem)
+            .expect("testbed placement is feasible");
 
         outcome.accumulate(&PolicyOutcome {
             carbon_g: decision.total_carbon_g,
@@ -234,12 +243,12 @@ fn run_policy(
             placed_apps: n - decision.unplaced.len(),
         });
 
-        for i in 0..n {
+        for (i, emissions) in hourly_emissions.iter_mut().enumerate().take(n) {
             let emission = match decision.assignment[i] {
                 Some(j) => problem.operational_carbon_g(i, j).unwrap_or(0.0),
                 None => 0.0,
             };
-            hourly_emissions[i].1.push(emission);
+            emissions.1.push(emission);
             if let Some(j) = decision.assignment[i] {
                 let rtt = problem.latency_ms(i, j);
                 let response = rtt + profile.processing_time_ms;
@@ -256,7 +265,10 @@ fn run_policy(
         .enumerate()
         .map(|(i, (name, _))| {
             let (sum, count) = response_accum.get(&i).copied().unwrap_or((0.0, 0));
-            (name.clone(), if count > 0 { sum / count as f64 } else { 0.0 })
+            (
+                name.clone(),
+                if count > 0 { sum / count as f64 } else { 0.0 },
+            )
         })
         .collect();
 
@@ -275,7 +287,10 @@ mod tests {
     #[test]
     fn florida_carbonedge_saves_carbon_with_small_latency_cost() {
         // Figure 10: ~39% savings in Florida with a ~6.6 ms latency increase.
-        let result = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
+        let result = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::SciCpu,
+        ));
         assert!(
             result.savings.carbon_percent > 15.0 && result.savings.carbon_percent < 60.0,
             "Florida savings {}",
@@ -291,8 +306,14 @@ mod tests {
     #[test]
     fn central_eu_savings_exceed_florida_savings() {
         // Figure 10: Central EU reaches ~78.7% savings, far above Florida.
-        let florida = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
-        let eu = run_testbed(&TestbedConfig::new(StudyRegion::CentralEu, TestbedWorkload::SciCpu));
+        let florida = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::SciCpu,
+        ));
+        let eu = run_testbed(&TestbedConfig::new(
+            StudyRegion::CentralEu,
+            TestbedWorkload::SciCpu,
+        ));
         assert!(
             eu.savings.carbon_percent > florida.savings.carbon_percent + 10.0,
             "EU {} vs FL {}",
@@ -310,8 +331,14 @@ mod tests {
     fn gpu_workload_emits_less_than_cpu_workload() {
         // Figure 10a: the GPU application emits less carbon in absolute terms
         // because it draws far less power per request.
-        let cpu = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
-        let gpu = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::ResNet50));
+        let cpu = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::SciCpu,
+        ));
+        let gpu = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::ResNet50,
+        ));
         let cpu_latency_aware = cpu.policy("Latency-aware").unwrap().outcome.carbon_g;
         let gpu_latency_aware = gpu.policy("Latency-aware").unwrap().outcome.carbon_g;
         assert!(gpu_latency_aware < cpu_latency_aware);
@@ -324,7 +351,10 @@ mod tests {
     fn carbonedge_consolidates_into_greenest_zone() {
         // Figure 8c: CarbonEdge serves every application from the greenest
         // zone (Miami), so per-zone emissions become nearly identical.
-        let result = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
+        let result = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::SciCpu,
+        ));
         let ce = result.policy("CarbonEdge").unwrap();
         let totals: Vec<f64> = ce
             .hourly_emissions
@@ -333,14 +363,20 @@ mod tests {
             .collect();
         let max = totals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max - min < 0.15 * max, "per-zone totals spread too much: {totals:?}");
+        assert!(
+            max - min < 0.15 * max,
+            "per-zone totals spread too much: {totals:?}"
+        );
     }
 
     #[test]
     fn latency_aware_emissions_track_local_intensity() {
         // Figure 8b: under Latency-aware, each zone's emissions follow its
         // own carbon intensity, so the dirtiest zone emits the most.
-        let result = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
+        let result = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::SciCpu,
+        ));
         let la = result.policy("Latency-aware").unwrap();
         let mut totals: Vec<(String, f64)> = la
             .hourly_emissions
@@ -358,7 +394,10 @@ mod tests {
     fn response_times_are_bounded_by_slo_plus_processing() {
         // Figure 9: response-time increases stay within ~10 ms because all
         // placements respect the 20 ms round-trip SLO.
-        let result = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::ResNet50));
+        let result = run_testbed(&TestbedConfig::new(
+            StudyRegion::Florida,
+            TestbedWorkload::ResNet50,
+        ));
         let profile = WorkloadProfile::lookup(ModelKind::ResNet50, DeviceKind::A2).unwrap();
         for policy in &result.policies {
             for (_, rt) in &policy.response_time_ms {
@@ -368,13 +407,19 @@ mod tests {
         let la = result.policy("Latency-aware").unwrap();
         let ce = result.policy("CarbonEdge").unwrap();
         for ((_, rt_la), (_, rt_ce)) in la.response_time_ms.iter().zip(ce.response_time_ms.iter()) {
-            assert!(rt_ce + 1e-9 >= *rt_la, "CarbonEdge cannot be faster than local serving");
+            assert!(
+                rt_ce + 1e-9 >= *rt_la,
+                "CarbonEdge cannot be faster than local serving"
+            );
         }
     }
 
     #[test]
     fn hourly_series_have_24_points() {
-        let result = run_testbed(&TestbedConfig::new(StudyRegion::CentralEu, TestbedWorkload::SciCpu));
+        let result = run_testbed(&TestbedConfig::new(
+            StudyRegion::CentralEu,
+            TestbedWorkload::SciCpu,
+        ));
         assert_eq!(result.hourly_intensity.len(), 5);
         assert!(result.hourly_intensity.iter().all(|(_, s)| s.len() == 24));
         for p in &result.policies {

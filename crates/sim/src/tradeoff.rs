@@ -48,7 +48,9 @@ impl TradeoffSweep {
 
         // Heterogeneous servers: one of each device type per site.
         let mut servers = Vec::new();
-        for (site_idx, (zone, (_, loc))) in region.zones.iter().zip(region.members.iter()).enumerate() {
+        for (site_idx, (zone, (_, loc))) in
+            region.zones.iter().zip(region.members.iter()).enumerate()
+        {
             for device in [DeviceKind::OrinNano, DeviceKind::A2, DeviceKind::Gtx1080] {
                 servers.push(
                     ServerSnapshot::new(servers.len(), site_idx, *zone, device, *loc)
@@ -58,7 +60,11 @@ impl TradeoffSweep {
         }
         // Low utilization: 1 app per model per site at 5 rps.
         // High utilization: 4 apps per model per site at 15 rps.
-        let (apps_per_model, rate) = if high_utilization { (4, 15.0) } else { (1, 5.0) };
+        let (apps_per_model, rate) = if high_utilization {
+            (4, 15.0)
+        } else {
+            (1, 5.0)
+        };
         let mut apps = Vec::new();
         for (_, loc) in &region.members {
             for model in ModelKind::GPU_MODELS {
@@ -99,7 +105,11 @@ impl TradeoffSweep {
             .collect();
         let latency_aware = place(PlacementPolicy::LatencyAware);
 
-        TradeoffSweep { high_utilization, points, latency_aware }
+        TradeoffSweep {
+            high_utilization,
+            points,
+            latency_aware,
+        }
     }
 
     /// The default α grid of Figure 16 (0.0 to 1.0 in steps of 0.1).
@@ -137,8 +147,14 @@ mod tests {
         let sweep = TradeoffSweep::run(false, &[0.0, 0.5, 1.0]);
         let first = sweep.points.first().unwrap().outcome;
         let last = sweep.points.last().unwrap().outcome;
-        assert!(last.carbon_g >= first.carbon_g - 1e-9, "carbon should not fall as α grows");
-        assert!(last.energy_j <= first.energy_j + 1e-9, "energy should not rise as α grows");
+        assert!(
+            last.carbon_g >= first.carbon_g - 1e-9,
+            "carbon should not fall as α grows"
+        );
+        assert!(
+            last.energy_j <= first.energy_j + 1e-9,
+            "energy should not rise as α grows"
+        );
     }
 
     #[test]

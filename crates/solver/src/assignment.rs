@@ -147,7 +147,11 @@ pub struct AssignmentSolver {
 
 impl Default for AssignmentSolver {
     fn default() -> Self {
-        Self { local_search_passes: 8, exhaustive_limit: 20_000, regret_limit: 200 }
+        Self {
+            local_search_passes: 8,
+            exhaustive_limit: 20_000,
+            regret_limit: 200,
+        }
     }
 }
 
@@ -267,7 +271,7 @@ impl AssignmentSolver {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..state.problem.num_servers() {
                 if let Some(c) = state.marginal_cost(i, j) {
-                    if best.map_or(true, |(_, bc)| c < bc) {
+                    if best.is_none_or(|(_, bc)| c < bc) {
                         best = Some((j, c));
                     }
                 }
@@ -292,7 +296,7 @@ impl AssignmentSolver {
                     if let Some(c) = state.marginal_cost(i, j) {
                         match best {
                             Some((_, bc)) if c >= bc => {
-                                if second.map_or(true, |s| c < s) {
+                                if second.is_none_or(|s| c < s) {
                                     second = Some(c);
                                 }
                             }
@@ -329,14 +333,16 @@ impl AssignmentSolver {
         for _ in 0..self.local_search_passes {
             let mut improved = false;
             for i in 0..state.problem.num_apps() {
-                let Some(current) = state.assignment[i] else { continue };
+                let Some(current) = state.assignment[i] else {
+                    continue;
+                };
                 let before = state.total_cost();
                 state.unplace(i);
                 // Find the cheapest feasible server for i in the reduced state.
                 let mut best: Option<(usize, f64)> = None;
                 for j in 0..state.problem.num_servers() {
                     if let Some(c) = state.marginal_cost(i, j) {
-                        if best.map_or(true, |(_, bc)| c < bc) {
+                        if best.is_none_or(|(_, bc)| c < bc) {
                             best = Some((j, c));
                         }
                     }
@@ -383,7 +389,12 @@ impl AssignmentSolver {
             .collect();
         newly_opened.sort_unstable();
         newly_opened.dedup();
-        AssignmentSolution { assignment, cost, unassigned, newly_opened }
+        AssignmentSolution {
+            assignment,
+            cost,
+            unassigned,
+            newly_opened,
+        }
     }
 
     fn solve_exhaustive(&self, problem: &AssignmentProblem) -> Option<AssignmentSolution> {
@@ -399,7 +410,7 @@ impl AssignmentSolver {
                 c /= servers as u64;
             }
             if let Some(cost) = problem.evaluate(&assignment) {
-                if best.as_ref().map_or(true, |(bc, _)| cost < *bc) {
+                if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
                     best = Some((cost, assignment));
                 }
             }
@@ -413,7 +424,12 @@ impl AssignmentSolver {
             .collect();
         newly_opened.sort_unstable();
         newly_opened.dedup();
-        Some(AssignmentSolution { assignment, cost, unassigned: vec![], newly_opened })
+        Some(AssignmentSolution {
+            assignment,
+            cost,
+            unassigned: vec![],
+            newly_opened,
+        })
     }
 }
 
@@ -426,14 +442,8 @@ mod tests {
     fn simple_problem() -> AssignmentProblem {
         // 2 apps, 2 servers, one resource dimension.
         AssignmentProblem {
-            cost: vec![
-                vec![Some(10.0), Some(1.0)],
-                vec![Some(2.0), Some(8.0)],
-            ],
-            demand: vec![
-                vec![vec![1.0], vec![1.0]],
-                vec![vec![1.0], vec![1.0]],
-            ],
+            cost: vec![vec![Some(10.0), Some(1.0)], vec![Some(2.0), Some(8.0)]],
+            demand: vec![vec![vec![1.0], vec![1.0]], vec![vec![1.0], vec![1.0]]],
             capacity: vec![vec![2.0], vec![2.0]],
             activation_cost: vec![0.0, 0.0],
             open: vec![true, true],
@@ -467,14 +477,8 @@ mod tests {
         // Two apps; server 0 slightly more expensive per app but open,
         // server 1 cheaper per app but has a huge activation cost.
         let p = AssignmentProblem {
-            cost: vec![
-                vec![Some(5.0), Some(4.0)],
-                vec![Some(5.0), Some(4.0)],
-            ],
-            demand: vec![
-                vec![vec![1.0], vec![1.0]],
-                vec![vec![1.0], vec![1.0]],
-            ],
+            cost: vec![vec![Some(5.0), Some(4.0)], vec![Some(5.0), Some(4.0)]],
+            demand: vec![vec![vec![1.0], vec![1.0]], vec![vec![1.0], vec![1.0]]],
             capacity: vec![vec![2.0], vec![2.0]],
             activation_cost: vec![0.0, 100.0],
             open: vec![true, false],
@@ -489,14 +493,8 @@ mod tests {
     fn activation_cost_paid_once() {
         // Cheap closed server worth opening for both apps.
         let p = AssignmentProblem {
-            cost: vec![
-                vec![Some(50.0), Some(1.0)],
-                vec![Some(50.0), Some(1.0)],
-            ],
-            demand: vec![
-                vec![vec![1.0], vec![1.0]],
-                vec![vec![1.0], vec![1.0]],
-            ],
+            cost: vec![vec![Some(50.0), Some(1.0)], vec![Some(50.0), Some(1.0)]],
+            demand: vec![vec![vec![1.0], vec![1.0]], vec![vec![1.0], vec![1.0]]],
             capacity: vec![vec![2.0], vec![2.0]],
             activation_cost: vec![0.0, 10.0],
             open: vec![true, false],
@@ -511,10 +509,7 @@ mod tests {
     fn infeasible_pairs_are_avoided() {
         let p = AssignmentProblem {
             cost: vec![vec![None, Some(3.0)], vec![Some(2.0), None]],
-            demand: vec![
-                vec![vec![1.0], vec![1.0]],
-                vec![vec![1.0], vec![1.0]],
-            ],
+            demand: vec![vec![vec![1.0], vec![1.0]], vec![vec![1.0], vec![1.0]]],
             capacity: vec![vec![1.0], vec![1.0]],
             activation_cost: vec![0.0, 0.0],
             open: vec![true, true],
@@ -535,7 +530,10 @@ mod tests {
             activation_cost: vec![0.0],
             open: vec![true],
         };
-        let solver = AssignmentSolver { exhaustive_limit: 0, ..AssignmentSolver::new() };
+        let solver = AssignmentSolver {
+            exhaustive_limit: 0,
+            ..AssignmentSolver::new()
+        };
         let sol = solver.solve(&p);
         assert_eq!(sol.unassigned.len(), 1);
         assert!(!sol.is_complete());
@@ -601,17 +599,26 @@ mod tests {
                     })
                     .collect(),
                 demand: (0..apps)
-                    .map(|_| (0..servers).map(|_| vec![rng.gen_range(0.5..2.0)]).collect())
+                    .map(|_| {
+                        (0..servers)
+                            .map(|_| vec![rng.gen_range(0.5..2.0)])
+                            .collect()
+                    })
                     .collect(),
-                capacity: (0..servers).map(|_| vec![rng.gen_range(2.0..5.0)]).collect(),
+                capacity: (0..servers)
+                    .map(|_| vec![rng.gen_range(2.0..5.0)])
+                    .collect(),
                 activation_cost: (0..servers).map(|_| rng.gen_range(0.0..20.0)).collect(),
                 open: (0..servers).map(|_| rng.gen_bool(0.5)).collect(),
             };
             // Exact (exhaustive) solution through the normal entry point.
             let exact = AssignmentSolver::new().solve(&p);
             // Heuristic-only solution.
-            let heuristic =
-                AssignmentSolver { exhaustive_limit: 0, ..AssignmentSolver::new() }.solve(&p);
+            let heuristic = AssignmentSolver {
+                exhaustive_limit: 0,
+                ..AssignmentSolver::new()
+            }
+            .solve(&p);
             if exact.is_complete() && heuristic.is_complete() {
                 // The heuristic may be suboptimal but never better than exact,
                 // and should be within 30% on these tiny instances.
@@ -633,10 +640,18 @@ mod tests {
         let servers = 40;
         let p = AssignmentProblem {
             cost: (0..apps)
-                .map(|_| (0..servers).map(|_| Some(rng.gen_range(1.0..100.0))).collect())
+                .map(|_| {
+                    (0..servers)
+                        .map(|_| Some(rng.gen_range(1.0..100.0)))
+                        .collect()
+                })
                 .collect(),
             demand: (0..apps)
-                .map(|_| (0..servers).map(|_| vec![rng.gen_range(0.1..0.4), rng.gen_range(100.0..500.0)]).collect())
+                .map(|_| {
+                    (0..servers)
+                        .map(|_| vec![rng.gen_range(0.1..0.4), rng.gen_range(100.0..500.0)])
+                        .collect()
+                })
                 .collect(),
             capacity: (0..servers).map(|_| vec![1.0, 16_000.0]).collect(),
             activation_cost: (0..servers).map(|_| rng.gen_range(0.0..50.0)).collect(),

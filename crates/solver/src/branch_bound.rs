@@ -58,7 +58,11 @@ pub struct BranchBoundSolver {
 
 impl Default for BranchBoundSolver {
     fn default() -> Self {
-        Self { lp: SimplexSolver::new(), max_nodes: 50_000, tolerance: 1e-6 }
+        Self {
+            lp: SimplexSolver::new(),
+            max_nodes: 50_000,
+            tolerance: 1e-6,
+        }
     }
 }
 
@@ -75,7 +79,10 @@ impl BranchBoundSolver {
 
     /// Creates a solver with a node limit (anytime behaviour).
     pub fn with_node_limit(max_nodes: usize) -> Self {
-        Self { max_nodes, ..Self::default() }
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
     }
 
     fn most_fractional_binary(&self, model: &Model, values: &[f64]) -> Option<usize> {
@@ -97,7 +104,10 @@ impl BranchBoundSolver {
     /// Solves the MILP to optimality (or best effort within the node limit).
     pub fn solve(&self, model: &Model) -> MilpSolution {
         let n = model.num_vars();
-        let root = Node { overrides: vec![None; n], bound: f64::NEG_INFINITY };
+        let root = Node {
+            overrides: vec![None; n],
+            bound: f64::NEG_INFINITY,
+        };
         let mut stack = vec![root];
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
         let mut nodes = 0usize;
@@ -146,7 +156,7 @@ impl BranchBoundSolver {
                         let obj = model.objective_value(&values);
                         let improves = incumbent
                             .as_ref()
-                            .map_or(true, |(best, _)| obj < *best - self.tolerance);
+                            .is_none_or(|(best, _)| obj < *best - self.tolerance);
                         if improves {
                             incumbent = Some((obj, values));
                         }
@@ -157,7 +167,10 @@ impl BranchBoundSolver {
                     for fixed in [1.0, 0.0] {
                         let mut overrides = node.overrides.clone();
                         overrides[branch_var] = Some((fixed, fixed));
-                        stack.push(Node { overrides, bound: relax.objective });
+                        stack.push(Node {
+                            overrides,
+                            bound: relax.objective,
+                        });
                     }
                 }
             }
@@ -165,13 +178,21 @@ impl BranchBoundSolver {
 
         match incumbent {
             Some((objective, values)) => MilpSolution {
-                outcome: if exhausted { MilpOutcome::Optimal } else { MilpOutcome::Feasible },
+                outcome: if exhausted {
+                    MilpOutcome::Optimal
+                } else {
+                    MilpOutcome::Feasible
+                },
                 objective,
                 values,
                 nodes,
             },
             None => MilpSolution {
-                outcome: if exhausted { MilpOutcome::Infeasible } else { MilpOutcome::NodeLimit },
+                outcome: if exhausted {
+                    MilpOutcome::Infeasible
+                } else {
+                    MilpOutcome::NodeLimit
+                },
                 objective: f64::INFINITY,
                 values: vec![],
                 nodes,
@@ -221,9 +242,9 @@ mod tests {
         let mut m = Model::new();
         let mut x = vec![vec![]; 3];
         for i in 0..3 {
-            for j in 0..2 {
+            for &cost in &costs[i] {
                 let v = m.add_binary();
-                m.set_objective_term(v, costs[i][j]);
+                m.set_objective_term(v, cost);
                 x[i].push(v);
             }
             let expr = LinearExpr::new().with(x[i][0], 1.0).with(x[i][1], 1.0);
@@ -231,8 +252,8 @@ mod tests {
         }
         for j in 0..2 {
             let mut expr = LinearExpr::new();
-            for i in 0..3 {
-                expr.add(x[i][j], 1.0);
+            for row in &x {
+                expr.add(row[j], 1.0);
             }
             m.add_constraint(expr, Comparison::LessEq, 2.0, format!("cap{j}"));
         }
@@ -251,7 +272,12 @@ mod tests {
         let b = m.add_binary();
         m.add_constraint(LinearExpr::new().with(a, 1.0), Comparison::Equal, 1.0, "a1");
         m.add_constraint(LinearExpr::new().with(b, 1.0), Comparison::Equal, 1.0, "a2");
-        m.add_constraint(LinearExpr::new().with(a, 1.0).with(b, 1.0), Comparison::LessEq, 1.0, "cap");
+        m.add_constraint(
+            LinearExpr::new().with(a, 1.0).with(b, 1.0),
+            Comparison::LessEq,
+            1.0,
+            "cap",
+        );
         let sol = BranchBoundSolver::new().solve(&m);
         assert_eq!(sol.outcome, MilpOutcome::Infeasible);
         assert!(!sol.has_solution());
@@ -270,9 +296,24 @@ mod tests {
         m.set_objective_term(xb, 1.0);
         m.set_objective_term(ya, 1.0);
         m.set_objective_term(yb, 100.0);
-        m.add_constraint(LinearExpr::new().with(xa, 1.0).with(xb, 1.0), Comparison::Equal, 1.0, "assign");
-        m.add_constraint(LinearExpr::new().with(xa, 1.0).with(ya, -1.0), Comparison::LessEq, 0.0, "linkA");
-        m.add_constraint(LinearExpr::new().with(xb, 1.0).with(yb, -1.0), Comparison::LessEq, 0.0, "linkB");
+        m.add_constraint(
+            LinearExpr::new().with(xa, 1.0).with(xb, 1.0),
+            Comparison::Equal,
+            1.0,
+            "assign",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(xa, 1.0).with(ya, -1.0),
+            Comparison::LessEq,
+            0.0,
+            "linkA",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(xb, 1.0).with(yb, -1.0),
+            Comparison::LessEq,
+            0.0,
+            "linkB",
+        );
         let sol = BranchBoundSolver::new().solve(&m);
         assert_eq!(sol.outcome, MilpOutcome::Optimal);
         // Choosing A costs 11, choosing B costs 101 -> A wins.
@@ -312,7 +353,12 @@ mod tests {
         let y = m.add_binary();
         m.set_objective_term(x, 1.0);
         m.set_objective_term(y, 5.0);
-        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 2.0), Comparison::GreaterEq, 3.0, "cover");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 2.0),
+            Comparison::GreaterEq,
+            3.0,
+            "cover",
+        );
         let sol = BranchBoundSolver::new().solve(&m);
         assert_eq!(sol.outcome, MilpOutcome::Optimal);
         assert!(approx(sol.objective, 3.0), "obj {}", sol.objective);
@@ -336,21 +382,21 @@ mod tests {
             let mut m = Model::new();
             let mut x = vec![vec![]; apps];
             for i in 0..apps {
-                for j in 0..servers {
+                for &cost in &costs[i] {
                     let v = m.add_binary();
-                    m.set_objective_term(v, costs[i][j]);
+                    m.set_objective_term(v, cost);
                     x[i].push(v);
                 }
                 let mut expr = LinearExpr::new();
-                for j in 0..servers {
-                    expr.add(x[i][j], 1.0);
+                for &v in &x[i] {
+                    expr.add(v, 1.0);
                 }
                 m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
             }
             for j in 0..servers {
                 let mut expr = LinearExpr::new();
-                for i in 0..apps {
-                    expr.add(x[i][j], demand[i]);
+                for (row, &d) in x.iter().zip(demand.iter()) {
+                    expr.add(row[j], d);
                 }
                 m.add_constraint(expr, Comparison::LessEq, capacity, format!("cap{j}"));
             }
@@ -373,7 +419,12 @@ mod tests {
                 }
             }
             assert_eq!(sol.outcome, MilpOutcome::Optimal);
-            assert!(approx(sol.objective, best), "bb {} brute {}", sol.objective, best);
+            assert!(
+                approx(sol.objective, best),
+                "bb {} brute {}",
+                sol.objective,
+                best
+            );
         }
     }
 }

@@ -173,7 +173,12 @@ impl Model {
         rhs: f64,
         name: impl Into<String>,
     ) -> usize {
-        self.constraints.push(Constraint { expr, cmp, rhs, name: name.into() });
+        self.constraints.push(Constraint {
+            expr,
+            cmp,
+            rhs,
+            name: name.into(),
+        });
         self.constraints.len() - 1
     }
 
@@ -252,9 +257,24 @@ mod tests {
     #[test]
     fn constraint_satisfaction_by_sense() {
         let expr = LinearExpr::new().with(VarId(0), 1.0);
-        let le = Constraint { expr: expr.clone(), cmp: Comparison::LessEq, rhs: 1.0, name: String::new() };
-        let ge = Constraint { expr: expr.clone(), cmp: Comparison::GreaterEq, rhs: 1.0, name: String::new() };
-        let eq = Constraint { expr, cmp: Comparison::Equal, rhs: 1.0, name: String::new() };
+        let le = Constraint {
+            expr: expr.clone(),
+            cmp: Comparison::LessEq,
+            rhs: 1.0,
+            name: String::new(),
+        };
+        let ge = Constraint {
+            expr: expr.clone(),
+            cmp: Comparison::GreaterEq,
+            rhs: 1.0,
+            name: String::new(),
+        };
+        let eq = Constraint {
+            expr,
+            cmp: Comparison::Equal,
+            rhs: 1.0,
+            name: String::new(),
+        };
         assert!(le.is_satisfied(&[0.5], 1e-9));
         assert!(!le.is_satisfied(&[1.5], 1e-9));
         assert!(ge.is_satisfied(&[1.5], 1e-9));

@@ -49,7 +49,11 @@ pub struct SimplexSolver {
 
 impl Default for SimplexSolver {
     fn default() -> Self {
-        Self { max_iterations: 20_000, big_m: 1e7, tolerance: 1e-7 }
+        Self {
+            max_iterations: 20_000,
+            big_m: 1e7,
+            tolerance: 1e-7,
+        }
     }
 }
 
@@ -227,9 +231,9 @@ impl SimplexSolver {
             // Bland's rule as a tie-breaking fallback to avoid cycling.
             let mut entering: Option<usize> = None;
             let mut best = -self.tolerance;
-            for j in 0..total {
-                if objective_row[j] < best {
-                    best = objective_row[j];
+            for (j, &reduced_cost) in objective_row.iter().enumerate().take(total) {
+                if reduced_cost < best {
+                    best = reduced_cost;
                     entering = Some(j);
                 }
             }
@@ -246,7 +250,7 @@ impl SimplexSolver {
                     let ratio = tableau[r][total] / a;
                     if ratio < best_ratio - self.tolerance
                         || (ratio < best_ratio + self.tolerance
-                            && pivot_row.map_or(true, |pr| basis[r] < basis[pr]))
+                            && pivot_row.is_none_or(|pr| basis[r] < basis[pr]))
                     {
                         best_ratio = ratio;
                         pivot_row = Some(r);
@@ -264,25 +268,27 @@ impl SimplexSolver {
 
             // Pivot.
             let pivot_val = tableau[pivot_row][pivot_col];
-            for j in 0..=total {
-                tableau[pivot_row][j] /= pivot_val;
+            for v in tableau[pivot_row].iter_mut() {
+                *v /= pivot_val;
             }
-            for r in 0..m {
-                if r != pivot_row {
-                    let factor = tableau[r][pivot_col];
-                    if factor.abs() > 0.0 {
-                        for j in 0..=total {
-                            tableau[r][j] -= factor * tableau[pivot_row][j];
-                        }
+            let pivot_vals = tableau[pivot_row].clone();
+            for (r, row) in tableau.iter_mut().enumerate() {
+                if r == pivot_row {
+                    continue;
+                }
+                let factor = row[pivot_col];
+                if factor.abs() > 0.0 {
+                    for (v, pv) in row.iter_mut().zip(pivot_vals.iter()) {
+                        *v -= factor * pv;
                     }
                 }
             }
             let factor = objective_row[pivot_col];
             if factor.abs() > 0.0 {
-                for j in 0..total {
-                    objective_row[j] -= factor * tableau[pivot_row][j];
+                for (v, pv) in objective_row.iter_mut().zip(pivot_vals.iter()).take(total) {
+                    *v -= factor * pv;
                 }
-                objective_value -= factor * tableau[pivot_row][total];
+                objective_value -= factor * pivot_vals[total];
             }
             basis[pivot_row] = pivot_col;
             iterations += 1;
@@ -310,9 +316,14 @@ impl SimplexSolver {
             values[i] = shifted[i] + lower[i];
         }
         // Recompute the objective from the model to avoid Big-M residue.
-        let objective = model.objective_value(&values) ;
+        let objective = model.objective_value(&values);
         let _ = objective_value + obj_offset;
-        LpSolution { outcome: LpOutcome::Optimal, objective, values, iterations }
+        LpSolution {
+            outcome: LpOutcome::Optimal,
+            objective,
+            values,
+            iterations,
+        }
     }
 
     /// Solves the LP relaxation of `model` with its natural bounds.
@@ -339,7 +350,12 @@ mod tests {
         let y = m.add_continuous(0.0, 2.0);
         m.set_objective_term(x, -1.0);
         m.set_objective_term(y, -2.0);
-        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::LessEq, 4.0, "cap");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::LessEq,
+            4.0,
+            "cap",
+        );
         let sol = SimplexSolver::new().solve(&m);
         assert_eq!(sol.outcome, LpOutcome::Optimal);
         assert!(approx(sol.objective, -6.0), "obj {}", sol.objective);
@@ -355,7 +371,12 @@ mod tests {
         let y = m.add_continuous(0.0, 10.0);
         m.set_objective_term(x, 1.0);
         m.set_objective_term(y, 1.0);
-        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::Equal, 5.0, "eq");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::Equal,
+            5.0,
+            "eq",
+        );
         let sol = SimplexSolver::new().solve(&m);
         assert_eq!(sol.outcome, LpOutcome::Optimal);
         assert!(approx(sol.objective, 5.0), "obj {}", sol.objective);
@@ -370,7 +391,12 @@ mod tests {
         let y = m.add_continuous(0.0, 3.0);
         m.set_objective_term(x, 2.0);
         m.set_objective_term(y, 3.0);
-        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::GreaterEq, 4.0, "cover");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::GreaterEq,
+            4.0,
+            "cover",
+        );
         let sol = SimplexSolver::new().solve(&m);
         assert_eq!(sol.outcome, LpOutcome::Optimal);
         assert!(approx(sol.objective, 9.0), "obj {}", sol.objective);
@@ -383,7 +409,12 @@ mod tests {
         let x = m.add_continuous(0.0, 10.0);
         m.set_objective_term(x, 1.0);
         m.add_constraint(LinearExpr::new().with(x, 1.0), Comparison::LessEq, 1.0, "a");
-        m.add_constraint(LinearExpr::new().with(x, 1.0), Comparison::GreaterEq, 2.0, "b");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::GreaterEq,
+            2.0,
+            "b",
+        );
         let sol = SimplexSolver::new().solve(&m);
         assert_eq!(sol.outcome, LpOutcome::Infeasible);
     }
@@ -416,7 +447,12 @@ mod tests {
         let y = m.add_binary();
         m.set_objective_term(x, -1.0);
         m.set_objective_term(y, -1.0);
-        m.add_constraint(LinearExpr::new().with(x, 1.0).with(y, 1.0), Comparison::LessEq, 1.0, "one");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::LessEq,
+            1.0,
+            "one",
+        );
         // Fix x = 0; then y should go to 1.
         let sol = SimplexSolver::new().solve_with_bounds(&m, &[Some((0.0, 0.0)), None]);
         assert_eq!(sol.outcome, LpOutcome::Optimal);
@@ -454,18 +490,18 @@ mod tests {
             .map(|_| (0..2).map(|_| m.add_binary()).collect())
             .collect();
         let costs = [[5.0, 1.0], [2.0, 4.0]];
-        for i in 0..2 {
+        for (i, (x_row, cost_row)) in x.iter().zip(costs.iter()).enumerate() {
             let mut expr = LinearExpr::new();
-            for j in 0..2 {
-                m.set_objective_term(x[i][j], costs[i][j]);
-                expr.add(x[i][j], 1.0);
+            for (&v, &cost) in x_row.iter().zip(cost_row.iter()) {
+                m.set_objective_term(v, cost);
+                expr.add(v, 1.0);
             }
             m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
         }
         for j in 0..2 {
             let mut expr = LinearExpr::new();
-            for i in 0..2 {
-                expr.add(x[i][j], 1.0);
+            for row in &x {
+                expr.add(row[j], 1.0);
             }
             m.add_constraint(expr, Comparison::LessEq, 1.0, format!("cap{j}"));
         }

@@ -48,7 +48,11 @@ pub struct ResourceDemand {
 impl ResourceDemand {
     /// Creates a demand vector.
     pub fn new(compute: f64, memory_mb: f64, bandwidth_mbps: f64) -> Self {
-        Self { compute, memory_mb, bandwidth_mbps }
+        Self {
+            compute,
+            memory_mb,
+            bandwidth_mbps,
+        }
     }
 
     /// Component accessor by resource kind.
@@ -128,7 +132,14 @@ impl Application {
         origin: Coordinates,
         origin_site: usize,
     ) -> Self {
-        Self { id, model, request_rate_rps, latency_slo_ms, origin, origin_site }
+        Self {
+            id,
+            model,
+            request_rate_rps,
+            latency_slo_ms,
+            origin,
+            origin_site,
+        }
     }
 
     /// The profile of this application's model on a given device, if the
@@ -249,6 +260,7 @@ mod tests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn plus_then_minus_round_trips(
             c1 in 0.0f64..10.0, m1 in 0.0f64..1000.0, b1 in 0.0f64..100.0,

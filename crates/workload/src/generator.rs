@@ -178,13 +178,10 @@ impl WorkloadGenerator {
     /// Generates the batch of applications arriving at `epoch`, given the
     /// edge sites (their representative coordinates).  Application ids are
     /// globally unique across calls to the same generator.
-    pub fn generate_epoch(
-        &mut self,
-        epoch: usize,
-        sites: &[Coordinates],
-    ) -> Vec<Application> {
+    pub fn generate_epoch(&mut self, epoch: usize, sites: &[Coordinates]) -> Vec<Application> {
         assert!(!sites.is_empty(), "cannot generate workload without sites");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9e3779b97f4a7c15));
         let count = self.arrivals.sample(&mut rng);
         let probs = self.demand.probabilities(sites.len());
         let mut out = Vec::with_capacity(count);
@@ -216,7 +213,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn sites(n: usize) -> Vec<Coordinates> {
-        (0..n).map(|i| Coordinates::new(25.0 + i as f64, -80.0)).collect()
+        (0..n)
+            .map(|i| Coordinates::new(25.0 + i as f64, -80.0))
+            .collect()
     }
 
     #[test]

@@ -120,8 +120,11 @@ impl ModelKind {
     ];
 
     /// The three GPU inference models of Figure 7.
-    pub const GPU_MODELS: [ModelKind; 3] =
-        [ModelKind::EfficientNetB0, ModelKind::ResNet50, ModelKind::YoloV4];
+    pub const GPU_MODELS: [ModelKind; 3] = [
+        ModelKind::EfficientNetB0,
+        ModelKind::ResNet50,
+        ModelKind::YoloV4,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -240,8 +243,14 @@ mod tests {
     fn energy_spans_figure7_range() {
         // Figure 7a: energy per inference spans roughly 1e-3 .. 1e1 J (log scale).
         let profiles = WorkloadProfile::all();
-        let min = profiles.iter().map(|p| p.energy_per_request_j).fold(f64::INFINITY, f64::min);
-        let max = profiles.iter().map(|p| p.energy_per_request_j).fold(0.0, f64::max);
+        let min = profiles
+            .iter()
+            .map(|p| p.energy_per_request_j)
+            .fold(f64::INFINITY, f64::min);
+        let max = profiles
+            .iter()
+            .map(|p| p.energy_per_request_j)
+            .fold(0.0, f64::max);
         assert!(min < 0.05, "min {min}");
         assert!(max > 1.0, "max {max}");
     }
@@ -264,7 +273,8 @@ mod tests {
                 .iter()
                 .map(|d| WorkloadProfile::lookup(m, *d).unwrap().energy_per_request_j)
                 .collect();
-            let spread = e.iter().cloned().fold(0.0, f64::max) / e.iter().cloned().fold(f64::INFINITY, f64::min);
+            let spread = e.iter().cloned().fold(0.0, f64::max)
+                / e.iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(spread >= 2.0, "spread {spread} for {m:?}");
         }
     }
@@ -282,7 +292,10 @@ mod tests {
         // Figure 7c: inference times are below ~45 ms.
         for p in WorkloadProfile::all() {
             if p.model != ModelKind::SciCpu {
-                assert!(p.processing_time_ms > 1.0 && p.processing_time_ms < 45.0, "{p:?}");
+                assert!(
+                    p.processing_time_ms > 1.0 && p.processing_time_ms < 45.0,
+                    "{p:?}"
+                );
             }
         }
     }

@@ -23,7 +23,10 @@ fn main() {
     };
 
     println!("CDN-scale year-long simulation (20 ms round-trip latency limit)\n");
-    println!("{:<8} {:>8} {:>12} {:>14}", "area", "sites", "saving %", "latency +ms");
+    println!(
+        "{:<8} {:>8} {:>12} {:>14}",
+        "area", "sites", "saving %", "latency +ms"
+    );
     for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
         let sim = CdnSimulator::new(configure(area));
         let (_, _, savings) = sim.compare();
@@ -37,11 +40,17 @@ fn main() {
     }
 
     println!("\nEffect of the latency limit (Europe):");
-    println!("{:>10} {:>12} {:>14}", "limit ms", "saving %", "latency +ms");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "limit ms", "saving %", "latency +ms"
+    );
     for limit in [5.0, 10.0, 20.0, 30.0] {
         let sim = CdnSimulator::new(configure(ZoneArea::Europe).with_latency_limit(limit));
         let (_, _, savings) = sim.compare();
-        println!("{:>10.0} {:>12.1} {:>14.1}", limit, savings.carbon_percent, savings.latency_increase_ms);
+        println!(
+            "{:>10.0} {:>12.1} {:>14.1}",
+            limit, savings.carbon_percent, savings.latency_increase_ms
+        );
     }
     println!(
         "\nLoosening the latency SLO widens the set of reachable green zones, so carbon\n\

@@ -16,10 +16,22 @@ fn main() {
     // Two single-server edge sites ~335 km apart: Munich (fossil-heavy grid)
     // and Bern (hydro-powered grid).
     let servers = vec![
-        ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::A2, Coordinates::new(48.135, 11.582))
-            .with_carbon_intensity(520.0),
-        ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::A2, Coordinates::new(46.948, 7.447))
-            .with_carbon_intensity(45.0),
+        ServerSnapshot::new(
+            0,
+            0,
+            ZoneId(0),
+            DeviceKind::A2,
+            Coordinates::new(48.135, 11.582),
+        )
+        .with_carbon_intensity(520.0),
+        ServerSnapshot::new(
+            1,
+            1,
+            ZoneId(1),
+            DeviceKind::A2,
+            Coordinates::new(46.948, 7.447),
+        )
+        .with_carbon_intensity(45.0),
     ];
 
     // A ResNet50 inference application serving users in Munich with a 20 ms

@@ -33,11 +33,18 @@ fn main() {
     }
 
     // Show where CarbonEdge serves the Florida applications from.
-    let florida = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
+    let florida = run_testbed(&TestbedConfig::new(
+        StudyRegion::Florida,
+        TestbedWorkload::SciCpu,
+    ));
     let ce = florida.policy("CarbonEdge").unwrap();
     println!("\nFlorida / Sci under CarbonEdge — total emissions attributed to each origin zone:");
     for (zone, series) in &ce.hourly_emissions {
-        println!("  {:<14} {:>8.1} g over 24 h", zone, series.iter().sum::<f64>());
+        println!(
+            "  {:<14} {:>8.1} g over 24 h",
+            zone,
+            series.iter().sum::<f64>()
+        );
     }
     println!(
         "\nEvery origin's workload is served from the greenest reachable zone, so the\n\

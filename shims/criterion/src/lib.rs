@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates-registry access, so this shim
+//! implements the subset of criterion's API the workspace's benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, bench_with_input, finish}`, `Bencher::iter`,
+//! `BenchmarkId::from_parameter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical engine it runs each routine
+//! `sample_size` times after one warm-up call and reports mean wall-clock
+//! time per iteration. That keeps `cargo bench` usable for coarse
+//! regressions offline; swap in real criterion via the manifest when a
+//! registry is available.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value passthrough (stand-in for
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Label for a parameterized benchmark (stand-in for
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures (stand-in for
+/// `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration of the routine, recorded by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call so lazy setup (allocations, page faults) does not
+        // pollute the measurement.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// A named group of related benchmarks (stand-in for
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.mean_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.mean_ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, bench_name: &str, mean_ns: f64) {
+        let (value, unit) = humanize_ns(mean_ns);
+        println!("{}/{:<40} {:>10.3} {}", self.name, bench_name, value, unit);
+        self.criterion.completed += 1;
+    }
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    default_sample_size: usize,
+    completed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            completed: 0,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Number of benchmarks this driver has completed.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+}
+
+/// Stand-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+            group.bench_with_input(BenchmarkId::from_parameter(8usize), &8usize, |b, n| {
+                b.iter(|| (0..*n).sum::<usize>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.completed(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(400).to_string(), "400");
+        assert_eq!(BenchmarkId::new("place", 7).to_string(), "place/7");
+    }
+}

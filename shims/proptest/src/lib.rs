@@ -1,0 +1,295 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates-registry access, so this shim
+//! implements the DSL subset the workspace's property tests use:
+//!
+//! * `proptest! { ... }` blocks, with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]`;
+//! * argument strategies written as half-open numeric ranges
+//!   (`-80.0f64..80.0`, `0u64..1000`, `1usize..10`) and
+//!   `proptest::collection::vec(strategy, size_range)`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! corpus: each test runs `cases` deterministic pseudo-random cases (seeded
+//! from the test's name, so failures reproduce across runs) and panics with
+//! the case number on the first failing case. `prop_assume!` skips the case
+//! rather than resampling. That preserves the regression-catching value of
+//! the properties while keeping the workspace self-contained offline.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng;
+use rand::Rng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Runner configuration (stand-in for `proptest::prelude::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of pseudo-random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep the offline suite brisk.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (stand-in for `proptest::test_runner::TestCaseError`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Value generator (stand-in for `proptest::strategy::Strategy`).
+///
+/// Only sampling is supported — no shrinking, so `sample` replaces real
+/// proptest's `new_tree`/`simplify` machinery.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and elements
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name, so each property
+/// gets a distinct but stable case sequence.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition. Real proptest resamples; the shim counts the case as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = <$crate::StdRng as $crate::__SeedableRng>::seed_from_u64(
+                        $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest property {} failed at case {}/{}: {}",
+                            stringify!($name), case, config.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(values in crate::collection::vec(0.0f64..1.0, 1..20)) {
+            prop_assert!(!values.is_empty() && values.len() < 20);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            prop_assume!(a < b);
+            prop_assert!(b - a > 0.0);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_tests_and_cases() {
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("a", 1));
+        assert_eq!(crate::seed_for("a", 3), crate::seed_for("a", 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -52,7 +52,14 @@ fn regional_latencies_stay_in_the_table1_envelope() {
             for j in 0..table.len() {
                 if i != j {
                     let l = table.one_way(i, j);
-                    assert!(l > 0.5 && l < 25.0, "{} {}-{}: {}", region.region.name(), i, j, l);
+                    assert!(
+                        l > 0.5 && l < 25.0,
+                        "{} {}-{}: {}",
+                        region.region.name(),
+                        i,
+                        j,
+                        l
+                    );
                 }
             }
         }

@@ -30,9 +30,7 @@ fn regional_scenario() -> (Vec<ServerSnapshot>, Vec<Application>, Vec<EdgeSite>)
         .members
         .iter()
         .enumerate()
-        .map(|(i, (_, loc))| {
-            Application::new(AppId(i), ModelKind::ResNet50, 15.0, 20.0, *loc, i)
-        })
+        .map(|(i, (_, loc))| Application::new(AppId(i), ModelKind::ResNet50, 15.0, 20.0, *loc, i))
         .collect();
     (snapshots, apps, sites)
 }
@@ -57,7 +55,10 @@ fn carbon_aware_placement_commits_onto_the_cluster() {
     assert_eq!(orchestrator.deployed_count(), apps.len());
     // The cluster state reflects the placement decision.
     for (app, server) in apps.iter().zip(decision.assignment.iter()) {
-        assert_eq!(orchestrator.placement_of(app.id), Some(ServerId(server.unwrap())));
+        assert_eq!(
+            orchestrator.placement_of(app.id),
+            Some(ServerId(server.unwrap()))
+        );
     }
 }
 
@@ -66,8 +67,12 @@ fn carbon_aware_beats_latency_aware_on_carbon_but_not_latency() {
     let (snapshots, apps, _) = regional_scenario();
     let problem = PlacementProblem::new(snapshots, apps, 1.0)
         .with_latency_model(LatencyModel::deterministic());
-    let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&problem).unwrap();
-    let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware).place(&problem).unwrap();
+    let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+        .place(&problem)
+        .unwrap();
+    let latency = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+        .place(&problem)
+        .unwrap();
     assert!(carbon.total_carbon_g < latency.total_carbon_g);
     assert!(carbon.mean_latency_ms >= latency.mean_latency_ms);
     // The latency SLO is still respected by every placed application.
@@ -84,7 +89,10 @@ fn all_four_policies_produce_feasible_placements() {
         .with_latency_model(LatencyModel::deterministic());
     for policy in PlacementPolicy::BASELINE_SET {
         let decision = IncrementalPlacer::new(policy).place(&problem).unwrap();
-        assert!(decision.unplaced.is_empty(), "{policy:?} left apps unplaced");
+        assert!(
+            decision.unplaced.is_empty(),
+            "{policy:?} left apps unplaced"
+        );
         assert!(decision.total_carbon_g > 0.0);
         assert!(decision.total_energy_j > 0.0);
     }

@@ -29,7 +29,14 @@ fn random_scenario(seed: u64, n_sites: usize, n_apps: usize) -> PlacementProblem
     let apps: Vec<Application> = (0..n_apps)
         .map(|i| {
             let origin = servers[rng.gen_range(0..n_sites)].location;
-            Application::new(AppId(i), ModelKind::ResNet50, rng.gen_range(5.0..20.0), 30.0, origin, 0)
+            Application::new(
+                AppId(i),
+                ModelKind::ResNet50,
+                rng.gen_range(5.0..20.0),
+                30.0,
+                origin,
+                0,
+            )
         })
         .collect();
     PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
@@ -117,19 +124,50 @@ fn intensity_aware_ranks_by_intensity_alone() {
     // Build a scenario where the lowest-intensity server is energy-inefficient:
     // Intensity-aware must still pick it, CarbonEdge weighs both.
     let servers = vec![
-        ServerSnapshot::new(0, 0, ZoneId(0), DeviceKind::OrinNano, Coordinates::new(46.0, 8.0))
-            .with_carbon_intensity(200.0),
-        ServerSnapshot::new(1, 1, ZoneId(1), DeviceKind::Gtx1080, Coordinates::new(46.1, 8.1))
-            .with_carbon_intensity(150.0),
+        ServerSnapshot::new(
+            0,
+            0,
+            ZoneId(0),
+            DeviceKind::OrinNano,
+            Coordinates::new(46.0, 8.0),
+        )
+        .with_carbon_intensity(200.0),
+        ServerSnapshot::new(
+            1,
+            1,
+            ZoneId(1),
+            DeviceKind::Gtx1080,
+            Coordinates::new(46.1, 8.1),
+        )
+        .with_carbon_intensity(150.0),
     ];
-    let app = Application::new(AppId(0), ModelKind::ResNet50, 10.0, 30.0, Coordinates::new(46.0, 8.0), 0);
+    let app = Application::new(
+        AppId(0),
+        ModelKind::ResNet50,
+        10.0,
+        30.0,
+        Coordinates::new(46.0, 8.0),
+        0,
+    );
     let problem = PlacementProblem::new(servers, vec![app], 1.0)
         .with_latency_model(LatencyModel::deterministic());
-    let intensity = IncrementalPlacer::new(PlacementPolicy::IntensityAware).place(&problem).unwrap();
-    assert_eq!(intensity.assignment, vec![Some(1)], "Intensity-aware picks the greener zone");
-    let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware).place(&problem).unwrap();
+    let intensity = IncrementalPlacer::new(PlacementPolicy::IntensityAware)
+        .place(&problem)
+        .unwrap();
+    assert_eq!(
+        intensity.assignment,
+        vec![Some(1)],
+        "Intensity-aware picks the greener zone"
+    );
+    let carbon = IncrementalPlacer::new(PlacementPolicy::CarbonAware)
+        .place(&problem)
+        .unwrap();
     // The Orin Nano is ~3x more energy efficient, which outweighs the 200 vs
     // 150 g/kWh difference, so CarbonEdge picks the efficient device instead.
-    assert_eq!(carbon.assignment, vec![Some(0)], "CarbonEdge weighs energy and intensity");
+    assert_eq!(
+        carbon.assignment,
+        vec![Some(0)],
+        "CarbonEdge weighs energy and intensity"
+    );
     assert!(carbon.total_carbon_g < intensity.total_carbon_g);
 }

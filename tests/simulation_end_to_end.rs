@@ -11,8 +11,14 @@ use carbonedge_sim::TradeoffSweep;
 fn headline_testbed_savings_hold() {
     // Figure 10: CarbonEdge saves ~39% in Florida and ~79% in Central EU with
     // single-digit-to-low-teens millisecond latency increases.
-    let florida = run_testbed(&TestbedConfig::new(StudyRegion::Florida, TestbedWorkload::SciCpu));
-    let central_eu = run_testbed(&TestbedConfig::new(StudyRegion::CentralEu, TestbedWorkload::SciCpu));
+    let florida = run_testbed(&TestbedConfig::new(
+        StudyRegion::Florida,
+        TestbedWorkload::SciCpu,
+    ));
+    let central_eu = run_testbed(&TestbedConfig::new(
+        StudyRegion::CentralEu,
+        TestbedWorkload::SciCpu,
+    ));
 
     assert!(florida.savings.carbon_percent > 15.0);
     assert!(central_eu.savings.carbon_percent > 55.0);
@@ -31,8 +37,16 @@ fn headline_cdn_savings_hold() {
     let eu = CdnSimulator::new(CdnConfig::new(ZoneArea::Europe).with_site_limit(60));
     let (_, _, us_savings) = us.compare();
     let (_, _, eu_savings) = eu.compare();
-    assert!(us_savings.carbon_percent > 20.0, "US {}", us_savings.carbon_percent);
-    assert!(eu_savings.carbon_percent > 40.0, "EU {}", eu_savings.carbon_percent);
+    assert!(
+        us_savings.carbon_percent > 20.0,
+        "US {}",
+        us_savings.carbon_percent
+    );
+    assert!(
+        eu_savings.carbon_percent > 40.0,
+        "EU {}",
+        eu_savings.carbon_percent
+    );
     assert!(eu_savings.carbon_percent > us_savings.carbon_percent);
     assert!(us_savings.latency_increase_ms <= 20.0);
     assert!(eu_savings.latency_increase_ms <= 20.0);
