@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
+//! experiments [--quick] [--sweep] [--jobs N]
+//!             [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
 //!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!              fig15 | fig16 | fig17]
 //! ```
@@ -11,6 +12,12 @@
 //! Each experiment prints the rows/series the paper reports.  `--quick`
 //! restricts the CDN-scale simulations to a subset of edge sites so the full
 //! suite finishes quickly; without it the full 496-site catalog is simulated.
+//!
+//! `--sweep` runs the declarative scenario grid (area × demand scenario ×
+//! latency limit × policy) through the parallel sweep engine; with no
+//! experiment names it replaces the figure suite, while named figures still
+//! run after the sweep.  `--jobs N` sets the worker count (default: one per
+//! CPU).  The sweep's aggregated output is deterministic for any job count.
 
 use carbonedge_analysis::mesoscale::{
     region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly,
@@ -40,24 +47,52 @@ fn print_usage() {
     println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
     println!();
     println!(
-        "usage: experiments [--quick] [all | {}]",
+        "usage: experiments [--quick] [--sweep] [--jobs N] [all | {}]",
         EXPERIMENTS.join(" | ")
     );
     println!();
     println!("  --quick   restrict CDN-scale simulations to a subset of edge sites");
+    println!("  --sweep   run the declarative scenario grid through the parallel");
+    println!("            sweep engine (replaces the figure suite unless figures");
+    println!("            are named explicitly, which then run after the sweep)");
+    println!("  --jobs N  worker threads for --sweep (default: one per CPU)");
     println!("  (no experiment names runs the full suite)");
 }
 
+/// Runs the scenario grid through the sweep engine and prints its report.
+fn run_sweep(quick: bool, jobs: usize) {
+    header(&format!(
+        "Scenario sweep ({})",
+        if quick { "quick grid" } else { "default grid" }
+    ));
+    let report = carbonedge_bench::summary::run_sweep(quick, jobs);
+    print!("{}", report.render());
+    eprintln!("\n{}", report.footer());
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return;
     }
+    let jobs = match carbonedge_sweep::take_jobs_flag(&mut args) {
+        Ok(jobs) => jobs,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            print_usage();
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
+    let sweep = args.iter().any(|a| a == "--sweep");
+    if jobs != 0 && !sweep {
+        eprintln!("warning: --jobs only affects --sweep; running the figure suite single-threaded");
+    }
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--quick")
+        .filter(|a| *a != "--quick" && *a != "--sweep")
         .map(|s| s.as_str())
         .collect();
     if let Some(unknown) = which
@@ -68,6 +103,17 @@ fn main() {
         eprintln!();
         print_usage();
         std::process::exit(2);
+    }
+    if sweep {
+        let started = Instant::now();
+        run_sweep(quick, jobs);
+        if which.is_empty() {
+            eprintln!(
+                "\n[experiments completed in {:.1} s]",
+                started.elapsed().as_secs_f64()
+            );
+            return;
+        }
     }
     let run_all = which.is_empty() || which.contains(&"all");
     let should = |name: &str| run_all || which.contains(&name);

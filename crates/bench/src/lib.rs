@@ -1,1 +1,5 @@
-//! placeholder (under construction)
+//! Support library for the `experiments` driver binary: the sweep grids the
+//! binary runs and the deterministic summary used by the golden-output
+//! regression test.
+
+pub mod summary;

@@ -1,0 +1,62 @@
+//! The scenario grids behind `experiments --sweep` and the deterministic
+//! quick summary snapshotted by the golden-output regression test.
+//!
+//! The quick summary replays the figure-generating sweeps of the paper
+//! (Figure 11's area comparison, Figure 12's latency-tolerance sweep,
+//! Figure 14's demand/capacity skew) on a reduced site catalog through the
+//! sweep engine.  Its rendering is seed-stable and independent of the worker
+//! count, so `tests/experiments_golden.rs` can diff it against a checked-in
+//! snapshot with numeric tolerances and catch silent drift in any layer
+//! under it (datasets, traces, solver, simulator, aggregation).
+
+use carbonedge_sweep::{SweepExecutor, SweepReport, SweepSpec};
+
+/// The grid `experiments --sweep` runs: both continents, three latency
+/// limits, all three demand/capacity scenarios, CarbonEdge versus the
+/// Latency-aware baseline.  `quick` caps the site catalog at 40 sites per
+/// continent (the golden-test configuration); the full grid uses 120.
+pub fn sweep_spec(quick: bool) -> SweepSpec {
+    let spec = SweepSpec::quick_default();
+    if quick {
+        spec
+    } else {
+        SweepSpec {
+            name: "default-grid".into(),
+            ..spec.with_site_limit(Some(120))
+        }
+    }
+}
+
+/// Runs the quick grid and returns its deterministic rendering.
+pub fn quick_summary(jobs: usize) -> String {
+    let report = run_sweep(true, jobs);
+    report.render()
+}
+
+/// Runs the `--sweep` grid with `jobs` workers.
+pub fn run_sweep(quick: bool, jobs: usize) -> SweepReport {
+    SweepExecutor::new()
+        .with_jobs(jobs)
+        .run(&sweep_spec(quick))
+        .expect("the built-in sweep grids are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_in_grids_are_valid_and_multi_axis() {
+        for quick in [true, false] {
+            let spec = sweep_spec(quick);
+            assert!(spec.validate().is_ok());
+            assert!(
+                spec.axis_count() >= 3,
+                "--sweep must run a >=3-axis grid, got {}",
+                spec.axis_count()
+            );
+        }
+        assert_eq!(sweep_spec(true).cells()[0].site_limit, Some(40));
+        assert_eq!(sweep_spec(false).cells()[0].site_limit, Some(120));
+    }
+}

@@ -72,6 +72,38 @@ pub struct PlacementDecision {
     pub exact: bool,
 }
 
+/// The MILP form of one placement problem (Eq. 7), exposed so that callers —
+/// the differential solver tests, the benches, external tools — can run the
+/// exact same model through different solvers (LP relaxation via simplex,
+/// exact branch-and-bound) and compare outcomes.
+#[derive(Debug, Clone)]
+pub struct PlacementModel {
+    /// The minimization model.
+    pub model: Model,
+    /// `x[i][j]`: the binary assignment variable for a feasible
+    /// `(application, server)` pair, `None` when the pair is infeasible.
+    pub x: Vec<Vec<Option<carbonedge_solver::VarId>>>,
+    /// `y[j]`: the binary power-state variable of each server.
+    pub y: Vec<carbonedge_solver::VarId>,
+}
+
+impl PlacementModel {
+    /// Decodes a solver value vector back into a per-application assignment.
+    pub fn decode(&self, values: &[f64]) -> Vec<Option<usize>> {
+        let mut assignment = vec![None; self.x.len()];
+        for (i, x_row) in self.x.iter().enumerate() {
+            for (j, v) in x_row.iter().enumerate() {
+                if let Some(v) = v {
+                    if values.get(v.index()).is_some_and(|val| *val > 0.5) {
+                        assignment[i] = Some(j);
+                    }
+                }
+            }
+        }
+        assignment
+    }
+}
+
 /// The incremental placement service.
 #[derive(Debug, Clone)]
 pub struct IncrementalPlacer {
@@ -110,6 +142,52 @@ impl IncrementalPlacer {
     pub fn with_exact_size_limit(mut self, limit: usize) -> Self {
         self.exact_size_limit = limit;
         self
+    }
+
+    /// Re-targets this placer at a different policy, keeping the solver
+    /// configuration (exact-size threshold, heuristic parameters, node
+    /// limits).  The scenario-sweep executor uses this to stamp per-cell
+    /// policies onto one shared placer template instead of re-deriving the
+    /// solver configuration in every cell.
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Objective value of an assignment under this placer's policy: the sum
+    /// of the per-pair policy costs plus activation costs of newly powered-on
+    /// servers.  Returns `None` when the assignment uses an infeasible pair.
+    /// This is the quantity the exact and heuristic paths both minimize, so
+    /// differential tests compare it rather than raw carbon.
+    pub fn objective_of(
+        &self,
+        problem: &PlacementProblem,
+        assignment: &[Option<usize>],
+    ) -> Option<f64> {
+        let (pair_cost, activation_cost) = self.policy.costs(problem);
+        let mut total = 0.0;
+        let mut newly_on = vec![false; problem.servers.len()];
+        for (i, a) in assignment.iter().enumerate() {
+            let Some(j) = a else { continue };
+            total += pair_cost.get(i)?.get(*j).copied()??;
+            if !problem.servers[*j].powered_on {
+                newly_on[*j] = true;
+            }
+        }
+        for (j, on) in newly_on.iter().enumerate() {
+            if *on {
+                total += activation_cost[j];
+            }
+        }
+        Some(total)
+    }
+
+    /// Builds the MILP of Eq. 7 for this placer's policy: binary `x_ij` per
+    /// feasible pair, binary `y_j` per server, assignment / capacity /
+    /// power-consistency / linking constraints.
+    pub fn build_model(&self, problem: &PlacementProblem) -> PlacementModel {
+        let (pair_cost, activation_cost) = self.policy.costs(problem);
+        self.build_model_from_costs(problem, &pair_cost, &activation_cost)
     }
 
     /// Runs Algorithm 1 on a placement problem.
@@ -208,17 +286,17 @@ impl IncrementalPlacer {
         self.assignment_solver.solve(&instance).assignment
     }
 
-    /// Builds the MILP of Eq. 7 and solves it exactly with branch-and-bound.
+    /// Builds the MILP of Eq. 7 from precomputed policy costs.
     ///
     /// Variables: `x_ij` per feasible pair, `y_j` per server.  Constraints:
     /// assignment (Eq. 3), capacity linked to power state (Eq. 1), power
     /// consistency (Eq. 4) and assignment-requires-active (Eq. 5).
-    fn solve_exact(
+    fn build_model_from_costs(
         &self,
         problem: &PlacementProblem,
         pair_cost: &[Vec<Option<f64>>],
         activation_cost: &[f64],
-    ) -> Option<Vec<Option<usize>>> {
+    ) -> PlacementModel {
         let (apps, servers) = problem.size();
         let mut model = Model::new();
         // x variables for feasible pairs only.
@@ -290,24 +368,25 @@ impl IncrementalPlacer {
             }
         }
 
-        let solution = self.milp_solver.solve(&model);
+        PlacementModel { model, x, y }
+    }
+
+    /// Solves the MILP of Eq. 7 exactly with branch-and-bound.
+    fn solve_exact(
+        &self,
+        problem: &PlacementProblem,
+        pair_cost: &[Vec<Option<f64>>],
+        activation_cost: &[f64],
+    ) -> Option<Vec<Option<usize>>> {
+        let placement_model = self.build_model_from_costs(problem, pair_cost, activation_cost);
+        let solution = self.milp_solver.solve(&placement_model.model);
         if !matches!(
             solution.outcome,
             MilpOutcome::Optimal | MilpOutcome::Feasible
         ) {
             return None;
         }
-        let mut assignment = vec![None; apps];
-        for (i, x_row) in x.iter().enumerate() {
-            for (j, v) in x_row.iter().enumerate() {
-                if let Some(v) = v {
-                    if solution.values[v.index()] > 0.5 {
-                        assignment[i] = Some(j);
-                    }
-                }
-            }
-        }
-        Some(assignment)
+        Some(placement_model.decode(&solution.values))
     }
 }
 
@@ -611,6 +690,56 @@ mod tests {
         assert!(PlacementError::NoFeasibleServer(vec![1, 2])
             .to_string()
             .contains("[1, 2]"));
+    }
+
+    #[test]
+    fn with_policy_keeps_solver_configuration() {
+        let template = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+            .heuristic_only()
+            .with_exact_size_limit(7);
+        let stamped = template.clone().with_policy(PlacementPolicy::CarbonAware);
+        assert_eq!(stamped.policy, PlacementPolicy::CarbonAware);
+        assert_eq!(stamped.exact_size_limit, 7);
+        assert_eq!(
+            stamped.assignment_solver.exhaustive_limit,
+            template.assignment_solver.exhaustive_limit
+        );
+    }
+
+    #[test]
+    fn build_model_matches_place_objective() {
+        // Solving the public MILP form directly must reproduce the decision
+        // the placer's exact path commits.
+        let p = green_and_dirty_problem(30.0);
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        let placement_model = placer.build_model(&p);
+        let solution = placer.milp_solver.solve(&placement_model.model);
+        assert!(solution.has_solution());
+        let assignment = placement_model.decode(&solution.values);
+        let decision = placer.place(&p).unwrap();
+        assert_eq!(assignment, decision.assignment);
+        let objective = placer.objective_of(&p, &assignment).unwrap();
+        assert!((objective - solution.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_of_rejects_infeasible_assignments() {
+        let p = green_and_dirty_problem(3.0); // remote server violates the SLO
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        assert!(placer.objective_of(&p, &[Some(1)]).is_none());
+        assert!(placer.objective_of(&p, &[Some(0)]).is_some());
+        // Unplaced applications contribute nothing.
+        assert_eq!(placer.objective_of(&p, &[None]), Some(0.0));
+    }
+
+    #[test]
+    fn objective_of_includes_activation_costs() {
+        let mut p = green_and_dirty_problem(30.0);
+        p.servers[1].powered_on = false;
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        let objective = placer.objective_of(&p, &[Some(1)]).unwrap();
+        let expected = p.operational_carbon_g(0, 1).unwrap() + p.activation_carbon_g(1);
+        assert!((objective - expected).abs() < 1e-9);
     }
 
     #[test]

@@ -45,13 +45,15 @@ pub mod algorithm;
 pub mod policy;
 pub mod problem;
 
-pub use algorithm::{IncrementalPlacer, PlacementDecision, PlacementError};
+pub use algorithm::{IncrementalPlacer, PlacementDecision, PlacementError, PlacementModel};
 pub use policy::PlacementPolicy;
 pub use problem::{PlacementProblem, ServerSnapshot};
 
 /// Convenient re-exports of the types needed to drive a placement.
 pub mod prelude {
-    pub use crate::algorithm::{IncrementalPlacer, PlacementDecision, PlacementError};
+    pub use crate::algorithm::{
+        IncrementalPlacer, PlacementDecision, PlacementError, PlacementModel,
+    };
     pub use crate::policy::PlacementPolicy;
     pub use crate::problem::{PlacementProblem, ServerSnapshot};
 }

@@ -16,9 +16,11 @@ use carbonedge_datasets::{EdgeSiteCatalog, ZoneCatalog};
 use carbonedge_grid::CarbonTrace;
 use carbonedge_net::LatencyModel;
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Demand/capacity scenarios of Figure 14.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CdnScenario {
     /// Uniform demand and uniform capacity across sites ("Homo").
     Homogeneous,
@@ -139,11 +141,100 @@ impl CdnResult {
     }
 }
 
-/// The CDN simulator: owns the catalog, traces and site list for one area.
+/// Immutable inputs shared by every CDN simulation: the worldwide zone
+/// catalog, the Akamai-like edge-site catalog derived from it, and a cache of
+/// generated carbon traces keyed by seed.
+///
+/// Building traces is the expensive part of `CdnSimulator::new` (a year of
+/// hourly values for every zone), and a scenario sweep instantiates dozens to
+/// thousands of simulators that differ only in policy, latency limit or
+/// demand scenario.  Sharing one `CdnShared` across those cells makes
+/// simulator construction an `Arc` clone plus a site-list copy, and is safe
+/// to use concurrently from the sweep executor's worker threads.
+pub struct CdnShared {
+    catalog: Arc<ZoneCatalog>,
+    site_catalog: EdgeSiteCatalog,
+    /// Per-seed trace slots.  The map mutex is only held for slot lookup;
+    /// generation happens inside the seed's own `OnceLock`, so concurrent
+    /// requests for *different* seeds generate in parallel while concurrent
+    /// requests for the *same* seed generate exactly once.
+    traces_by_seed: Mutex<HashMap<u64, TraceSlot>>,
+}
+
+/// A year of traces for every zone, shared across simulators.
+type SharedTraces = Arc<Vec<CarbonTrace>>;
+/// A lazily initialized per-seed cache slot.
+type TraceSlot = Arc<OnceLock<SharedTraces>>;
+
+impl CdnShared {
+    /// Builds the shared catalogs (traces are generated lazily per seed).
+    pub fn new() -> Self {
+        let catalog = Arc::new(ZoneCatalog::worldwide());
+        let site_catalog = EdgeSiteCatalog::akamai_like(&catalog);
+        Self {
+            catalog,
+            site_catalog,
+            traces_by_seed: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared worldwide zone catalog.
+    pub fn catalog(&self) -> &Arc<ZoneCatalog> {
+        &self.catalog
+    }
+
+    /// The traces for a seed, generating and caching them on first use.
+    pub fn traces(&self, seed: u64) -> Arc<Vec<CarbonTrace>> {
+        let slot = {
+            let mut cache = self.traces_by_seed.lock().expect("trace cache poisoned");
+            Arc::clone(cache.entry(seed).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(self.catalog.generate_traces(seed))))
+    }
+
+    /// Number of distinct seeds whose traces are cached (generated).
+    pub fn cached_seed_count(&self) -> usize {
+        self.traces_by_seed
+            .lock()
+            .expect("trace cache poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Builds a simulator for a configuration on the shared catalogs.
+    pub fn simulator(&self, config: CdnConfig) -> CdnSimulator {
+        let traces = self.traces(config.seed);
+        let mut sites: Vec<_> = self
+            .site_catalog
+            .in_area(config.area)
+            .iter()
+            .map(|s| (s.name.clone(), s.location, s.zone, s.population_m))
+            .collect();
+        if let Some(limit) = config.site_limit {
+            sites.truncate(limit);
+        }
+        CdnSimulator {
+            config,
+            catalog: Arc::clone(&self.catalog),
+            traces,
+            sites,
+            latency_model: LatencyModel::deterministic(),
+        }
+    }
+}
+
+impl Default for CdnShared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The CDN simulator: the catalog, traces and site list for one area.
 pub struct CdnSimulator {
     config: CdnConfig,
-    catalog: ZoneCatalog,
-    traces: Vec<CarbonTrace>,
+    catalog: Arc<ZoneCatalog>,
+    traces: Arc<Vec<CarbonTrace>>,
     /// (site name, location, zone, population) restricted to the area.
     sites: Vec<(
         String,
@@ -155,26 +246,11 @@ pub struct CdnSimulator {
 }
 
 impl CdnSimulator {
-    /// Builds the simulator for a configuration.
+    /// Builds a standalone simulator for a configuration.  Sweeps running
+    /// many configurations should build one [`CdnShared`] and call
+    /// [`CdnShared::simulator`] instead, which reuses catalogs and traces.
     pub fn new(config: CdnConfig) -> Self {
-        let catalog = ZoneCatalog::worldwide();
-        let traces = catalog.generate_traces(config.seed);
-        let site_catalog = EdgeSiteCatalog::akamai_like(&catalog);
-        let mut sites: Vec<_> = site_catalog
-            .in_area(config.area)
-            .iter()
-            .map(|s| (s.name.clone(), s.location, s.zone, s.population_m))
-            .collect();
-        if let Some(limit) = config.site_limit {
-            sites.truncate(limit);
-        }
-        Self {
-            config,
-            catalog,
-            traces,
-            sites,
-            latency_model: LatencyModel::deterministic(),
-        }
+        CdnShared::new().simulator(config)
     }
 
     /// Number of simulated edge sites.
@@ -217,9 +293,16 @@ impl CdnSimulator {
         }
     }
 
-    /// Runs the year-long simulation for one policy.
+    /// Runs the year-long simulation for one policy with the default
+    /// heuristic placer.
     pub fn run(&self, policy: PlacementPolicy) -> CdnResult {
-        let placer = IncrementalPlacer::new(policy).heuristic_only();
+        self.run_with(&IncrementalPlacer::new(policy).heuristic_only())
+    }
+
+    /// Runs the year-long simulation with a caller-provided placer, letting
+    /// sweeps share one solver configuration across cells (see
+    /// [`IncrementalPlacer::with_policy`]).
+    pub fn run_with(&self, placer: &IncrementalPlacer) -> CdnResult {
         let mean_population =
             self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
 
@@ -300,7 +383,7 @@ impl CdnSimulator {
         }
 
         CdnResult {
-            policy: policy.name(),
+            policy: placer.policy.name(),
             outcome,
             monthly,
             placements_per_site,
@@ -447,6 +530,47 @@ mod tests {
     fn site_limit_truncates() {
         let sim = CdnSimulator::new(CdnConfig::new(ZoneArea::Europe).with_site_limit(10));
         assert_eq!(sim.site_count(), 10);
+    }
+
+    #[test]
+    fn shared_environment_matches_standalone_simulator() {
+        let shared = CdnShared::new();
+        let config = CdnConfig::new(ZoneArea::Europe).with_site_limit(25);
+        let from_shared = shared
+            .simulator(config.clone())
+            .run(PlacementPolicy::CarbonAware);
+        let standalone = CdnSimulator::new(config).run(PlacementPolicy::CarbonAware);
+        assert_eq!(from_shared.outcome, standalone.outcome);
+        assert_eq!(from_shared.monthly, standalone.monthly);
+        assert_eq!(
+            from_shared.placements_per_site,
+            standalone.placements_per_site
+        );
+    }
+
+    #[test]
+    fn shared_environment_caches_traces_per_seed() {
+        let shared = CdnShared::new();
+        assert_eq!(shared.cached_seed_count(), 0);
+        let a = shared.traces(1);
+        let b = shared.traces(1);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same seed must reuse the cached traces"
+        );
+        shared.traces(2);
+        assert_eq!(shared.cached_seed_count(), 2);
+    }
+
+    #[test]
+    fn run_with_reuses_a_shared_placer_template() {
+        let sim = CdnSimulator::new(CdnConfig::new(ZoneArea::Europe).with_site_limit(20));
+        let template = IncrementalPlacer::new(PlacementPolicy::LatencyAware).heuristic_only();
+        let stamped = template.with_policy(PlacementPolicy::CarbonAware);
+        let via_template = sim.run_with(&stamped);
+        let direct = sim.run(PlacementPolicy::CarbonAware);
+        assert_eq!(via_template.policy, "CarbonEdge");
+        assert_eq!(via_template.outcome, direct.outcome);
     }
 
     #[test]

@@ -59,11 +59,19 @@ impl LinearExpr {
         Self::default()
     }
 
-    /// Adds a term (merging with an existing term on the same variable).
+    /// Adds a term, merging coefficients with any existing term on the same
+    /// variable — repeated `add`s of one `VarId` never push duplicate terms.
+    /// A term whose merged coefficient cancels to exactly zero is removed,
+    /// keeping the expression canonical (duplicate or zero terms would make
+    /// equal expressions compare unequal and defeat emptiness checks on
+    /// constraint builders).
     pub fn add(&mut self, var: VarId, coeff: f64) -> &mut Self {
-        if let Some(t) = self.terms.iter_mut().find(|(v, _)| *v == var) {
-            t.1 += coeff;
-        } else {
+        if let Some(pos) = self.terms.iter().position(|(v, _)| *v == var) {
+            self.terms[pos].1 += coeff;
+            if self.terms[pos].1 == 0.0 {
+                self.terms.remove(pos);
+            }
+        } else if coeff != 0.0 {
             self.terms.push((var, coeff));
         }
         self
@@ -252,6 +260,46 @@ mod tests {
         e.add(VarId(0), 2.0).add(VarId(0), 3.0).add(VarId(1), 1.0);
         assert_eq!(e.terms.len(), 2);
         assert_eq!(e.evaluate(&[1.0, 4.0]), 9.0);
+    }
+
+    #[test]
+    fn repeated_add_of_same_var_never_duplicates_terms() {
+        // Regression: repeated `add` of one VarId must merge coefficients
+        // rather than pushing a second `(var, coeff)` term — duplicates would
+        // double-count the variable in `evaluate` and in the simplex tableau.
+        let mut e = LinearExpr::new();
+        for _ in 0..10 {
+            e.add(VarId(7), 1.0);
+        }
+        assert_eq!(e.terms, vec![(VarId(7), 10.0)]);
+        // The builder-style path funnels through the same merge.
+        let built = LinearExpr::new()
+            .with(VarId(0), 2.0)
+            .with(VarId(1), 1.0)
+            .with(VarId(0), 3.0);
+        assert_eq!(built.terms, vec![(VarId(0), 5.0), (VarId(1), 1.0)]);
+        assert_eq!(built.evaluate(&[1.0, 10.0]), 15.0);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let mut e = LinearExpr::new();
+        e.add(VarId(0), 2.5).add(VarId(1), 1.0).add(VarId(0), -2.5);
+        assert_eq!(e.terms, vec![(VarId(1), 1.0)]);
+        // An explicit zero-coefficient add is a no-op.
+        e.add(VarId(2), 0.0);
+        assert_eq!(e.terms.len(), 1);
+        // Cancelled expressions compare equal to freshly built ones.
+        assert_eq!(e, LinearExpr::new().with(VarId(1), 1.0));
+    }
+
+    #[test]
+    fn objective_terms_merge_through_the_model() {
+        let mut m = Model::new();
+        let v = m.add_binary();
+        m.set_objective_term(v, 1.5);
+        m.set_objective_term(v, 2.5);
+        assert_eq!(m.objective().terms, vec![(v, 4.0)]);
     }
 
     #[test]

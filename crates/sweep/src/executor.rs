@@ -1,0 +1,230 @@
+//! Parallel evaluation of a sweep grid.
+//!
+//! The executor walks the cell list with a shared atomic cursor and a fixed
+//! worker pool (`std::thread::scope`), the same work-distribution shape a
+//! rayon `par_iter` would compile to — workers pull the next unclaimed cell,
+//! simulate it, and write the result into the cell's own slot.  Because every
+//! cell is seeded deterministically by the spec and results are collected by
+//! cell index, the aggregated report is identical for any worker count or
+//! scheduling order; catalogs and per-seed carbon traces are shared across
+//! workers through [`CdnShared`].
+
+use crate::report::{CellResult, SweepReport};
+use crate::spec::{SweepCell, SweepSpec};
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy};
+use carbonedge_sim::cdn::CdnShared;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parses a `--jobs N` / `--jobs=N` flag out of a CLI argument list,
+/// removing the consumed tokens.  Returns the parsed count (`0` when the
+/// flag is absent, meaning automatic parallelism) or an error message for a
+/// missing or non-numeric value.  Shared by every binary that fronts a
+/// [`SweepExecutor`] so the flag behaves identically everywhere.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            jobs = value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            args.drain(i..=i + 1);
+        } else if let Some(value) = args[i].strip_prefix("--jobs=") {
+            jobs = value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(jobs)
+}
+
+/// Runs every cell of a [`SweepSpec`] and aggregates a [`SweepReport`].
+#[derive(Debug, Clone)]
+pub struct SweepExecutor {
+    /// Number of worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// The placer template stamped with each cell's policy
+    /// ([`IncrementalPlacer::with_policy`]); heuristic-only by default, as in
+    /// the CDN-scale experiments.
+    pub placer_template: IncrementalPlacer,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            placer_template: IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only(),
+        }
+    }
+}
+
+impl SweepExecutor {
+    /// Creates an executor with automatic parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (`0` = one per available CPU).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Overrides the placer template shared across cells.
+    pub fn with_placer_template(mut self, template: IncrementalPlacer) -> Self {
+        self.placer_template = template;
+        self
+    }
+
+    /// The effective worker count for a grid of `cells` cells.
+    pub fn effective_jobs(&self, cells: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.jobs == 0 { auto } else { self.jobs };
+        requested.clamp(1, cells.max(1))
+    }
+
+    /// Evaluates one cell against the shared environment.
+    fn run_cell(&self, shared: &CdnShared, cell: &SweepCell) -> CellResult {
+        let simulator = shared.simulator(cell.config());
+        let placer = self.placer_template.clone().with_policy(cell.policy);
+        let result = simulator.run_with(&placer);
+        let mean_assigned = if result.assigned_intensity.is_empty() {
+            0.0
+        } else {
+            result.assigned_intensity.iter().sum::<f64>() / result.assigned_intensity.len() as f64
+        };
+        CellResult {
+            cell: cell.clone(),
+            outcome: result.outcome,
+            monthly_carbon_g: result.monthly.iter().map(|m| m.carbon_g).collect(),
+            mean_assigned_intensity: mean_assigned,
+            site_count: simulator.site_count(),
+        }
+    }
+
+    /// Runs the full grid.  Returns an error for degenerate specs (empty
+    /// axes, non-finite latency limits, zero site caps).
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepReport, String> {
+        spec.validate()?;
+        let cells = spec.cells();
+        let jobs = self.effective_jobs(cells.len());
+        let shared = CdnShared::new();
+        let started = Instant::now();
+
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        if jobs <= 1 {
+            for (cell, slot) in cells.iter().zip(slots.iter()) {
+                *slot.lock().expect("result slot poisoned") = Some(self.run_cell(&shared, cell));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        let result = self.run_cell(&shared, cell);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            });
+        }
+
+        let results: Vec<CellResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every cell produces a result")
+            })
+            .collect();
+        Ok(SweepReport::new(
+            spec.clone(),
+            results,
+            jobs,
+            started.elapsed().as_secs_f64(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use carbonedge_datasets::zones::ZoneArea;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec::new("tiny")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_latency_limits(vec![10.0, 20.0])
+            .with_site_limit(Some(12))
+    }
+
+    #[test]
+    fn executor_fills_every_cell_in_spec_order() {
+        let spec = tiny_spec();
+        let report = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        assert_eq!(report.cells.len(), spec.cell_count());
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.cell.index, i);
+            assert!(cell.outcome.carbon_g > 0.0);
+            assert_eq!(cell.monthly_carbon_g.len(), 12);
+            assert_eq!(cell.site_count, 12);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree_exactly() {
+        let spec = tiny_spec();
+        let sequential = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        let parallel = SweepExecutor::new().with_jobs(4).run(&spec).unwrap();
+        assert_eq!(parallel.jobs, 4);
+        for (a, b) in sequential.cells.iter().zip(parallel.cells.iter()) {
+            assert_eq!(a.outcome, b.outcome, "cell {}", a.cell.index);
+            assert_eq!(a.monthly_carbon_g, b.monthly_carbon_g);
+        }
+        assert_eq!(sequential.render(), parallel.render());
+    }
+
+    #[test]
+    fn jobs_flag_parsing_accepts_both_forms_and_rejects_garbage() {
+        let mut args = vec!["--sweep".to_string(), "--jobs".to_string(), "4".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), Ok(4));
+        assert_eq!(args, vec!["--sweep".to_string()]);
+
+        let mut eq_form = vec!["--jobs=7".to_string(), "fig1".to_string()];
+        assert_eq!(take_jobs_flag(&mut eq_form), Ok(7));
+        assert_eq!(eq_form, vec!["fig1".to_string()]);
+
+        let mut absent = vec!["fig1".to_string()];
+        assert_eq!(take_jobs_flag(&mut absent), Ok(0));
+
+        assert!(take_jobs_flag(&mut vec!["--jobs".to_string()]).is_err());
+        assert!(take_jobs_flag(&mut vec!["--jobs".to_string(), "abc".to_string()]).is_err());
+        assert!(take_jobs_flag(&mut vec!["--jobs=nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let empty = SweepSpec::new("empty").with_policies(vec![]);
+        assert!(SweepExecutor::new().run(&empty).is_err());
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_grid_and_cpus() {
+        let ex = SweepExecutor::new().with_jobs(64);
+        assert_eq!(ex.effective_jobs(3), 3);
+        assert_eq!(ex.effective_jobs(0), 1);
+        let auto = SweepExecutor::new();
+        assert!(auto.effective_jobs(1000) >= 1);
+    }
+}

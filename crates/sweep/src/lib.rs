@@ -1,0 +1,43 @@
+//! Declarative scenario-matrix sweeps for CarbonEdge.
+//!
+//! The paper's headline results are grids: placement policies crossed with
+//! regions, latency bounds, demand scenarios and workload mixes (Figures
+//! 11–14).  This crate turns those ad-hoc per-experiment loops into one
+//! engine:
+//!
+//! * [`SweepSpec`] — the declarative scenario matrix: each axis (policy,
+//!   area, demand/capacity scenario, latency limit, site count, workload,
+//!   seed) is a list of values, and the grid is their cartesian product,
+//!   enumerated deterministically with stable per-cell seeds;
+//! * [`SweepExecutor`] — a worker-pool executor that evaluates cells in
+//!   parallel while sharing zone catalogs and per-seed carbon traces across
+//!   cells (via `carbonedge_sim::CdnShared`), producing results that are
+//!   bit-identical for any `--jobs` count;
+//! * [`SweepReport`] — per-cell outcomes plus per-scenario savings versus
+//!   the Latency-aware baseline and marginal savings tables per axis, with a
+//!   deterministic text rendering used by the golden-output tests.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use carbonedge_sweep::{SweepExecutor, SweepSpec};
+//!
+//! let report = SweepExecutor::new()
+//!     .with_jobs(4)
+//!     .run(&SweepSpec::quick_default())
+//!     .expect("valid spec");
+//! println!("{}", report.render());
+//! ```
+//!
+//! To add a new axis to the engine itself: add the field to [`SweepSpec`],
+//! a loop level in `SweepSpec::cells`, a variant in [`SweepAxis`], and its
+//! display form in `SweepReport::axis_value` — the executor and report
+//! aggregation pick it up unchanged (see `ROADMAP.md`).
+
+pub mod executor;
+pub mod report;
+pub mod spec;
+
+pub use executor::{take_jobs_flag, SweepExecutor};
+pub use report::{CellResult, MarginalRow, SavingsRow, SweepReport, BASELINE_POLICY};
+pub use spec::{ScenarioKey, SweepAxis, SweepCell, SweepSpec, WorkloadSpec};

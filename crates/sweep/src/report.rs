@@ -1,0 +1,417 @@
+//! Aggregated results of a sweep: per-cell metrics, per-scenario savings
+//! against the Latency-aware baseline, and marginal savings tables per axis.
+
+use crate::spec::{area_name, ScenarioKey, SweepAxis, SweepCell, SweepSpec};
+use carbonedge_sim::metrics::{PolicyOutcome, Savings};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The display name of the baseline policy savings are computed against.
+pub const BASELINE_POLICY: &str = "Latency-aware";
+
+/// The outcome of one sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell coordinate.
+    pub cell: SweepCell,
+    /// Year-aggregated policy outcome.
+    pub outcome: PolicyOutcome,
+    /// Per-month carbon (12 entries), for seasonality views.
+    pub monthly_carbon_g: Vec<f64>,
+    /// Mean carbon intensity of the zones applications were assigned to.
+    pub mean_assigned_intensity: f64,
+    /// Number of edge sites simulated in this cell.
+    pub site_count: usize,
+}
+
+/// One row of the per-scenario savings table: a non-baseline policy compared
+/// with the Latency-aware run of the same scenario coordinate.
+#[derive(Debug, Clone)]
+pub struct SavingsRow {
+    /// Index of the policy cell in the report's cell list.
+    pub cell_index: usize,
+    /// Scenario label (all coordinates except the policy).
+    pub scenario: String,
+    /// Policy display name.
+    pub policy: String,
+    /// The policy's year carbon, grams.
+    pub carbon_g: f64,
+    /// The baseline's year carbon, grams.
+    pub baseline_carbon_g: f64,
+    /// Savings versus the baseline.
+    pub savings: Savings,
+}
+
+/// One row of a marginal savings table: the mean effect of one axis value,
+/// averaged over every other coordinate.
+#[derive(Debug, Clone)]
+pub struct MarginalRow {
+    /// The axis value's display form.
+    pub value: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Number of (scenario, policy) comparisons averaged.
+    pub comparisons: usize,
+    /// Mean carbon savings, percent.
+    pub mean_saving_percent: f64,
+    /// Mean latency increase, ms.
+    pub mean_latency_increase_ms: f64,
+}
+
+/// The aggregated result of one sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The spec that produced this report.
+    pub spec: SweepSpec,
+    /// Per-cell results in the spec's canonical cell order.
+    pub cells: Vec<CellResult>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock seconds of the run (not part of the deterministic
+    /// rendering — it varies run to run).
+    pub wall_seconds: f64,
+}
+
+impl SweepReport {
+    /// Assembles a report (used by the executor).
+    pub fn new(spec: SweepSpec, cells: Vec<CellResult>, jobs: usize, wall_seconds: f64) -> Self {
+        Self {
+            spec,
+            cells,
+            jobs,
+            wall_seconds,
+        }
+    }
+
+    /// Looks up the result of the first cell matching a scenario key and
+    /// policy name.
+    pub fn find(&self, key: &ScenarioKey, policy: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.cell.policy.name() == policy && &c.cell.scenario_key() == key)
+    }
+
+    /// Per-scenario savings of every non-baseline policy versus the
+    /// Latency-aware cell of the same scenario coordinate, in cell order.
+    /// Scenarios without a Latency-aware cell produce no rows.
+    pub fn savings_rows(&self) -> Vec<SavingsRow> {
+        let mut baseline_by_key: HashMap<ScenarioKey, &CellResult> = HashMap::new();
+        for cell in &self.cells {
+            if cell.cell.policy.name() == BASELINE_POLICY {
+                baseline_by_key
+                    .entry(cell.cell.scenario_key())
+                    .or_insert(cell);
+            }
+        }
+        let mut rows = Vec::new();
+        for (index, cell) in self.cells.iter().enumerate() {
+            if cell.cell.policy.name() == BASELINE_POLICY {
+                continue;
+            }
+            let Some(baseline) = baseline_by_key.get(&cell.cell.scenario_key()) else {
+                continue;
+            };
+            rows.push(SavingsRow {
+                cell_index: index,
+                scenario: cell.cell.label(),
+                policy: cell.cell.policy.name(),
+                carbon_g: cell.outcome.carbon_g,
+                baseline_carbon_g: baseline.outcome.carbon_g,
+                savings: Savings::versus(&cell.outcome, &baseline.outcome),
+            });
+        }
+        rows
+    }
+
+    /// The display value of `axis` for a cell.  Grouping uses the lossless
+    /// [`Self::axis_key`] instead, so a future display form that rounds can
+    /// never merge distinct axis values.
+    pub fn axis_value(cell: &SweepCell, axis: SweepAxis) -> String {
+        match axis {
+            SweepAxis::Policy => cell.policy.name(),
+            SweepAxis::Area => area_name(cell.area).to_string(),
+            SweepAxis::Scenario => cell.scenario.name().to_string(),
+            SweepAxis::LatencyLimit => format!("{} ms", cell.latency_limit_ms),
+            SweepAxis::SiteLimit => match cell.site_limit {
+                Some(n) => format!("{n} sites"),
+                None => "all sites".to_string(),
+            },
+            SweepAxis::Workload => cell.workload.name.clone(),
+            SweepAxis::Seed => format!("seed {}", cell.seed),
+        }
+    }
+
+    /// A lossless grouping key for `axis` on a cell: distinct axis values
+    /// always map to distinct keys regardless of how their display forms are
+    /// formatted (latency limits key on raw bits, workloads on their full
+    /// identity rather than the display name).
+    pub fn axis_key(cell: &SweepCell, axis: SweepAxis) -> String {
+        match axis {
+            SweepAxis::LatencyLimit => format!("{:016x}", cell.latency_limit_ms.to_bits()),
+            SweepAxis::Workload => format!("{:?}", cell.workload.key()),
+            _ => Self::axis_value(cell, axis),
+        }
+    }
+
+    /// Whether an axis has more than one value in this sweep.
+    pub fn axis_is_widened(&self, axis: SweepAxis) -> bool {
+        let len = match axis {
+            SweepAxis::Policy => self.spec.policies.len(),
+            SweepAxis::Area => self.spec.areas.len(),
+            SweepAxis::Scenario => self.spec.scenarios.len(),
+            SweepAxis::LatencyLimit => self.spec.latency_limits_ms.len(),
+            SweepAxis::SiteLimit => self.spec.site_limits.len(),
+            SweepAxis::Workload => self.spec.workloads.len(),
+            SweepAxis::Seed => self.spec.seeds.len(),
+        };
+        len > 1
+    }
+
+    /// Marginal savings per value of one axis: for each (axis value, policy)
+    /// pair, the mean savings over every comparison sharing that value.
+    /// Rows appear in first-occurrence (spec enumeration) order.
+    pub fn marginal_rows(&self, axis: SweepAxis) -> Vec<MarginalRow> {
+        self.marginal_rows_from(&self.savings_rows(), axis)
+    }
+
+    /// Marginal aggregation over precomputed savings rows, so callers that
+    /// need several axes (like [`Self::render`]) pair baselines only once.
+    fn marginal_rows_from(&self, rows: &[SavingsRow], axis: SweepAxis) -> Vec<MarginalRow> {
+        let mut order: Vec<(String, String)> = Vec::new();
+        let mut display: HashMap<(String, String), String> = HashMap::new();
+        let mut sums: HashMap<(String, String), (usize, f64, f64)> = HashMap::new();
+        for row in rows {
+            let cell = &self.cells[row.cell_index].cell;
+            let key = (Self::axis_key(cell, axis), row.policy.clone());
+            let entry = sums.entry(key.clone()).or_insert_with(|| {
+                display.insert(key.clone(), Self::axis_value(cell, axis));
+                order.push(key);
+                (0, 0.0, 0.0)
+            });
+            entry.0 += 1;
+            entry.1 += row.savings.carbon_percent;
+            entry.2 += row.savings.latency_increase_ms;
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let (n, saving, latency) = sums[&key];
+                MarginalRow {
+                    value: display[&key].clone(),
+                    policy: key.1,
+                    comparisons: n,
+                    mean_saving_percent: saving / n as f64,
+                    mean_latency_increase_ms: latency / n as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// One-line run summary for binaries to print on stderr.  Unlike
+    /// [`Self::render`] this includes wall-clock time, so it is *not* part
+    /// of the deterministic output.
+    pub fn footer(&self) -> String {
+        format!(
+            "[{} cells on {} worker(s) in {:.1} s]",
+            self.cells.len(),
+            self.jobs,
+            self.wall_seconds
+        )
+    }
+
+    /// Renders the report as aligned text tables.  The output depends only
+    /// on the spec and the simulated outcomes — never on timing, worker
+    /// count or scheduling — so it is stable across runs and suitable for
+    /// golden-output comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep `{}`: {} cells over {} widened axes (baseline: {})",
+            self.spec.name,
+            self.cells.len(),
+            self.spec.axis_count(),
+            BASELINE_POLICY,
+        );
+        let savings_rows = self.savings_rows();
+        if savings_rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n(no savings rows: the policy axis needs `{BASELINE_POLICY}` plus at \
+                 least one other policy to pair against it)"
+            );
+            return out;
+        }
+        let _ = writeln!(out, "\nper-scenario savings:");
+        let _ = writeln!(
+            out,
+            "{:<44} {:<18} {:>12} {:>12} {:>10} {:>12} {:>16}",
+            "scenario",
+            "policy",
+            "carbon kg",
+            "baseline kg",
+            "saving %",
+            "latency +ms",
+            "assigned g/kWh"
+        );
+        for row in &savings_rows {
+            let assigned = self.cells[row.cell_index].mean_assigned_intensity;
+            let _ = writeln!(
+                out,
+                "{:<44} {:<18} {:>12.2} {:>12.2} {:>10.1} {:>12.1} {:>16.1}",
+                row.scenario,
+                row.policy,
+                row.carbon_g / 1000.0,
+                row.baseline_carbon_g / 1000.0,
+                row.savings.carbon_percent,
+                row.savings.latency_increase_ms,
+                assigned,
+            );
+        }
+        for axis in SweepAxis::ALL {
+            if axis == SweepAxis::Policy || !self.axis_is_widened(axis) {
+                continue;
+            }
+            let _ = writeln!(out, "\nmarginal savings by {}:", axis.name());
+            let _ = writeln!(
+                out,
+                "{:<18} {:<18} {:>8} {:>16} {:>20}",
+                "value", "policy", "cells", "mean saving %", "mean latency +ms"
+            );
+            for row in self.marginal_rows_from(&savings_rows, axis) {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:<18} {:>8} {:>16.1} {:>20.1}",
+                    row.value,
+                    row.policy,
+                    row.comparisons,
+                    row.mean_saving_percent,
+                    row.mean_latency_increase_ms,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SweepExecutor;
+    use crate::spec::SweepSpec;
+    use carbonedge_datasets::zones::ZoneArea;
+    use carbonedge_sim::cdn::CdnScenario;
+
+    fn small_report() -> SweepReport {
+        let spec = SweepSpec::new("report-test")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_scenarios(vec![
+                CdnScenario::Homogeneous,
+                CdnScenario::PopulationDemand,
+            ])
+            .with_latency_limits(vec![10.0, 20.0])
+            .with_site_limit(Some(12));
+        SweepExecutor::new().with_jobs(2).run(&spec).unwrap()
+    }
+
+    #[test]
+    fn savings_rows_pair_each_policy_with_its_baseline() {
+        let report = small_report();
+        let rows = report.savings_rows();
+        // 2 scenarios x 2 latency limits, one non-baseline policy each.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.policy, "CarbonEdge");
+            assert!(row.baseline_carbon_g > 0.0);
+            assert!(
+                row.carbon_g <= row.baseline_carbon_g + 1e-6,
+                "CarbonEdge should not emit more than the baseline"
+            );
+            assert!(row.savings.carbon_percent >= 0.0);
+        }
+    }
+
+    #[test]
+    fn looser_latency_limits_save_more_in_the_marginals() {
+        let report = small_report();
+        let marginals = report.marginal_rows(SweepAxis::LatencyLimit);
+        assert_eq!(marginals.len(), 2);
+        let tight = marginals.iter().find(|m| m.value == "10 ms").unwrap();
+        let loose = marginals.iter().find(|m| m.value == "20 ms").unwrap();
+        assert_eq!(tight.comparisons, 2);
+        assert!(
+            loose.mean_saving_percent > tight.mean_saving_percent,
+            "loose {} vs tight {}",
+            loose.mean_saving_percent,
+            tight.mean_saving_percent
+        );
+    }
+
+    #[test]
+    fn missing_baseline_renders_an_explicit_note_instead_of_empty_tables() {
+        use carbonedge_core::PlacementPolicy;
+        let spec = SweepSpec::new("no-baseline")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_site_limit(Some(8))
+            .with_policies(vec![
+                PlacementPolicy::CarbonAware,
+                PlacementPolicy::IntensityAware,
+            ]);
+        let report = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        assert!(report.savings_rows().is_empty());
+        let text = report.render();
+        assert!(text.contains("no savings rows"), "got:\n{text}");
+        assert!(text.contains(super::BASELINE_POLICY));
+    }
+
+    #[test]
+    fn distinct_latency_limits_never_share_a_label() {
+        let spec = SweepSpec::new("close-limits")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_latency_limits(vec![10.0, 10.4])
+            .with_site_limit(Some(8));
+        let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+        // Labels exclude the policy axis, so the four cells (2 limits x 2
+        // policies) must produce exactly one label per latency limit.
+        let labels: std::collections::HashSet<String> =
+            report.cells.iter().map(|c| c.cell.label()).collect();
+        assert_eq!(labels.len(), 2, "labels collapsed or split: {labels:?}");
+        assert!(labels.iter().any(|l| l.contains("/10ms/")));
+        assert!(labels.iter().any(|l| l.contains("/10.4ms/")));
+        let marginals = report.marginal_rows(SweepAxis::LatencyLimit);
+        assert_eq!(marginals.len(), 2);
+        assert!(marginals.iter().any(|m| m.value == "10 ms"));
+        assert!(marginals.iter().any(|m| m.value == "10.4 ms"));
+    }
+
+    #[test]
+    fn find_locates_cells_by_scenario_and_policy() {
+        let report = small_report();
+        let key = report.cells[0].cell.scenario_key();
+        let baseline = report.find(&key, BASELINE_POLICY).unwrap();
+        let carbon = report.find(&key, "CarbonEdge").unwrap();
+        assert_eq!(baseline.cell.scenario_key(), carbon.cell.scenario_key());
+        assert!(report.find(&key, "No-such-policy").is_none());
+    }
+
+    #[test]
+    fn render_is_stable_and_mentions_every_scenario() {
+        let report = small_report();
+        let text = report.render();
+        assert_eq!(text, report.render());
+        assert!(text.contains("per-scenario savings"));
+        assert!(text.contains("marginal savings by scenario"));
+        assert!(text.contains("marginal savings by latency limit"));
+        // Non-widened axes get no marginal table.
+        assert!(!text.contains("marginal savings by area"));
+        for cell in &report.cells {
+            if cell.cell.policy.name() != BASELINE_POLICY {
+                assert!(
+                    text.contains(&cell.cell.label()),
+                    "missing {}",
+                    cell.cell.label()
+                );
+            }
+        }
+    }
+}

@@ -2,59 +2,37 @@
 //!
 //! Runs the year-long CDN simulation over the Akamai-like edge-site catalog
 //! for the US and Europe, and sweeps the round-trip latency limit to show
-//! how placement flexibility controls the achievable savings.
+//! how placement flexibility controls the achievable savings — expressed as
+//! one declarative scenario grid evaluated by the parallel sweep engine.
 //!
 //! Run with `cargo run --release -p carbonedge-examples --bin cdn_scale`.
 //! Pass `--full` to simulate all 496 sites (slower); the default uses a
 //! 100-site subset per continent.
 
 use carbonedge_datasets::zones::ZoneArea;
-use carbonedge_sim::cdn::{CdnConfig, CdnSimulator};
+use carbonedge_sweep::{SweepAxis, SweepExecutor, SweepSpec};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let configure = |area: ZoneArea| {
-        let c = CdnConfig::new(area);
-        if full {
-            c
-        } else {
-            c.with_site_limit(100)
-        }
-    };
+    let spec = SweepSpec::new("cdn-scale")
+        .with_areas(vec![ZoneArea::UnitedStates, ZoneArea::Europe])
+        .with_latency_limits(vec![5.0, 10.0, 20.0, 30.0])
+        .with_site_limit(if full { None } else { Some(100) });
 
-    println!("CDN-scale year-long simulation (20 ms round-trip latency limit)\n");
-    println!(
-        "{:<8} {:>8} {:>12} {:>14}",
-        "area", "sites", "saving %", "latency +ms"
-    );
-    for (area, label) in [(ZoneArea::UnitedStates, "US"), (ZoneArea::Europe, "Europe")] {
-        let sim = CdnSimulator::new(configure(area));
-        let (_, _, savings) = sim.compare();
-        println!(
-            "{:<8} {:>8} {:>12.1} {:>14.1}",
-            label,
-            sim.site_count(),
-            savings.carbon_percent,
-            savings.latency_increase_ms
-        );
-    }
+    println!("CDN-scale year-long simulation (area x latency-limit grid)\n");
+    let report = SweepExecutor::new()
+        .run(&spec)
+        .expect("cdn-scale grid is valid");
+    print!("{}", report.render());
+    eprintln!("\n{}", report.footer());
 
-    println!("\nEffect of the latency limit (Europe):");
+    let marginals = report.marginal_rows(SweepAxis::LatencyLimit);
+    let tightest = marginals.first().expect("grid has latency rows");
+    let loosest = marginals.last().expect("grid has latency rows");
     println!(
-        "{:>10} {:>12} {:>14}",
-        "limit ms", "saving %", "latency +ms"
-    );
-    for limit in [5.0, 10.0, 20.0, 30.0] {
-        let sim = CdnSimulator::new(configure(ZoneArea::Europe).with_latency_limit(limit));
-        let (_, _, savings) = sim.compare();
-        println!(
-            "{:>10.0} {:>12.1} {:>14.1}",
-            limit, savings.carbon_percent, savings.latency_increase_ms
-        );
-    }
-    println!(
-        "\nLoosening the latency SLO widens the set of reachable green zones, so carbon\n\
-         savings grow — with diminishing returns once most workloads already reach a\n\
-         low-carbon zone (Figure 12 of the paper)."
+        "\nLoosening the latency SLO from {} to {} lifts mean savings from {:.1}% to {:.1}%:\n\
+         a wider SLO widens the set of reachable green zones, with diminishing returns\n\
+         once most workloads already reach a low-carbon zone (Figure 12 of the paper).",
+        tightest.value, loosest.value, tightest.mean_saving_percent, loosest.mean_saving_percent
     );
 }

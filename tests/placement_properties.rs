@@ -1,0 +1,179 @@
+//! Property tests for placement invariants over randomly generated
+//! `PlacementProblem`s: capacity is never exceeded in any resource
+//! dimension, every application is either placed or explicitly reported
+//! (in-band via `unplaced` or out-of-band via `PlacementError`), and
+//! placement is deterministic under a fixed seed.
+
+use carbonedge_core::{
+    IncrementalPlacer, PlacementError, PlacementPolicy, PlacementProblem, ServerSnapshot,
+};
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::ZoneId;
+use carbonedge_net::LatencyModel;
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized placement problem: mixed devices, some servers powered off,
+/// varied SLOs and request rates, origins scattered around the sites.  Tight
+/// SLOs and heavy rates are allowed on purpose so that both `Ok` decisions
+/// with unplaced apps and `NoFeasibleServer` errors are exercised.
+fn random_problem(seed: u64, n_servers: usize, n_apps: usize) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Coordinates::new(44.0, 7.0);
+    let devices = [DeviceKind::OrinNano, DeviceKind::A2, DeviceKind::Gtx1080];
+    let servers: Vec<ServerSnapshot> = (0..n_servers)
+        .map(|j| {
+            let loc = Coordinates::new(
+                base.lat + rng.gen_range(-2.0..2.0),
+                base.lon + rng.gen_range(-3.0..3.0),
+            );
+            ServerSnapshot::new(j, j, ZoneId(j), devices[j % devices.len()], loc)
+                .with_carbon_intensity(rng.gen_range(20.0..800.0))
+                .with_powered_on(rng.gen_bool(0.75))
+        })
+        .collect();
+    let apps: Vec<Application> = (0..n_apps)
+        .map(|i| {
+            let origin = Coordinates::new(
+                base.lat + rng.gen_range(-2.0..2.0),
+                base.lon + rng.gen_range(-3.0..3.0),
+            );
+            apps_entry(i, &mut rng, origin)
+        })
+        .collect();
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+fn apps_entry(i: usize, rng: &mut StdRng, origin: Coordinates) -> Application {
+    let models = ModelKind::GPU_MODELS;
+    Application::new(
+        AppId(i),
+        models[rng.gen_range(0..models.len())],
+        rng.gen_range(2.0..30.0),
+        rng.gen_range(4.0..45.0),
+        origin,
+        0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No placement ever exceeds a server's capacity in any of the three
+    /// resource dimensions (compute, memory, bandwidth).
+    #[test]
+    fn capacity_is_never_exceeded_in_any_dimension(seed in 0u64..10_000, servers in 2usize..7, apps in 1usize..12) {
+        let problem = random_problem(seed, servers, apps);
+        for policy in PlacementPolicy::BASELINE_SET {
+            for placer in [
+                IncrementalPlacer::new(policy),
+                IncrementalPlacer::new(policy).heuristic_only(),
+            ] {
+                let Ok(decision) = placer.place(&problem) else { continue };
+                let mut compute = vec![0.0f64; problem.servers.len()];
+                let mut memory = vec![0.0f64; problem.servers.len()];
+                let mut bandwidth = vec![0.0f64; problem.servers.len()];
+                for (i, a) in decision.assignment.iter().enumerate() {
+                    if let Some(j) = a {
+                        let d = problem.demand(i, *j).expect("placed pair is compatible");
+                        compute[*j] += d.compute;
+                        memory[*j] += d.memory_mb;
+                        bandwidth[*j] += d.bandwidth_mbps;
+                    }
+                }
+                for (j, server) in problem.servers.iter().enumerate() {
+                    prop_assert!(compute[j] <= server.available.compute + 1e-6,
+                        "server {j} compute {} over {}", compute[j], server.available.compute);
+                    prop_assert!(memory[j] <= server.available.memory_mb + 1e-6,
+                        "server {j} memory {} over {}", memory[j], server.available.memory_mb);
+                    prop_assert!(bandwidth[j] <= server.available.bandwidth_mbps + 1e-6,
+                        "server {j} bandwidth {} over {}", bandwidth[j], server.available.bandwidth_mbps);
+                }
+            }
+        }
+    }
+
+    /// Every application is accounted for: placed, listed in `unplaced`, or
+    /// the whole batch fails with an explicit, truthful `PlacementError`.
+    #[test]
+    fn every_app_is_placed_or_explicitly_reported(seed in 0u64..10_000, servers in 2usize..7, apps in 1usize..12) {
+        let problem = random_problem(seed, servers, apps);
+        for policy in PlacementPolicy::BASELINE_SET {
+            match IncrementalPlacer::new(policy).place(&problem) {
+                Ok(decision) => {
+                    prop_assert_eq!(decision.assignment.len(), problem.apps.len());
+                    let nones: Vec<usize> = decision
+                        .assignment
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    prop_assert_eq!(&nones, &decision.unplaced);
+                    for (i, a) in decision.assignment.iter().enumerate() {
+                        if let Some(j) = a {
+                            prop_assert!(problem.is_feasible_pair(i, *j),
+                                "app {i} placed on infeasible server {j}");
+                        }
+                    }
+                }
+                Err(PlacementError::NoFeasibleServer(stranded)) => {
+                    prop_assert!(!stranded.is_empty());
+                    for i in &stranded {
+                        let feasible = (0..problem.servers.len())
+                            .any(|j| problem.is_feasible_pair(*i, j));
+                        prop_assert!(!feasible, "app {i} reported stranded but has a feasible server");
+                    }
+                }
+                Err(other) => {
+                    // Empty batches / server lists are not generated here.
+                    prop_assert!(matches!(other, PlacementError::NoFeasibleServer(_)),
+                        "unexpected error {other:?}");
+                }
+            }
+        }
+    }
+
+    /// Placement is a pure function of the problem: the same seed produces
+    /// the same problem, and solving it twice produces identical decisions.
+    #[test]
+    fn placement_is_deterministic_under_fixed_seed(seed in 0u64..10_000, servers in 2usize..6, apps in 1usize..10) {
+        let problem_a = random_problem(seed, servers, apps);
+        let problem_b = random_problem(seed, servers, apps);
+        prop_assert_eq!(&problem_a.servers, &problem_b.servers);
+        prop_assert_eq!(&problem_a.apps, &problem_b.apps);
+        for policy in [PlacementPolicy::CarbonAware, PlacementPolicy::LatencyAware] {
+            for placer in [
+                IncrementalPlacer::new(policy),
+                IncrementalPlacer::new(policy).heuristic_only(),
+            ] {
+                let first = placer.place(&problem_a);
+                let second = placer.place(&problem_b);
+                match (first, second) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a, b);
+                    }
+                    (Err(a), Err(b)) => {
+                        prop_assert_eq!(a, b);
+                    }
+                    (a, b) => {
+                        prop_assert!(false, "diverging outcomes: {a:?} vs {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Explicit errors for degenerate batches: no applications or no servers.
+    #[test]
+    fn degenerate_batches_fail_explicitly(seed in 0u64..10_000) {
+        let problem = random_problem(seed, 3, 4);
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        let empty_apps = PlacementProblem::new(problem.servers.clone(), vec![], 1.0);
+        prop_assert_eq!(placer.place(&empty_apps).unwrap_err(), PlacementError::EmptyBatch);
+        let no_servers = PlacementProblem::new(vec![], problem.apps.clone(), 1.0);
+        prop_assert_eq!(placer.place(&no_servers).unwrap_err(), PlacementError::NoServers);
+    }
+}

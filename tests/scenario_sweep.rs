@@ -1,0 +1,122 @@
+//! Integration tests of the scenario-sweep engine: a multi-axis grid run in
+//! parallel must be deterministic, internally consistent with standalone
+//! `CdnSimulator` runs, and produce sensible savings aggregation.  The
+//! `#[ignore]`d long-sweep smoke is run by CI's dedicated step
+//! (`cargo test -q -- --ignored`).
+
+use carbonedge_core::PlacementPolicy;
+use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_sim::cdn::{CdnScenario, CdnSimulator};
+use carbonedge_sweep::{SweepAxis, SweepExecutor, SweepSpec, WorkloadSpec, BASELINE_POLICY};
+
+/// A 3-axis grid (area × latency × policy) small enough for the default
+/// test run.
+fn three_axis_spec() -> SweepSpec {
+    SweepSpec::new("three-axis")
+        .with_areas(vec![ZoneArea::UnitedStates, ZoneArea::Europe])
+        .with_latency_limits(vec![10.0, 25.0])
+        .with_site_limit(Some(15))
+}
+
+#[test]
+fn parallel_three_axis_grid_is_deterministic_and_seed_stable() {
+    let spec = three_axis_spec();
+    assert!(spec.axis_count() >= 3);
+    let first = SweepExecutor::new().with_jobs(4).run(&spec).unwrap();
+    let second = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+    assert_eq!(first.cells.len(), 8);
+    assert_eq!(first.render(), second.render());
+    for (a, b) in first.cells.iter().zip(second.cells.iter()) {
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.cell.cell_seed, b.cell.cell_seed);
+    }
+}
+
+#[test]
+fn sweep_cells_match_standalone_simulator_runs() {
+    let spec = three_axis_spec();
+    let report = SweepExecutor::new().with_jobs(3).run(&spec).unwrap();
+    for cell in report.cells.iter().take(4) {
+        let standalone = CdnSimulator::new(cell.cell.config()).run(cell.cell.policy);
+        assert_eq!(cell.outcome, standalone.outcome, "cell {}", cell.cell.index);
+    }
+}
+
+#[test]
+fn savings_aggregation_pairs_policies_within_scenarios() {
+    let report = SweepExecutor::new()
+        .with_jobs(2)
+        .run(&three_axis_spec())
+        .unwrap();
+    let rows = report.savings_rows();
+    assert_eq!(rows.len(), 4); // one CarbonEdge row per scenario coordinate
+    for row in &rows {
+        assert!(row.savings.carbon_percent > 0.0, "{}", row.scenario);
+        assert!(row.carbon_g < row.baseline_carbon_g);
+    }
+    let by_area = report.marginal_rows(SweepAxis::Area);
+    let us = by_area.iter().find(|m| m.value == "US").unwrap();
+    let eu = by_area.iter().find(|m| m.value == "EU").unwrap();
+    assert!(
+        eu.mean_saving_percent > us.mean_saving_percent,
+        "Europe's greener mix should out-save the US: US {} EU {}",
+        us.mean_saving_percent,
+        eu.mean_saving_percent
+    );
+}
+
+#[test]
+fn additional_policies_ride_the_policy_axis() {
+    let spec = three_axis_spec()
+        .with_latency_limits(vec![20.0])
+        .with_policies(vec![
+            PlacementPolicy::LatencyAware,
+            PlacementPolicy::CarbonAware,
+            PlacementPolicy::IntensityAware,
+        ]);
+    let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+    let rows = report.savings_rows();
+    // Two non-baseline policies per scenario coordinate, two areas.
+    assert_eq!(rows.len(), 4);
+    let policies: std::collections::HashSet<&str> =
+        rows.iter().map(|r| r.policy.as_str()).collect();
+    assert!(policies.contains("CarbonEdge") && policies.contains("Intensity-aware"));
+    assert!(rows.iter().all(|r| r.policy != BASELINE_POLICY));
+}
+
+/// Long-sweep smoke (CI `--ignored` job): a five-axis grid with a seed
+/// replication axis and a second workload, still gated to a small site cap.
+#[test]
+#[ignore = "long-sweep smoke, run via cargo test -- --ignored"]
+fn long_sweep_smoke_five_axis_grid() {
+    let spec = SweepSpec::new("long-smoke")
+        .with_areas(vec![ZoneArea::UnitedStates, ZoneArea::Europe])
+        .with_scenarios(vec![
+            CdnScenario::Homogeneous,
+            CdnScenario::PopulationDemand,
+        ])
+        .with_latency_limits(vec![10.0, 20.0, 30.0])
+        .with_workloads(vec![
+            WorkloadSpec::resnet50_on_a2(),
+            WorkloadSpec::efficientnet_on_orin(),
+        ])
+        .with_seeds(vec![42, 1337])
+        .with_site_limit(Some(30));
+    assert!(spec.axis_count() >= 5);
+    assert_eq!(spec.cell_count(), 96);
+    let report = SweepExecutor::new().run(&spec).unwrap();
+    assert_eq!(report.cells.len(), 96);
+    // Every scenario coordinate produced a baseline pairing.
+    assert_eq!(report.savings_rows().len(), 48);
+    // Savings direction holds across every axis value, both seeds included.
+    for row in report.marginal_rows(SweepAxis::Seed) {
+        assert!(row.mean_saving_percent > 0.0, "seed {}", row.value);
+        assert_eq!(row.comparisons, 24);
+    }
+    for row in report.marginal_rows(SweepAxis::Workload) {
+        assert!(row.mean_saving_percent > 0.0, "workload {}", row.value);
+    }
+    // The report renders without panicking and mentions both seeds.
+    let text = report.render();
+    assert!(text.contains("seed 42") && text.contains("seed 1337"));
+}

@@ -1,0 +1,256 @@
+//! Differential solver/placement tests: on every scenario small enough for
+//! the exact path (`apps * servers <= exact_size_limit`), the heuristic must
+//! never beat the exact optimum, the LP relaxation must lower-bound the
+//! MILP, and when the relaxation is already integral, simplex and
+//! branch-and-bound must agree on the optimum within tolerance.
+
+use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::ZoneId;
+use carbonedge_net::LatencyModel;
+use carbonedge_solver::{BranchBoundSolver, LpOutcome, SimplexSolver, VarKind};
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-6;
+
+/// A randomized mesoscale scenario sized for the exact path.
+fn random_scenario(seed: u64, n_servers: usize, n_apps: usize) -> PlacementProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Coordinates::new(46.0, 8.0);
+    let devices = [DeviceKind::OrinNano, DeviceKind::A2, DeviceKind::Gtx1080];
+    let servers: Vec<ServerSnapshot> = (0..n_servers)
+        .map(|j| {
+            let loc = Coordinates::new(
+                base.lat + rng.gen_range(-1.5..1.5),
+                base.lon + rng.gen_range(-2.0..2.0),
+            );
+            ServerSnapshot::new(j, j, ZoneId(j), devices[j % devices.len()], loc)
+                .with_carbon_intensity(rng.gen_range(30.0..700.0))
+                .with_powered_on(rng.gen_bool(0.8))
+        })
+        .collect();
+    let apps: Vec<Application> = (0..n_apps)
+        .map(|i| {
+            let origin = servers[rng.gen_range(0..n_servers)].location;
+            Application::new(
+                AppId(i),
+                ModelKind::ResNet50,
+                rng.gen_range(5.0..20.0),
+                40.0,
+                origin,
+                0,
+            )
+        })
+        .collect();
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+/// The two-site tier-1 scenario used across the core test-suite: a local
+/// dirty zone and a remote green zone.
+fn green_and_dirty(slo_ms: f64, green_powered_on: bool) -> PlacementProblem {
+    let servers = vec![
+        ServerSnapshot::new(
+            0,
+            0,
+            ZoneId(0),
+            DeviceKind::A2,
+            Coordinates::new(48.14, 11.58),
+        )
+        .with_carbon_intensity(550.0),
+        ServerSnapshot::new(
+            1,
+            1,
+            ZoneId(1),
+            DeviceKind::A2,
+            Coordinates::new(46.95, 7.45),
+        )
+        .with_carbon_intensity(45.0)
+        .with_powered_on(green_powered_on),
+    ];
+    let apps = vec![
+        Application::new(
+            AppId(0),
+            ModelKind::ResNet50,
+            20.0,
+            slo_ms,
+            Coordinates::new(48.14, 11.58),
+            0,
+        ),
+        Application::new(
+            AppId(1),
+            ModelKind::ResNet50,
+            12.0,
+            slo_ms,
+            Coordinates::new(46.95, 7.45),
+            0,
+        ),
+    ];
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+/// Every tier-1-sized scenario the differential suite sweeps: the hand-built
+/// two-site scenarios plus randomized instances kept under the placer's
+/// `exact_size_limit`.
+fn exact_path_scenarios() -> Vec<PlacementProblem> {
+    let mut scenarios = vec![
+        green_and_dirty(30.0, true),
+        green_and_dirty(30.0, false),
+        green_and_dirty(8.0, true),
+    ];
+    for (seed, servers, apps) in [
+        (1, 3, 2),
+        (2, 4, 3),
+        (3, 5, 4),
+        (4, 8, 5),
+        (5, 6, 6),
+        (6, 8, 4),
+        (7, 4, 4),
+        (8, 5, 8),
+    ] {
+        scenarios.push(random_scenario(seed, servers, apps));
+    }
+    scenarios
+}
+
+fn policies() -> Vec<PlacementPolicy> {
+    let mut policies = PlacementPolicy::BASELINE_SET.to_vec();
+    policies.push(PlacementPolicy::CarbonEnergyTradeoff { alpha: 0.3 });
+    policies
+}
+
+#[test]
+fn scenarios_fit_the_exact_path() {
+    let limit = IncrementalPlacer::new(PlacementPolicy::CarbonAware).exact_size_limit;
+    for (k, problem) in exact_path_scenarios().iter().enumerate() {
+        let (apps, servers) = problem.size();
+        assert!(
+            apps * servers <= limit,
+            "scenario {k} ({apps} apps x {servers} servers) exceeds exact_size_limit {limit}"
+        );
+    }
+}
+
+/// The heuristic's objective is never better than the exact optimum on the
+/// same scenario and policy (it minimizes the same cost function).
+#[test]
+fn heuristic_cost_never_beats_exact_cost() {
+    for (k, problem) in exact_path_scenarios().iter().enumerate() {
+        for policy in policies() {
+            let exact_placer = IncrementalPlacer::new(policy);
+            let Ok(exact) = exact_placer.place(problem) else {
+                continue; // stranded-app scenarios are covered elsewhere
+            };
+            let heuristic = IncrementalPlacer::new(policy)
+                .heuristic_only()
+                .place(problem)
+                .expect("feasible for exact implies feasible for heuristic");
+            assert!(!heuristic.exact);
+            if !exact.unplaced.is_empty() || !heuristic.unplaced.is_empty() {
+                continue; // objectives are not comparable with unplaced apps
+            }
+            let exact_obj = exact_placer
+                .objective_of(problem, &exact.assignment)
+                .expect("exact assignment is feasible");
+            let heuristic_obj = exact_placer
+                .objective_of(problem, &heuristic.assignment)
+                .expect("heuristic assignment is feasible");
+            assert!(
+                heuristic_obj >= exact_obj - TOL,
+                "scenario {k}, policy {}: heuristic {heuristic_obj} beats exact {exact_obj}",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Branch-and-bound's optimum matches the objective of the assignment the
+/// exact placement path commits.
+#[test]
+fn exact_decision_matches_branch_and_bound_objective() {
+    for (k, problem) in exact_path_scenarios().iter().enumerate() {
+        for policy in policies() {
+            let placer = IncrementalPlacer::new(policy);
+            let Ok(decision) = placer.place(problem) else {
+                continue;
+            };
+            if !decision.exact || !decision.unplaced.is_empty() {
+                continue;
+            }
+            let placement_model = placer.build_model(problem);
+            let milp = placer.milp_solver.solve(&placement_model.model);
+            assert!(milp.has_solution(), "scenario {k}: MILP should be solvable");
+            let committed = placer
+                .objective_of(problem, &decision.assignment)
+                .expect("committed assignment feasible");
+            assert!(
+                (committed - milp.objective).abs() <= TOL * committed.abs().max(1.0),
+                "scenario {k}, policy {}: committed {committed} vs MILP {}",
+                policy.name(),
+                milp.objective
+            );
+        }
+    }
+}
+
+/// The simplex LP relaxation lower-bounds branch-and-bound, and when the
+/// relaxation is already integral the two solvers agree on the optimum.
+#[test]
+fn simplex_and_branch_and_bound_agree_on_integral_optima() {
+    let simplex = SimplexSolver::new();
+    let bb = BranchBoundSolver::new();
+    let mut integral_agreements = 0usize;
+    for (k, problem) in exact_path_scenarios().iter().enumerate() {
+        for policy in policies() {
+            let placer = IncrementalPlacer::new(policy);
+            let placement_model = placer.build_model(problem);
+            let model = &placement_model.model;
+            let lp = simplex.solve(model);
+            if lp.outcome != LpOutcome::Optimal {
+                continue;
+            }
+            let milp = bb.solve(model);
+            if !milp.has_solution() {
+                continue;
+            }
+            // The relaxation is a lower bound on any integer solution.
+            assert!(
+                lp.objective <= milp.objective + TOL * milp.objective.abs().max(1.0),
+                "scenario {k}, policy {}: LP bound {} above MILP {}",
+                policy.name(),
+                lp.objective,
+                milp.objective
+            );
+            let integral = model
+                .vars()
+                .iter()
+                .enumerate()
+                .filter(|(_, kind)| matches!(kind, VarKind::Binary))
+                .all(|(i, _)| (lp.values[i] - lp.values[i].round()).abs() <= TOL);
+            if integral {
+                integral_agreements += 1;
+                assert!(
+                    (lp.objective - milp.objective).abs() <= TOL * milp.objective.abs().max(1.0),
+                    "scenario {k}, policy {}: integral LP {} disagrees with B&B {}",
+                    policy.name(),
+                    lp.objective,
+                    milp.objective
+                );
+                // The integral relaxation decodes to a feasible assignment
+                // with the same objective under the policy's cost function.
+                let assignment = placement_model.decode(&lp.values);
+                if assignment.iter().all(|a| a.is_some()) {
+                    let decoded = placer
+                        .objective_of(problem, &assignment)
+                        .expect("integral LP assignment is feasible");
+                    assert!((decoded - milp.objective).abs() <= TOL * decoded.abs().max(1.0));
+                }
+            }
+        }
+    }
+    assert!(
+        integral_agreements >= 10,
+        "expected many integral relaxations across the scenario set, got {integral_agreements}"
+    );
+}
