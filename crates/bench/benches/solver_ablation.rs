@@ -1,11 +1,13 @@
 //! Ablation: exact branch-and-bound MILP versus the assignment heuristic on
 //! testbed-sized placement instances (the solver-choice ablation called out
-//! in DESIGN.md).
+//! in DESIGN.md), plus the revised-vs-reference exact-solver comparison
+//! whose medians `BENCH_solver.json` snapshots.
 
 use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
 use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
 use carbonedge_grid::HourOfYear;
 use carbonedge_net::LatencyModel;
+use carbonedge_solver::ReferenceBranchBound;
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -54,6 +56,15 @@ fn bench_exact_vs_heuristic(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("exact_milp_5x5", |bench| {
         bench.iter(|| exact.place(&problem).unwrap())
+    });
+    // The pre-rewrite dense Big-M cold-start stack on the identical MILP:
+    // the "before" side of the solver overhaul.
+    let reference = ReferenceBranchBound::with_node_limit(20_000);
+    group.bench_function("exact_reference_5x5", |bench| {
+        bench.iter(|| {
+            let model = exact.build_model(&problem);
+            reference.solve(&model.model)
+        })
     });
     group.bench_function("heuristic_5x5", |bench| {
         bench.iter(|| heuristic.place(&problem).unwrap())

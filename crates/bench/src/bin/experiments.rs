@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--sweep] [--jobs N]
+//! experiments [--quick] [--sweep] [--jobs N] [--bench-json DIR]
 //!             [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
 //!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!              fig15 | fig16 | fig17]
@@ -18,6 +18,11 @@
 //! experiment names it replaces the figure suite, while named figures still
 //! run after the sweep.  `--jobs N` sets the worker count (default: one per
 //! CPU).  The sweep's aggregated output is deterministic for any job count.
+//!
+//! `--bench-json DIR` measures the solver and sweep performance snapshots
+//! and writes `BENCH_solver.json` / `BENCH_sweep.json` into `DIR`; like
+//! `--sweep` it replaces the figure suite unless figures are named
+//! explicitly.
 
 use carbonedge_analysis::mesoscale::{
     region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly,
@@ -47,16 +52,60 @@ fn print_usage() {
     println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
     println!();
     println!(
-        "usage: experiments [--quick] [--sweep] [--jobs N] [all | {}]",
+        "usage: experiments [--quick] [--sweep] [--jobs N] [--bench-json DIR] [all | {}]",
         EXPERIMENTS.join(" | ")
     );
     println!();
-    println!("  --quick   restrict CDN-scale simulations to a subset of edge sites");
-    println!("  --sweep   run the declarative scenario grid through the parallel");
-    println!("            sweep engine (replaces the figure suite unless figures");
-    println!("            are named explicitly, which then run after the sweep)");
-    println!("  --jobs N  worker threads for --sweep (default: one per CPU)");
+    println!("  --quick           restrict CDN-scale simulations to a subset of edge sites");
+    println!("  --sweep           run the declarative scenario grid through the parallel");
+    println!("                    sweep engine (replaces the figure suite unless figures");
+    println!("                    are named explicitly, which then run after the sweep)");
+    println!("  --jobs N          worker threads for --sweep (default: one per CPU)");
+    println!("  --bench-json DIR  measure solver/sweep perf and write BENCH_solver.json");
+    println!("                    and BENCH_sweep.json into DIR (replaces the figure");
+    println!("                    suite unless figures are named explicitly)");
     println!("  (no experiment names runs the full suite)");
+}
+
+/// Parses a `--bench-json DIR` / `--bench-json=DIR` flag out of the
+/// argument list, removing the consumed tokens.
+fn take_bench_json_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--bench-json" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--bench-json requires a directory".to_string())?;
+            dir = Some(value.clone());
+            args.drain(i..=i + 1);
+        } else if let Some(value) = args[i].strip_prefix("--bench-json=") {
+            dir = Some(value.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(dir)
+}
+
+/// Measures the solver and sweep perf snapshots and writes them into `dir`.
+fn run_bench_json(dir: &str, quick: bool) {
+    header(&format!(
+        "Perf snapshots ({} sampling)",
+        if quick { "quick" } else { "full" }
+    ));
+    match carbonedge_bench::bench_json::write_bench_json(std::path::Path::new(dir), quick) {
+        Ok(paths) => {
+            for path in paths {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("error: could not write bench snapshots to `{dir}`: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Runs the scenario grid through the sweep engine and prints its report.
@@ -85,6 +134,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let bench_json = match take_bench_json_flag(&mut args) {
+        Ok(dir) => dir,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            print_usage();
+            std::process::exit(2);
+        }
+    };
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
     if jobs != 0 && !sweep {
@@ -104,16 +162,19 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
+    let preamble = Instant::now();
     if sweep {
-        let started = Instant::now();
         run_sweep(quick, jobs);
-        if which.is_empty() {
-            eprintln!(
-                "\n[experiments completed in {:.1} s]",
-                started.elapsed().as_secs_f64()
-            );
-            return;
-        }
+    }
+    if let Some(dir) = &bench_json {
+        run_bench_json(dir, quick);
+    }
+    if (sweep || bench_json.is_some()) && which.is_empty() {
+        eprintln!(
+            "\n[experiments completed in {:.1} s]",
+            preamble.elapsed().as_secs_f64()
+        );
+        return;
     }
     let run_all = which.is_empty() || which.contains(&"all");
     let should = |name: &str| run_all || which.contains(&name);

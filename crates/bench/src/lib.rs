@@ -1,5 +1,7 @@
 //! Support library for the `experiments` driver binary: the sweep grids the
-//! binary runs and the deterministic summary used by the golden-output
-//! regression test.
+//! binary runs, the deterministic summary used by the golden-output
+//! regression test, and the machine-readable `BENCH_*.json` perf snapshots
+//! behind `--bench-json`.
 
+pub mod bench_json;
 pub mod summary;

@@ -1,14 +1,26 @@
-//! Exact branch-and-bound MILP solver over binary variables.
+//! Exact branch-and-bound MILP solver over binary variables, warm-started
+//! and allocation-free per node.
 //!
-//! The solver repeatedly solves LP relaxations with the simplex solver,
-//! branches on the most fractional binary variable, and prunes nodes whose
-//! relaxation bound cannot beat the incumbent.  It is exact given enough
-//! nodes; a node limit turns it into an anytime solver that reports the best
-//! incumbent found (mirroring how OR-Tools is used with a time limit in the
-//! paper's placement service).
+//! The solver explores nodes **best-first** from a bound-ordered priority
+//! queue.  Each node is a compact diff against its parent — `(variable,
+//! fixed value)` plus a parent pointer into a node arena — instead of a
+//! cloned bound-override vector, and every LP relaxation is solved in one
+//! shared [`SimplexWorkspace`]: after a bound tightening the previous
+//! optimal basis stays **dual feasible** (reduced costs do not depend on
+//! bounds), so the relaxation restarts with a handful of dual-simplex
+//! pivots rather than a cold solve.  A node limit turns the solver into an
+//! anytime solver that reports the best incumbent found (mirroring how
+//! OR-Tools is used with a time limit in the paper's placement service).
+//!
+//! The workspace persists inside the solver behind a mutex, so successive
+//! `solve` calls — e.g. the per-epoch placements of
+//! `carbonedge_core::IncrementalPlacer` — reuse all buffers without
+//! reallocating.
 
 use crate::model::Model;
-use crate::simplex::{LpOutcome, SimplexSolver};
+use crate::simplex::{LpOutcome, Prepared, SimplexSolver, SimplexWorkspace};
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// Status of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +48,8 @@ pub struct MilpSolution {
     pub values: Vec<f64>,
     /// Number of branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Total simplex pivots (primal and dual) across all nodes.
+    pub pivots: usize,
 }
 
 impl MilpSolution {
@@ -45,8 +59,109 @@ impl MilpSolution {
     }
 }
 
-/// Branch-and-bound solver configuration.
-#[derive(Debug, Clone)]
+/// Sentinel for "no parent" / "no branching decision" (the root node).
+const NO_VAR: u32 = u32::MAX;
+
+/// One arena entry: the branching decision that distinguishes this node
+/// from its parent.
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    parent: u32,
+    var: u32,
+    fixed: f64,
+}
+
+/// Heap entry; ordered so the *smallest* relaxation bound pops first
+/// (ties broken by insertion order for determinism).
+#[derive(Debug, Clone, Copy)]
+struct OpenNode {
+    bound: f64,
+    seq: u32,
+    node: u32,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for OpenNode {}
+
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the lowest bound is "greatest".
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Scratch arena shared by every node of a search and across successive
+/// searches: prepared matrix, simplex workspace, node records, open queue
+/// and incumbent buffers.
+#[derive(Debug, Default)]
+pub struct MilpWorkspace {
+    prep: Prepared,
+    simplex: SimplexWorkspace,
+    /// Whether `prep`/`simplex` have been loaded at least once.
+    loaded: bool,
+    nodes: Vec<NodeRec>,
+    open: BinaryHeap<OpenNode>,
+    touched: Vec<u32>,
+    binaries: Vec<usize>,
+    candidate: Vec<f64>,
+    incumbent: Vec<f64>,
+}
+
+impl MilpWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops any resident basis so the next solve cold-starts (buffers and
+    /// their allocations are kept).  Callers that interleave solves of
+    /// *different* problem streams — e.g. a sweep worker moving to another
+    /// cell — use this to keep results independent of which stream a
+    /// worker happened to serve before.
+    pub fn discard_warm_start(&mut self) {
+        self.loaded = false;
+    }
+
+    /// Applies a node's bound diffs (the chain of branching decisions up to
+    /// the root) onto the simplex workspace, undoing the previous node's
+    /// diffs first.  O(depth) and allocation-free.
+    fn apply_bounds(&mut self, node: u32) {
+        for &v in &self.touched {
+            self.simplex.reset_var_bounds(&self.prep, v as usize);
+        }
+        self.touched.clear();
+        let mut cur = node;
+        loop {
+            let rec = self.nodes[cur as usize];
+            if rec.var != NO_VAR {
+                self.simplex
+                    .set_var_bounds(rec.var as usize, rec.fixed, rec.fixed);
+                self.touched.push(rec.var);
+            }
+            if rec.parent == NO_VAR {
+                break;
+            }
+            cur = rec.parent;
+        }
+    }
+}
+
+/// Branch-and-bound solver configuration plus its reusable workspace.
+#[derive(Debug)]
 pub struct BranchBoundSolver {
     /// LP relaxation solver.
     pub lp: SimplexSolver,
@@ -54,6 +169,8 @@ pub struct BranchBoundSolver {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub tolerance: f64,
+    /// Scratch arena reused across nodes and across successive solves.
+    workspace: Mutex<MilpWorkspace>,
 }
 
 impl Default for BranchBoundSolver {
@@ -62,13 +179,21 @@ impl Default for BranchBoundSolver {
             lp: SimplexSolver::new(),
             max_nodes: 50_000,
             tolerance: 1e-6,
+            workspace: Mutex::new(MilpWorkspace::new()),
         }
     }
 }
 
-struct Node {
-    overrides: Vec<Option<(f64, f64)>>,
-    bound: f64,
+impl Clone for BranchBoundSolver {
+    /// Clones the configuration; the clone gets its own fresh workspace.
+    fn clone(&self) -> Self {
+        Self {
+            lp: self.lp.clone(),
+            max_nodes: self.max_nodes,
+            tolerance: self.tolerance,
+            workspace: Mutex::new(MilpWorkspace::new()),
+        }
+    }
 }
 
 impl BranchBoundSolver {
@@ -85,109 +210,172 @@ impl BranchBoundSolver {
         }
     }
 
-    fn most_fractional_binary(&self, model: &Model, values: &[f64]) -> Option<usize> {
+    fn most_fractional_binary(&self, binaries: &[usize], values: &[f64]) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for v in model.binary_vars() {
-            let val = values[v.index()];
+        for &vi in binaries {
+            let val = values[vi];
             let frac = (val - val.round()).abs();
             if frac > self.tolerance {
                 let distance_to_half = (val - 0.5).abs();
                 match best {
                     Some((_, d)) if d <= distance_to_half => {}
-                    _ => best = Some((v.index(), distance_to_half)),
+                    _ => best = Some((vi, distance_to_half)),
                 }
             }
         }
         best.map(|(i, _)| i)
     }
 
-    /// Solves the MILP to optimality (or best effort within the node limit).
+    /// Drops the internal workspace's resident basis so the next solve
+    /// cold-starts from a canonical state (allocations are kept).
+    pub fn discard_warm_start(&self) {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .discard_warm_start();
+    }
+
+    /// Solves the MILP to optimality (or best effort within the node
+    /// limit), reusing the solver's internal workspace.
     pub fn solve(&self, model: &Model) -> MilpSolution {
-        let n = model.num_vars();
-        let root = Node {
-            overrides: vec![None; n],
+        let mut ws = self
+            .workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.solve_with_workspace(model, &mut ws)
+    }
+
+    /// Solves the MILP in a caller-provided workspace (for callers that
+    /// manage their own scratch arenas or want to avoid the internal lock).
+    ///
+    /// When the model has the same constraint matrix, right-hand sides and
+    /// bounds as the previous solve, the resident simplex basis is reused:
+    /// identical costs warm-start the root through the dual simplex (often
+    /// zero pivots), changed costs restart primal phase-2 from the old
+    /// optimum — the repeated re-optimization pattern of a placement
+    /// service re-solving as carbon intensities shift epoch to epoch.
+    pub fn solve_with_workspace(&self, model: &Model, ws: &mut MilpWorkspace) -> MilpSolution {
+        if ws.loaded && ws.prep.matches_structure(model) {
+            if ws.prep.refresh_costs(model) {
+                ws.simplex.invalidate_duals();
+            }
+            // Undo the previous search's branching diffs so the root sees
+            // natural bounds again.
+            for &v in &ws.touched {
+                ws.simplex.reset_var_bounds(&ws.prep, v as usize);
+            }
+        } else {
+            ws.prep.load(model);
+            ws.simplex.reset(&ws.prep);
+            ws.loaded = true;
+        }
+        ws.nodes.clear();
+        ws.open.clear();
+        ws.touched.clear();
+        ws.binaries.clear();
+        ws.binaries
+            .extend(model.binary_vars().iter().map(|v| v.index()));
+        ws.incumbent.clear();
+
+        ws.nodes.push(NodeRec {
+            parent: NO_VAR,
+            var: NO_VAR,
+            fixed: 0.0,
+        });
+        ws.open.push(OpenNode {
             bound: f64::NEG_INFINITY,
-        };
-        let mut stack = vec![root];
-        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+            seq: 0,
+            node: 0,
+        });
+        let mut seq = 1u32;
+
+        let mut have_incumbent = false;
+        let mut best_obj = f64::INFINITY;
         let mut nodes = 0usize;
+        let mut pivots = 0usize;
         let mut exhausted = true;
 
-        while let Some(node) = stack.pop() {
+        while let Some(open) = ws.open.pop() {
             if nodes >= self.max_nodes {
                 exhausted = false;
                 break;
             }
+            // Best-first: once the lowest open bound cannot beat the
+            // incumbent, no remaining node can — the whole tree is pruned.
+            if have_incumbent && open.bound >= best_obj - self.tolerance {
+                break;
+            }
             nodes += 1;
 
-            // Prune by bound.
-            if let Some((best_obj, _)) = &incumbent {
-                if node.bound >= *best_obj - self.tolerance {
-                    continue;
-                }
-            }
-
-            let relax = self.lp.solve_with_bounds(model, &node.overrides);
-            match relax.outcome {
-                LpOutcome::Infeasible => continue,
-                LpOutcome::Unbounded => {
-                    // An unbounded relaxation of a bounded-binary problem can
-                    // only come from unbounded continuous variables; treat the
-                    // node as unusable.
-                    continue;
-                }
-                LpOutcome::IterationLimit => continue,
+            ws.apply_bounds(open.node);
+            let outcome = self.lp.solve_workspace(&ws.prep, &mut ws.simplex);
+            pivots += ws.simplex.last_pivots();
+            match outcome {
                 LpOutcome::Optimal => {}
+                // Infeasible nodes are pruned; unbounded relaxations of a
+                // bounded-binary problem can only come from unbounded
+                // continuous variables and make the node unusable, as does
+                // an iteration limit.
+                _ => continue,
             }
-            if let Some((best_obj, _)) = &incumbent {
-                if relax.objective >= *best_obj - self.tolerance {
-                    continue;
-                }
+            let obj = ws.simplex.objective(&ws.prep);
+            if have_incumbent && obj >= best_obj - self.tolerance {
+                continue;
             }
 
-            match self.most_fractional_binary(model, &relax.values) {
+            match self.most_fractional_binary(&ws.binaries, ws.simplex.values()) {
                 None => {
-                    // Integer feasible: round binaries exactly and keep if improving.
-                    let mut values = relax.values.clone();
-                    for v in model.binary_vars() {
-                        values[v.index()] = values[v.index()].round();
+                    // Integer feasible: round binaries exactly and keep if
+                    // improving (buffers reused, no per-incumbent clone).
+                    ws.candidate.clear();
+                    ws.candidate.extend_from_slice(ws.simplex.values());
+                    for &b in &ws.binaries {
+                        ws.candidate[b] = ws.candidate[b].round();
                     }
-                    if model.is_feasible(&values, 1e-5) {
-                        let obj = model.objective_value(&values);
-                        let improves = incumbent
-                            .as_ref()
-                            .is_none_or(|(best, _)| obj < *best - self.tolerance);
-                        if improves {
-                            incumbent = Some((obj, values));
+                    if model.is_feasible(&ws.candidate, 1e-5) {
+                        let candidate_obj = model.objective_value(&ws.candidate);
+                        if !have_incumbent || candidate_obj < best_obj - self.tolerance {
+                            have_incumbent = true;
+                            best_obj = candidate_obj;
+                            ws.incumbent.clear();
+                            ws.incumbent.extend_from_slice(&ws.candidate);
                         }
                     }
                 }
                 Some(branch_var) => {
-                    // Branch: x = 0 and x = 1 children.
+                    // Two children, each a one-entry diff against this node.
                     for fixed in [1.0, 0.0] {
-                        let mut overrides = node.overrides.clone();
-                        overrides[branch_var] = Some((fixed, fixed));
-                        stack.push(Node {
-                            overrides,
-                            bound: relax.objective,
+                        let idx = ws.nodes.len() as u32;
+                        ws.nodes.push(NodeRec {
+                            parent: open.node,
+                            var: branch_var as u32,
+                            fixed,
                         });
+                        ws.open.push(OpenNode {
+                            bound: obj,
+                            seq,
+                            node: idx,
+                        });
+                        seq += 1;
                     }
                 }
             }
         }
 
-        match incumbent {
-            Some((objective, values)) => MilpSolution {
+        if have_incumbent {
+            MilpSolution {
                 outcome: if exhausted {
                     MilpOutcome::Optimal
                 } else {
                     MilpOutcome::Feasible
                 },
-                objective,
-                values,
+                objective: best_obj,
+                values: ws.incumbent.clone(),
                 nodes,
-            },
-            None => MilpSolution {
+                pivots,
+            }
+        } else {
+            MilpSolution {
                 outcome: if exhausted {
                     MilpOutcome::Infeasible
                 } else {
@@ -196,7 +384,8 @@ impl BranchBoundSolver {
                 objective: f64::INFINITY,
                 values: vec![],
                 nodes,
-            },
+                pivots,
+            }
         }
     }
 }
@@ -345,7 +534,6 @@ mod tests {
 
     #[test]
     fn continuous_and_binary_mix() {
-        // min 5y + x  s.t. x >= 3 - 10*(1-y) i.e. x + 10y >= 3... simpler:
         // x in [0, 10], y binary, x + 2y >= 3 -> either y=1 (cost 5 + x=1) = 6,
         // or y=0 x=3 -> 3.  Optimum 3.
         let mut m = Model::new();
@@ -426,5 +614,66 @@ mod tests {
                 best
             );
         }
+    }
+
+    #[test]
+    fn repeated_solves_reuse_the_workspace_and_agree() {
+        // The same solver instance must produce identical results across
+        // models of different shapes (the workspace is re-seeded per solve).
+        let solver = BranchBoundSolver::new();
+        let mut knapsack = Model::new();
+        let a = knapsack.add_binary();
+        let b = knapsack.add_binary();
+        knapsack.set_objective_term(a, -3.0);
+        knapsack.set_objective_term(b, -4.0);
+        knapsack.add_constraint(
+            LinearExpr::new().with(a, 1.0).with(b, 2.0),
+            Comparison::LessEq,
+            2.0,
+            "cap",
+        );
+        let first = solver.solve(&knapsack);
+
+        let mut other = Model::new();
+        let p = other.add_binary();
+        let q = other.add_binary();
+        let r = other.add_binary();
+        other.set_objective_term(p, -1.0);
+        other.set_objective_term(q, -2.0);
+        other.set_objective_term(r, -3.0);
+        other.add_constraint(
+            LinearExpr::new().with(p, 1.0).with(q, 1.0).with(r, 1.0),
+            Comparison::LessEq,
+            2.0,
+            "pick2",
+        );
+        let middle = solver.solve(&other);
+        assert_eq!(middle.outcome, MilpOutcome::Optimal);
+        assert!(approx(middle.objective, -5.0), "obj {}", middle.objective);
+
+        // Back to the first model on the dirty workspace: identical result.
+        let again = solver.solve(&knapsack);
+        assert_eq!(first, again);
+        // A fresh clone (fresh workspace) also agrees.
+        let fresh = solver.clone().solve(&knapsack);
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn pivot_statistics_are_reported() {
+        let mut m = Model::new();
+        let vals = [12.0, 7.0, 11.0, 8.0, 9.0];
+        let weights = [4.0, 3.0, 5.0, 3.0, 4.0];
+        let vars: Vec<_> = (0..vals.len()).map(|_| m.add_binary()).collect();
+        let mut cap = LinearExpr::new();
+        for (i, v) in vars.iter().enumerate() {
+            m.set_objective_term(*v, -vals[i]);
+            cap.add(*v, weights[i]);
+        }
+        m.add_constraint(cap, Comparison::LessEq, 9.0, "w");
+        let sol = BranchBoundSolver::new().solve(&m);
+        assert_eq!(sol.outcome, MilpOutcome::Optimal);
+        assert!(sol.nodes >= 1);
+        assert!(sol.pivots >= 1, "expected at least one simplex pivot");
     }
 }

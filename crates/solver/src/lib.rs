@@ -5,26 +5,35 @@
 //!
 //! * [`model`] — a small modeling layer for mixed binary/continuous linear
 //!   programs (variables, linear constraints, minimization objective);
-//! * [`simplex`] — a dense Big-M primal simplex solver for the LP
-//!   relaxation;
+//! * [`simplex`] — a bounded-variable **revised** simplex for the LP
+//!   relaxation: bounds live in the basis logic (nonbasic-at-lower/upper),
+//!   feasibility comes from a proper phase-1 instead of a Big-M penalty,
+//!   and a bounded dual simplex provides warm restarts after bound changes;
 //! * [`branch_bound`] — an exact branch-and-bound MILP solver over the
-//!   binary variables, using the simplex relaxation for bounds;
+//!   binary variables: best-first node selection from a bound-ordered
+//!   priority queue, compact parent-diff node records, and dual-simplex
+//!   warm starts in a scratch workspace shared across nodes and solves;
 //! * [`assignment`] — a specialized solver for the incremental placement
 //!   problem (a generalized assignment problem with server-activation
 //!   costs): greedy construction with regret ordering plus local search,
-//!   and an exhaustive exact solver for tiny instances used to validate it.
+//!   and an exhaustive exact solver for tiny instances used to validate it;
+//! * [`reference`] — the pre-rewrite dense Big-M tableau simplex and
+//!   cold-start branch-and-bound, retained **only** as differential-test
+//!   oracles and as the "before" side of `BENCH_solver.json`.
 //!
 //! The placement policies in `carbonedge-core` use the exact solver for
 //! small instances and the assignment heuristic at CDN scale; benches in
-//! `carbonedge-bench` compare the two (the solver ablation called out in
-//! DESIGN.md).
+//! `carbonedge-bench` compare the paths (the solver ablation called out in
+//! DESIGN.md) and measure the revised-vs-reference speedup.
 
 pub mod assignment;
 pub mod branch_bound;
 pub mod model;
+pub mod reference;
 pub mod simplex;
 
 pub use assignment::{AssignmentProblem, AssignmentSolution, AssignmentSolver};
-pub use branch_bound::{BranchBoundSolver, MilpOutcome, MilpSolution};
+pub use branch_bound::{BranchBoundSolver, MilpOutcome, MilpSolution, MilpWorkspace};
 pub use model::{Comparison, Constraint, LinearExpr, Model, VarId, VarKind};
-pub use simplex::{LpOutcome, LpSolution, SimplexSolver};
+pub use reference::{DenseSimplexSolver, ReferenceBranchBound};
+pub use simplex::{LpOutcome, LpSolution, Prepared, SimplexSolver, SimplexWorkspace};

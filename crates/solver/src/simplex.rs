@@ -1,14 +1,29 @@
-//! A dense Big-M primal simplex solver for LP relaxations.
+//! A bounded-variable revised simplex solver for LP relaxations.
 //!
 //! The solver handles the models produced by [`crate::model::Model`]: a
 //! linear minimization objective over bounded continuous (and relaxed
-//! binary) variables with `<=`, `>=` and `=` constraints.  It uses the
-//! classic tableau simplex with the Big-M method for artificial variables
-//! and Bland's rule to avoid cycling.  It is intentionally dense and simple:
-//! the LP relaxations solved during branch-and-bound in this workspace have
-//! at most a few hundred variables.
+//! binary) variables with `<=`, `>=` and `=` constraints.  Unlike the
+//! retained [`crate::reference::DenseSimplexSolver`] oracle it
+//!
+//! * treats variable bounds `l <= x <= u` **natively** in the basis logic
+//!   (nonbasic variables rest at their lower *or* upper bound) instead of
+//!   materializing every finite upper bound as an extra constraint row,
+//! * reaches feasibility with a proper **phase-1** (artificial variables
+//!   priced at unit cost, then pinned to zero) instead of the numerically
+//!   fragile Big-M penalty,
+//! * maintains an explicit **basis inverse** that is updated in place per
+//!   pivot (periodically refactorized) rather than rebuilding a dense
+//!   tableau per solve, and
+//! * supports **warm restarts** via the bounded **dual simplex**: any
+//!   optimal basis stays dual feasible under pure bound changes (reduced
+//!   costs do not depend on bounds), which is exactly what branch-and-bound
+//!   needs after fixing a binary variable.
+//!
+//! All scratch state lives in a [`SimplexWorkspace`] so repeated solves —
+//! thousands of branch-and-bound nodes, successive placement calls — are
+//! allocation-free after the first.
 
-use crate::model::{Comparison, Model};
+use crate::model::{Comparison, Model, VarKind};
 
 /// The status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +51,585 @@ pub struct LpSolution {
     pub iterations: usize,
 }
 
-/// Big-M tableau simplex solver.
+/// Nonbasic-at-lower-bound marker.
+const AT_LOWER: u8 = 0;
+/// Nonbasic-at-upper-bound marker.
+const AT_UPPER: u8 = 1;
+/// Basic marker.
+const BASIC: u8 = 2;
+/// Free (both bounds infinite) nonbasic marker.
+const FREE: u8 = 3;
+
+/// Hard zero threshold for matrix entries and pivot elements.
+const EPS: f64 = 1e-9;
+/// Phase-1 objective threshold below which the problem counts as feasible.
+const FEAS_TOL: f64 = 1e-6;
+/// Basis-inverse refactorization cadence, in pivots.
+const REFACTOR_EVERY: usize = 128;
+
+/// Column-wise (CSC) form of a model plus its natural bounds and costs,
+/// built once per model and shared by every node of a branch-and-bound
+/// search.  Column layout: `0..n` structural variables, `n..n+m` slack
+/// variables (one per row, turning every constraint into an equality), and
+/// `n+m..n+2m` phase-1 artificial slots (a signed unit column, activated on
+/// demand by the cold start).
+#[derive(Debug, Clone, Default)]
+pub struct Prepared {
+    /// Structural variable count.
+    pub n: usize,
+    /// Row count.
+    pub m: usize,
+    col_ptr: Vec<usize>,
+    col_row: Vec<usize>,
+    col_val: Vec<f64>,
+    /// Objective coefficients per column (auxiliary columns cost zero).
+    cost: Vec<f64>,
+    /// Natural lower bounds per column.
+    lower: Vec<f64>,
+    /// Natural upper bounds per column.
+    upper: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Scratch cursors for structure comparison (reused, never observable).
+    cursor_scratch: Vec<usize>,
+    /// Scratch accumulator for cost refresh (reused, never observable).
+    cost_scratch: Vec<f64>,
+}
+
+impl Prepared {
+    /// Total number of columns including slack and artificial slots.
+    pub fn ncols(&self) -> usize {
+        self.n + 2 * self.m
+    }
+
+    /// (Re)builds the prepared form from a model, reusing allocations.
+    pub fn load(&mut self, model: &Model) {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        self.n = n;
+        self.m = m;
+        let ncols = n + 2 * m;
+
+        self.cost.clear();
+        self.cost.resize(ncols, 0.0);
+        for (v, c) in &model.objective().terms {
+            self.cost[v.index()] += *c;
+        }
+
+        self.lower.clear();
+        self.upper.clear();
+        self.lower.resize(ncols, 0.0);
+        self.upper.resize(ncols, 0.0);
+        for (j, kind) in model.vars().iter().enumerate() {
+            let (lo, hi) = kind.bounds();
+            self.lower[j] = lo;
+            self.upper[j] = hi;
+        }
+        self.rhs.clear();
+        for (r, c) in model.constraints().iter().enumerate() {
+            self.rhs.push(c.rhs);
+            let (sl, su) = match c.cmp {
+                Comparison::LessEq => (0.0, f64::INFINITY),
+                Comparison::GreaterEq => (f64::NEG_INFINITY, 0.0),
+                Comparison::Equal => (0.0, 0.0),
+            };
+            self.lower[n + r] = sl;
+            self.upper[n + r] = su;
+            // Artificial slots stay pinned at [0, 0] until activated.
+            self.lower[n + m + r] = 0.0;
+            self.upper[n + m + r] = 0.0;
+        }
+
+        // Column-wise matrix over structural + slack columns.
+        self.col_ptr.clear();
+        self.col_row.clear();
+        self.col_val.clear();
+        let mut counts = vec![0usize; n + m];
+        for c in model.constraints() {
+            for (v, _) in &c.expr.terms {
+                counts[v.index()] += 1;
+            }
+        }
+        for count in counts.iter_mut().skip(n) {
+            *count = 1;
+        }
+        self.col_ptr.resize(n + m + 1, 0);
+        for (j, &count) in counts.iter().enumerate() {
+            self.col_ptr[j + 1] = self.col_ptr[j] + count;
+        }
+        let nnz = self.col_ptr[n + m];
+        self.col_row.resize(nnz, 0);
+        self.col_val.resize(nnz, 0.0);
+        let mut cursor: Vec<usize> = self.col_ptr[..n + m].to_vec();
+        for (r, c) in model.constraints().iter().enumerate() {
+            for (v, a) in &c.expr.terms {
+                let p = cursor[v.index()];
+                self.col_row[p] = r;
+                self.col_val[p] = *a;
+                cursor[v.index()] += 1;
+            }
+        }
+        for r in 0..m {
+            let p = cursor[n + r];
+            self.col_row[p] = r;
+            self.col_val[p] = 1.0;
+            cursor[n + r] += 1;
+        }
+    }
+
+    /// Builds the prepared form of a model.
+    pub fn build(model: &Model) -> Self {
+        let mut prep = Self::default();
+        prep.load(model);
+        prep
+    }
+
+    /// Whether `model` has the same constraint matrix, right-hand sides and
+    /// natural bounds as this prepared form (costs may differ).  When true,
+    /// a resident simplex basis remains structurally valid and the solver
+    /// can restart from it instead of cold-starting.  (`&mut self` only for
+    /// a scratch cursor buffer; the prepared form itself is not changed.)
+    pub fn matches_structure(&mut self, model: &Model) -> bool {
+        if self.n != model.num_vars() || self.m != model.num_constraints() {
+            return false;
+        }
+        for (j, kind) in model.vars().iter().enumerate() {
+            let (lo, hi) = kind.bounds();
+            if self.lower[j] != lo || self.upper[j] != hi {
+                return false;
+            }
+        }
+        // Compare the sparse matrix column-by-column via the same fill
+        // order `load` uses (constraints in order, terms in order).
+        self.cursor_scratch.clear();
+        self.cursor_scratch
+            .extend_from_slice(&self.col_ptr[..self.n]);
+        let mut cursor = std::mem::take(&mut self.cursor_scratch);
+        let mut same = true;
+        'rows: for (r, c) in model.constraints().iter().enumerate() {
+            let (sl, su) = match c.cmp {
+                Comparison::LessEq => (0.0, f64::INFINITY),
+                Comparison::GreaterEq => (f64::NEG_INFINITY, 0.0),
+                Comparison::Equal => (0.0, 0.0),
+            };
+            if self.rhs[r] != c.rhs || self.lower[self.n + r] != sl || self.upper[self.n + r] != su
+            {
+                same = false;
+                break 'rows;
+            }
+            for (v, a) in &c.expr.terms {
+                let j = v.index();
+                let p = cursor[j];
+                if p >= self.col_ptr[j + 1] || self.col_row[p] != r || self.col_val[p] != *a {
+                    same = false;
+                    break 'rows;
+                }
+                cursor[j] += 1;
+            }
+        }
+        // Every structural column must be fully consumed (no leftover terms).
+        same = same && (0..self.n).all(|j| cursor[j] == self.col_ptr[j + 1]);
+        self.cursor_scratch = cursor;
+        same
+    }
+
+    /// Replaces the cost vector with `model`'s objective, returning whether
+    /// any coefficient changed.  Only valid after [`Self::matches_structure`]
+    /// confirmed the shapes agree.
+    pub fn refresh_costs(&mut self, model: &Model) -> bool {
+        debug_assert_eq!(self.n, model.num_vars());
+        self.cost_scratch.clear();
+        self.cost_scratch.resize(self.n, 0.0);
+        let mut fresh = std::mem::take(&mut self.cost_scratch);
+        for (v, c) in &model.objective().terms {
+            fresh[v.index()] += *c;
+        }
+        let mut changed = false;
+        for (j, &new_cost) in fresh.iter().enumerate() {
+            if self.cost[j] != new_cost {
+                self.cost[j] = new_cost;
+                changed = true;
+            }
+        }
+        self.cost_scratch = fresh;
+        changed
+    }
+
+    /// Sparse entries of a structural or slack column.
+    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.col_row[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.col_val[lo..hi].iter().copied())
+    }
+}
+
+/// Reusable scratch state of the revised simplex: basis, basis inverse,
+/// effective bounds, values and pricing buffers.  One workspace serves an
+/// entire branch-and-bound search (and successive searches of same-shaped
+/// models) without reallocating.
+#[derive(Debug, Clone, Default)]
+pub struct SimplexWorkspace {
+    n: usize,
+    m: usize,
+    /// Per-column state: `AT_LOWER`, `AT_UPPER`, `BASIC` or `FREE`.
+    state: Vec<u8>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Row-major `m x m` basis inverse.
+    binv: Vec<f64>,
+    /// Current value per column.
+    x: Vec<f64>,
+    /// Effective lower bounds (node-specific overrides applied here).
+    lower: Vec<f64>,
+    /// Effective upper bounds.
+    upper: Vec<f64>,
+    /// Effective costs (phase-1 unit costs or the real objective).
+    cost: Vec<f64>,
+    /// Sign of each activated artificial column.
+    art_sign: Vec<f64>,
+    /// Whether the artificial slot of a row has been activated.
+    art_active: Vec<bool>,
+    y: Vec<f64>,
+    d: Vec<f64>,
+    w: Vec<f64>,
+    rowbuf: Vec<f64>,
+    factor: Vec<f64>,
+    /// Whether the current basis is dual feasible w.r.t. the real costs,
+    /// i.e. usable for a warm (dual simplex) restart.
+    dual_ready: bool,
+    /// Whether the resident point is primal feasible, i.e. usable for a
+    /// primal (phase-2 only) restart after a pure cost change.
+    primal_ready: bool,
+    /// Whether an artificial phase-1 is in flight (widens pricing to the
+    /// artificial block).
+    phase1_active: bool,
+    pivots_since_refactor: usize,
+    solve_pivots: usize,
+}
+
+enum LoopEnd {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+    Numerical,
+}
+
+enum DualEnd {
+    Feasible,
+    Infeasible,
+    IterationLimit,
+    Numerical,
+}
+
+impl SimplexWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the workspace for a prepared model and loads its natural
+    /// bounds.  Invalidates any warm-start basis.
+    pub fn reset(&mut self, prep: &Prepared) {
+        self.n = prep.n;
+        self.m = prep.m;
+        let ncols = prep.ncols();
+        self.state.clear();
+        self.state.resize(ncols, AT_LOWER);
+        self.basis.clear();
+        self.basis.resize(prep.m, 0);
+        self.binv.clear();
+        self.binv.resize(prep.m * prep.m, 0.0);
+        self.x.clear();
+        self.x.resize(ncols, 0.0);
+        self.lower.clear();
+        self.lower.extend_from_slice(&prep.lower);
+        self.upper.clear();
+        self.upper.extend_from_slice(&prep.upper);
+        self.cost.clear();
+        self.cost.resize(ncols, 0.0);
+        self.art_sign.clear();
+        self.art_sign.resize(prep.m, 1.0);
+        self.art_active.clear();
+        self.art_active.resize(prep.m, false);
+        self.y.clear();
+        self.y.resize(prep.m, 0.0);
+        self.d.clear();
+        self.d.resize(ncols, 0.0);
+        self.w.clear();
+        self.w.resize(prep.m, 0.0);
+        self.rowbuf.clear();
+        self.rowbuf.resize(prep.m, 0.0);
+        self.dual_ready = false;
+        self.primal_ready = false;
+        self.phase1_active = false;
+        self.pivots_since_refactor = 0;
+        self.solve_pivots = 0;
+    }
+
+    /// Restores a structural variable's natural bounds.  A nonbasic variable
+    /// is re-rested onto whichever natural bound its current value sits on,
+    /// so the resident point survives a bound relaxation unchanged (branch-
+    /// and-bound only ever fixes binaries onto their natural bounds).
+    pub fn reset_var_bounds(&mut self, prep: &Prepared, j: usize) {
+        self.lower[j] = prep.lower[j];
+        self.upper[j] = prep.upper[j];
+        if self.state[j] == AT_LOWER || self.state[j] == AT_UPPER {
+            if self.x[j] == self.upper[j] {
+                self.state[j] = AT_UPPER;
+            } else if self.x[j] == self.lower[j] {
+                self.state[j] = AT_LOWER;
+            } else {
+                // Defensive: the value matches neither natural bound; rest
+                // at a finite bound and give up primal reusability.
+                if self.lower[j].is_finite() {
+                    self.state[j] = AT_LOWER;
+                    self.x[j] = self.lower[j];
+                } else if self.upper[j].is_finite() {
+                    self.state[j] = AT_UPPER;
+                    self.x[j] = self.upper[j];
+                } else {
+                    self.state[j] = FREE;
+                }
+                self.primal_ready = false;
+            }
+        }
+    }
+
+    /// Invalidates the dual-feasibility marker (the objective changed); a
+    /// primal restart may still be possible via [`Self::primal_ready`].
+    pub fn invalidate_duals(&mut self) {
+        self.dual_ready = false;
+    }
+
+    /// Overrides a structural variable's bounds (branch-and-bound fixing).
+    pub fn set_var_bounds(&mut self, j: usize, lower: f64, upper: f64) {
+        self.lower[j] = lower;
+        self.upper[j] = upper;
+    }
+
+    /// Current values of the structural variables.
+    pub fn values(&self) -> &[f64] {
+        &self.x[..self.n]
+    }
+
+    /// Objective value of the current point under the real costs.
+    pub fn objective(&self, prep: &Prepared) -> f64 {
+        (0..self.n).map(|j| prep.cost[j] * self.x[j]).sum()
+    }
+
+    /// Pivots performed by the most recent solve.
+    pub fn last_pivots(&self) -> usize {
+        self.solve_pivots
+    }
+
+    /// Whether the workspace holds a dual-feasible basis usable for a warm
+    /// restart.
+    pub fn warm_ready(&self) -> bool {
+        self.dual_ready
+    }
+
+    /// Columns to price: structural + slack, plus the artificial block only
+    /// while a phase-1 is in flight (pinned artificials can never re-enter).
+    fn price_limit(&self, prep: &Prepared) -> usize {
+        if self.phase1_active {
+            prep.ncols()
+        } else {
+            prep.n + prep.m
+        }
+    }
+
+    /// Recomputes every basic value from the nonbasic point: `x_B = B^-1 (b
+    /// - A_N x_N)`.
+    fn refresh_basics(&mut self, prep: &Prepared) {
+        let m = self.m;
+        let nm = prep.n + prep.m;
+        self.rowbuf.copy_from_slice(&prep.rhs);
+        for j in 0..prep.ncols() {
+            if self.state[j] != BASIC && self.x[j] != 0.0 {
+                let xj = self.x[j];
+                if j < nm {
+                    for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
+                        self.rowbuf[prep.col_row[k]] -= prep.col_val[k] * xj;
+                    }
+                } else {
+                    let r = j - nm;
+                    self.rowbuf[r] -= self.art_sign[r] * xj;
+                }
+            }
+        }
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            let mut v = 0.0;
+            for (k, &b) in row.iter().enumerate() {
+                v += b * self.rowbuf[k];
+            }
+            self.x[self.basis[i]] = v;
+        }
+    }
+
+    /// Recomputes `y = c_B B^-1` and the reduced costs of every priceable
+    /// column, with raw index loops over the CSC arrays (this runs once per
+    /// pivot and dominates the per-iteration cost).
+    fn compute_duals(&mut self, prep: &Prepared) {
+        let m = self.m;
+        let nm = prep.n + prep.m;
+        self.y[..m].fill(0.0);
+        for i in 0..m {
+            let cb = self.cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (k, &b) in row.iter().enumerate() {
+                    self.y[k] += cb * b;
+                }
+            }
+        }
+        let limit = self.price_limit(prep);
+        for j in 0..limit {
+            if self.state[j] == BASIC {
+                self.d[j] = 0.0;
+            } else {
+                let mut v = self.cost[j];
+                if j < nm {
+                    for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
+                        v -= self.y[prep.col_row[k]] * prep.col_val[k];
+                    }
+                } else {
+                    let r = j - nm;
+                    v -= self.y[r] * self.art_sign[r];
+                }
+                self.d[j] = v;
+            }
+        }
+    }
+
+    /// Computes `w = B^-1 A_j` into the workspace (row-major traversal so
+    /// each basis-inverse row stays cache resident).
+    fn compute_w(&mut self, prep: &Prepared, j: usize) {
+        let m = self.m;
+        let nm = prep.n + prep.m;
+        if j < nm {
+            let lo = prep.col_ptr[j];
+            let hi = prep.col_ptr[j + 1];
+            for i in 0..m {
+                let row = &self.binv[i * m..(i + 1) * m];
+                let mut v = 0.0;
+                for k in lo..hi {
+                    v += row[prep.col_row[k]] * prep.col_val[k];
+                }
+                self.w[i] = v;
+            }
+        } else {
+            let r = j - nm;
+            let a = self.art_sign[r];
+            for i in 0..m {
+                self.w[i] = self.binv[i * m + r] * a;
+            }
+        }
+    }
+
+    /// Elementary basis-inverse update after pivoting on row `r` with the
+    /// current `w = B^-1 A_q` column.
+    fn pivot_binv(&mut self, r: usize) {
+        let m = self.m;
+        let piv = self.w[r];
+        let inv = 1.0 / piv;
+        for k in 0..m {
+            self.binv[r * m + k] *= inv;
+        }
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = self.w[i];
+            if f != 0.0 {
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[r * m + k];
+                }
+            }
+        }
+        self.pivots_since_refactor += 1;
+    }
+
+    /// Rebuilds the basis inverse from scratch (Gauss-Jordan with partial
+    /// pivoting) and refreshes the basic values.  Returns `false` when the
+    /// basis matrix is numerically singular.
+    fn refactorize(&mut self, prep: &Prepared) -> bool {
+        let m = self.m;
+        if m == 0 {
+            self.pivots_since_refactor = 0;
+            return true;
+        }
+        // Augmented [B | I] in a 2m-wide scratch buffer.
+        let width = 2 * m;
+        self.factor.clear();
+        self.factor.resize(m * width, 0.0);
+        for (k, &b) in self.basis.iter().enumerate() {
+            if b < prep.n + prep.m {
+                for (r, a) in prep.col(b) {
+                    self.factor[r * width + k] = a;
+                }
+            } else {
+                let r = b - prep.n - prep.m;
+                self.factor[r * width + k] = self.art_sign[r];
+            }
+        }
+        for i in 0..m {
+            self.factor[i * width + m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_mag = self.factor[col * width + col].abs();
+            for row in col + 1..m {
+                let mag = self.factor[row * width + col].abs();
+                if mag > best_mag {
+                    best = row;
+                    best_mag = mag;
+                }
+            }
+            if best_mag < 1e-11 {
+                return false;
+            }
+            if best != col {
+                for k in 0..width {
+                    self.factor.swap(col * width + k, best * width + k);
+                }
+            }
+            let inv = 1.0 / self.factor[col * width + col];
+            for k in 0..width {
+                self.factor[col * width + k] *= inv;
+            }
+            for row in 0..m {
+                if row == col {
+                    continue;
+                }
+                let f = self.factor[row * width + col];
+                if f != 0.0 {
+                    for k in 0..width {
+                        self.factor[row * width + k] -= f * self.factor[col * width + k];
+                    }
+                }
+            }
+        }
+        for i in 0..m {
+            for k in 0..m {
+                self.binv[i * m + k] = self.factor[i * width + m + k];
+            }
+        }
+        self.pivots_since_refactor = 0;
+        self.refresh_basics(prep);
+        true
+    }
+}
+
+/// Bounded-variable revised simplex solver.
 #[derive(Debug, Clone)]
 pub struct SimplexSolver {
     /// Maximum number of pivots before giving up.
     pub max_iterations: usize,
-    /// The Big-M penalty applied to artificial variables.
-    pub big_m: f64,
-    /// Numerical tolerance.
+    /// Numerical tolerance for pricing and feasibility tests.
     pub tolerance: f64,
 }
 
@@ -51,7 +637,6 @@ impl Default for SimplexSolver {
     fn default() -> Self {
         Self {
             max_iterations: 20_000,
-            big_m: 1e7,
             tolerance: 1e-7,
         }
     }
@@ -61,6 +646,569 @@ impl SimplexSolver {
     /// Creates a solver with default parameters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds the prepared (column-wise) form of a model for repeated
+    /// workspace solves.
+    pub fn prepare(&self, model: &Model) -> Prepared {
+        Prepared::build(model)
+    }
+
+    /// Solves the LP in the workspace's current bounds, warm-starting from
+    /// the resident basis when possible: a **dual** restart when the basis
+    /// is still dual feasible (bounds changed, costs unchanged — the
+    /// branch-and-bound case), a **primal** restart when the resident point
+    /// is still primal feasible (costs changed, bounds unchanged — the
+    /// epoch-to-epoch re-optimization case), and a cold start otherwise.
+    /// `ws.last_pivots()` reports the pivots performed.
+    pub fn solve_workspace(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LpOutcome {
+        ws.solve_pivots = 0;
+        for j in 0..prep.ncols() {
+            if ws.lower[j] > ws.upper[j] + self.tolerance {
+                return LpOutcome::Infeasible;
+            }
+        }
+        let outcome = if ws.dual_ready {
+            match self.warm_solve(prep, ws) {
+                Some(outcome) => outcome,
+                None => self.cold_solve(prep, ws),
+            }
+        } else if ws.primal_ready {
+            match self.primal_restart(prep, ws) {
+                Some(outcome) => outcome,
+                None => self.cold_solve(prep, ws),
+            }
+        } else {
+            self.cold_solve(prep, ws)
+        };
+        ws.primal_ready = outcome == LpOutcome::Optimal;
+        outcome
+    }
+
+    /// Primal (phase-2 only) restart from a resident primal-feasible basis
+    /// after a cost change; `None` signals "fall back to cold".
+    fn primal_restart(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> Option<LpOutcome> {
+        // Snap nonbasics onto their rest bounds and recompute basics.
+        for j in 0..prep.ncols() {
+            match ws.state[j] {
+                AT_LOWER => ws.x[j] = ws.lower[j],
+                AT_UPPER => ws.x[j] = ws.upper[j],
+                _ => {}
+            }
+        }
+        ws.refresh_basics(prep);
+        // The restart is only sound if the point really is feasible.
+        for i in 0..ws.m {
+            let b = ws.basis[i];
+            if ws.x[b] < ws.lower[b] - FEAS_TOL || ws.x[b] > ws.upper[b] + FEAS_TOL {
+                return None;
+            }
+        }
+        match self.finish_phase2(prep, ws) {
+            LpOutcome::IterationLimit => None,
+            outcome => Some(outcome),
+        }
+    }
+
+    /// Dual-simplex warm restart; `None` signals "fall back to cold".
+    fn warm_solve(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> Option<LpOutcome> {
+        ws.cost.copy_from_slice(&prep.cost);
+        // Snap nonbasic variables onto their (possibly changed) bounds.
+        for j in 0..prep.ncols() {
+            match ws.state[j] {
+                AT_LOWER => ws.x[j] = ws.lower[j],
+                AT_UPPER => ws.x[j] = ws.upper[j],
+                _ => {}
+            }
+        }
+        ws.refresh_basics(prep);
+        match self.dual_loop(prep, ws) {
+            DualEnd::Feasible => {
+                // The dual loop preserved dual feasibility, so the point is
+                // optimal; one primal pass mops up any numerical drift.
+                match self.primal_loop(prep, ws) {
+                    LoopEnd::Optimal => {
+                        ws.dual_ready = true;
+                        Some(LpOutcome::Optimal)
+                    }
+                    LoopEnd::Unbounded => {
+                        ws.dual_ready = false;
+                        Some(LpOutcome::Unbounded)
+                    }
+                    LoopEnd::IterationLimit => {
+                        ws.dual_ready = false;
+                        Some(LpOutcome::IterationLimit)
+                    }
+                    LoopEnd::Numerical => None,
+                }
+            }
+            // Dual feasibility is retained on infeasible nodes, so the next
+            // warm restart can still reuse this basis.
+            DualEnd::Infeasible => Some(LpOutcome::Infeasible),
+            DualEnd::IterationLimit | DualEnd::Numerical => None,
+        }
+    }
+
+    /// Installs the slack basis with nonbasic structurals rested on the
+    /// bound their cost prefers.  Returns whether the resulting basis is
+    /// dual feasible (all reduced costs — which equal the raw costs at the
+    /// slack basis — point away from their rest bound), i.e. whether the
+    /// much less degenerate dual-simplex cold start is available.
+    fn init_slack_basis(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> bool {
+        let n = prep.n;
+        let m = prep.m;
+        ws.phase1_active = false;
+        let mut dual_ok = true;
+        for j in 0..n {
+            let c = prep.cost[j];
+            let lower_finite = ws.lower[j].is_finite();
+            let upper_finite = ws.upper[j].is_finite();
+            if lower_finite && (c >= 0.0 || !upper_finite) {
+                ws.state[j] = AT_LOWER;
+                ws.x[j] = ws.lower[j];
+                if c < 0.0 {
+                    dual_ok = false;
+                }
+            } else if upper_finite {
+                ws.state[j] = AT_UPPER;
+                ws.x[j] = ws.upper[j];
+                if c > 0.0 {
+                    dual_ok = false;
+                }
+            } else {
+                ws.state[j] = FREE;
+                ws.x[j] = 0.0;
+                if c != 0.0 {
+                    dual_ok = false;
+                }
+            }
+        }
+        // Slack basis; identity inverse; artificials parked at zero.
+        for r in 0..m {
+            ws.basis[r] = n + r;
+            ws.state[n + r] = BASIC;
+            let a = n + m + r;
+            ws.state[a] = AT_LOWER;
+            ws.x[a] = 0.0;
+            ws.lower[a] = 0.0;
+            ws.upper[a] = 0.0;
+            ws.art_active[r] = false;
+            ws.art_sign[r] = 1.0;
+        }
+        ws.binv.fill(0.0);
+        for i in 0..m {
+            ws.binv[i * m + i] = 1.0;
+        }
+        ws.pivots_since_refactor = 0;
+        ws.refresh_basics(prep);
+        dual_ok
+    }
+
+    /// Phase-2: primal simplex under the real costs from a primal-feasible
+    /// basis, mapping the loop end to an outcome.
+    fn finish_phase2(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LpOutcome {
+        ws.cost.copy_from_slice(&prep.cost);
+        match self.primal_loop(prep, ws) {
+            LoopEnd::Optimal => {
+                ws.dual_ready = true;
+                LpOutcome::Optimal
+            }
+            LoopEnd::Unbounded => LpOutcome::Unbounded,
+            LoopEnd::IterationLimit | LoopEnd::Numerical => LpOutcome::IterationLimit,
+        }
+    }
+
+    /// Cold start.  Preferred path: rest every nonbasic on its cost-preferred
+    /// bound, which makes the slack basis dual feasible whenever costs and
+    /// bounds allow (always, for placement models — costs are carbon masses,
+    /// hence nonnegative), and let the **dual simplex** walk straight to the
+    /// optimum; the slack basis is hugely primal-degenerate on
+    /// assignment-with-activation models, so a primal phase-1 crawls where
+    /// the dual strides.  Fallback: artificial-variable phase-1 + phase-2
+    /// primal for dual-infeasible starts (negative costs on unbounded
+    /// columns, priced free variables) or numerical trouble.
+    fn cold_solve(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LpOutcome {
+        let n = prep.n;
+        let m = prep.m;
+        ws.dual_ready = false;
+        let dual_ok = self.init_slack_basis(prep, ws);
+        if dual_ok {
+            ws.cost.copy_from_slice(&prep.cost);
+            match self.dual_loop(prep, ws) {
+                DualEnd::Feasible => return self.finish_phase2(prep, ws),
+                // The start was dual feasible and the dual loop preserves
+                // it, so running out of entering columns proves primal
+                // infeasibility.
+                DualEnd::Infeasible => return LpOutcome::Infeasible,
+                DualEnd::IterationLimit | DualEnd::Numerical => {
+                    // Rebuild the pristine slack basis and fall back to the
+                    // artificial phase-1.
+                    self.init_slack_basis(prep, ws);
+                }
+            }
+        }
+
+        // Activate artificials for rows whose slack value is out of bounds.
+        ws.cost.fill(0.0);
+        let mut need_phase1 = false;
+        for r in 0..m {
+            let s = n + r;
+            let v = ws.x[s];
+            let (sl, su) = (ws.lower[s], ws.upper[s]);
+            if v < sl - FEAS_TOL || v > su + FEAS_TOL {
+                let snap = v.clamp(sl, su);
+                let rem = v - snap;
+                ws.x[s] = snap;
+                ws.state[s] = if (snap - sl).abs() <= (snap - su).abs() {
+                    AT_LOWER
+                } else {
+                    AT_UPPER
+                };
+                let a = n + m + r;
+                ws.art_sign[r] = if rem >= 0.0 { 1.0 } else { -1.0 };
+                ws.x[a] = rem.abs();
+                ws.state[a] = BASIC;
+                ws.basis[r] = a;
+                // The basis column for this row is now `art_sign * e_r`, so
+                // the identity inverse must flip that diagonal entry too —
+                // leaving it at +1 for a negated artificial corrupts every
+                // dual and pivot direction of the phase-1.
+                ws.binv[r * m + r] = ws.art_sign[r];
+                ws.lower[a] = 0.0;
+                ws.upper[a] = f64::INFINITY;
+                ws.art_active[r] = true;
+                ws.cost[a] = 1.0;
+                need_phase1 = true;
+            }
+        }
+
+        if need_phase1 {
+            ws.phase1_active = true;
+            let end = self.primal_loop(prep, ws);
+            ws.phase1_active = false;
+            match end {
+                LoopEnd::Optimal => {}
+                LoopEnd::IterationLimit | LoopEnd::Numerical | LoopEnd::Unbounded => {
+                    return LpOutcome::IterationLimit;
+                }
+            }
+            // Any nonzero artificial value — of either sign — is residual
+            // infeasibility; `abs` keeps a corrupted negative value from
+            // silently cancelling the sum.
+            let infeasibility: f64 = (0..m)
+                .filter(|r| ws.art_active[*r])
+                .map(|r| ws.x[n + m + r].abs())
+                .sum();
+            if infeasibility > FEAS_TOL {
+                return LpOutcome::Infeasible;
+            }
+            self.pin_artificials(prep, ws);
+        }
+
+        self.finish_phase2(prep, ws)
+    }
+
+    /// Pins every activated artificial to `[0, 0]` after a successful
+    /// phase-1, pivoting basic artificials out of the basis where possible.
+    fn pin_artificials(&self, prep: &Prepared, ws: &mut SimplexWorkspace) {
+        let n = prep.n;
+        let m = prep.m;
+        for r in 0..m {
+            if !ws.art_active[r] {
+                continue;
+            }
+            let a = n + m + r;
+            ws.cost[a] = 0.0;
+            ws.upper[a] = 0.0;
+            if ws.state[a] != BASIC {
+                ws.x[a] = 0.0;
+                ws.state[a] = AT_LOWER;
+            }
+        }
+        // Degenerate exchange: replace basic artificials (value ~0) with any
+        // nonbasic non-artificial column that has a nonzero pivot element in
+        // their row; rows with no such column are redundant and keep the
+        // artificial basic at zero harmlessly.
+        for row in 0..m {
+            let b = ws.basis[row];
+            if b < n + m {
+                continue;
+            }
+            let mut entering = None;
+            for j in 0..n + m {
+                if ws.state[j] == BASIC {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for (r, av) in prep.col(j) {
+                    alpha += ws.binv[row * m + r] * av;
+                }
+                if alpha.abs() > 1e-7 {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = entering {
+                ws.compute_w(prep, j);
+                let art = ws.basis[row];
+                ws.x[art] = 0.0;
+                ws.state[art] = AT_LOWER;
+                ws.basis[row] = j;
+                ws.state[j] = BASIC;
+                ws.pivot_binv(row);
+            }
+        }
+        ws.refresh_basics(prep);
+    }
+
+    /// Primal bounded simplex to optimality under the workspace's current
+    /// costs, from a primal-feasible basis.
+    fn primal_loop(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LoopEnd {
+        let n = prep.n;
+        let m = prep.m;
+        let tol = self.tolerance;
+        let bland_after = 2 * (prep.ncols() + m) + 64;
+        let mut degenerate = 0usize;
+        loop {
+            if ws.solve_pivots >= self.max_iterations {
+                return LoopEnd::IterationLimit;
+            }
+            ws.compute_duals(prep);
+            // Entering column: Dantzig rule, Bland's rule after a long
+            // degenerate streak to guarantee termination.
+            let use_bland = degenerate > bland_after;
+            let limit = ws.price_limit(prep);
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..limit {
+                let state = ws.state[j];
+                if state == BASIC {
+                    continue;
+                }
+                if j >= n + m && !ws.art_active[j - n - m] {
+                    continue;
+                }
+                if state != FREE && ws.upper[j] - ws.lower[j] <= 0.0 {
+                    continue; // fixed column can never usefully enter
+                }
+                let d = ws.d[j];
+                let viol = match state {
+                    AT_LOWER => -d,
+                    AT_UPPER => d,
+                    _ => d.abs(),
+                };
+                if viol > tol {
+                    if use_bland {
+                        entering = Some((j, viol));
+                        break;
+                    }
+                    if entering.is_none_or(|(_, best)| viol > best) {
+                        entering = Some((j, viol));
+                    }
+                }
+            }
+            let Some((q, _)) = entering else {
+                return LoopEnd::Optimal;
+            };
+            let dir = match ws.state[q] {
+                AT_LOWER => 1.0,
+                AT_UPPER => -1.0,
+                _ => {
+                    if ws.d[q] < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            };
+            ws.compute_w(prep, q);
+
+            // Ratio test: blocking basic bound, or the entering variable's
+            // own opposite bound (a bound flip).
+            let own_range = if ws.state[q] == FREE {
+                f64::INFINITY
+            } else {
+                ws.upper[q] - ws.lower[q]
+            };
+            let mut best_t = own_range;
+            let mut best_piv = f64::INFINITY; // bound flips are exact
+            let mut leaving: Option<(usize, u8)> = None;
+            for i in 0..m {
+                let delta = -dir * ws.w[i];
+                let b = ws.basis[i];
+                let (t, target) = if delta > EPS {
+                    if !ws.upper[b].is_finite() {
+                        continue;
+                    }
+                    (((ws.upper[b] - ws.x[b]).max(0.0)) / delta, AT_UPPER)
+                } else if delta < -EPS {
+                    if !ws.lower[b].is_finite() {
+                        continue;
+                    }
+                    (((ws.x[b] - ws.lower[b]).max(0.0)) / -delta, AT_LOWER)
+                } else {
+                    continue;
+                };
+                let piv = ws.w[i].abs();
+                if t < best_t - EPS || (t < best_t + EPS && piv > best_piv) {
+                    best_t = t;
+                    best_piv = piv;
+                    leaving = Some((i, target));
+                }
+            }
+            if best_t.is_infinite() {
+                return LoopEnd::Unbounded;
+            }
+            if best_t > EPS {
+                degenerate = 0;
+            } else {
+                degenerate += 1;
+            }
+            // Apply the step.
+            if best_t != 0.0 {
+                ws.x[q] += dir * best_t;
+                for i in 0..m {
+                    let b = ws.basis[i];
+                    ws.x[b] += (-dir * ws.w[i]) * best_t;
+                }
+            }
+            match leaving {
+                None => {
+                    // Bound flip: snap exactly onto the opposite bound.
+                    if dir > 0.0 {
+                        ws.x[q] = ws.upper[q];
+                        ws.state[q] = AT_UPPER;
+                    } else {
+                        ws.x[q] = ws.lower[q];
+                        ws.state[q] = AT_LOWER;
+                    }
+                }
+                Some((row, target)) => {
+                    let lv = ws.basis[row];
+                    ws.state[lv] = target;
+                    ws.x[lv] = if target == AT_UPPER {
+                        ws.upper[lv]
+                    } else {
+                        ws.lower[lv]
+                    };
+                    ws.basis[row] = q;
+                    ws.state[q] = BASIC;
+                    ws.pivot_binv(row);
+                }
+            }
+            ws.solve_pivots += 1;
+            if ws.pivots_since_refactor >= REFACTOR_EVERY && !ws.refactorize(prep) {
+                return LoopEnd::Numerical;
+            }
+        }
+    }
+
+    /// Bounded dual simplex: restores primal feasibility from a
+    /// dual-feasible basis after bound changes.
+    fn dual_loop(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> DualEnd {
+        let n = prep.n;
+        let m = prep.m;
+        let tol = self.tolerance;
+        loop {
+            if ws.solve_pivots >= self.max_iterations {
+                return DualEnd::IterationLimit;
+            }
+            // Leaving row: the basic variable most out of bounds.
+            let mut leave: Option<(usize, f64, f64)> = None; // (row, delta, magnitude)
+            for i in 0..m {
+                let b = ws.basis[i];
+                let below = ws.lower[b] - ws.x[b];
+                let above = ws.x[b] - ws.upper[b];
+                if below > tol && leave.is_none_or(|(_, _, mag)| below > mag) {
+                    leave = Some((i, -below, below));
+                }
+                if above > tol && leave.is_none_or(|(_, _, mag)| above > mag) {
+                    leave = Some((i, above, above));
+                }
+            }
+            let Some((row, delta, _)) = leave else {
+                return DualEnd::Feasible;
+            };
+            ws.compute_duals(prep);
+            // Dual ratio test over the pivot row.
+            let limit = ws.price_limit(prep);
+            let binv_row = row * m;
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..limit {
+                let state = ws.state[j];
+                if state == BASIC {
+                    continue;
+                }
+                if j >= n + m && !ws.art_active[j - n - m] {
+                    continue;
+                }
+                if state != FREE && ws.upper[j] - ws.lower[j] <= 0.0 {
+                    continue; // fixed columns must not re-enter
+                }
+                let mut alpha = 0.0;
+                if j < n + m {
+                    for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
+                        alpha += ws.binv[binv_row + prep.col_row[k]] * prep.col_val[k];
+                    }
+                } else {
+                    let r = j - n - m;
+                    alpha += ws.binv[binv_row + r] * ws.art_sign[r];
+                }
+                let eligible = if delta > 0.0 {
+                    (state == AT_LOWER && alpha > 1e-7)
+                        || (state == AT_UPPER && alpha < -1e-7)
+                        || (state == FREE && alpha.abs() > 1e-7)
+                } else {
+                    (state == AT_LOWER && alpha < -1e-7)
+                        || (state == AT_UPPER && alpha > 1e-7)
+                        || (state == FREE && alpha.abs() > 1e-7)
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (ws.d[j] / alpha).abs();
+                let better = match best {
+                    None => true,
+                    Some((bj, br, ba)) => {
+                        ratio < br - EPS
+                            || (ratio < br + EPS
+                                && (alpha.abs() > f64::abs(ba) + EPS
+                                    || (alpha.abs() > f64::abs(ba) - EPS && j < bj)))
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, alpha));
+                }
+            }
+            let Some((q, _, alpha_q)) = best else {
+                // No column can repair the violated row: primal infeasible.
+                return DualEnd::Infeasible;
+            };
+            if alpha_q.abs() < EPS {
+                return DualEnd::Numerical;
+            }
+            let step = delta / alpha_q;
+            ws.compute_w(prep, q);
+            ws.x[q] += step;
+            for i in 0..m {
+                let b = ws.basis[i];
+                ws.x[b] -= ws.w[i] * step;
+            }
+            let p = ws.basis[row];
+            if delta > 0.0 {
+                ws.x[p] = ws.upper[p];
+                ws.state[p] = AT_UPPER;
+            } else {
+                ws.x[p] = ws.lower[p];
+                ws.state[p] = AT_LOWER;
+            }
+            ws.basis[row] = q;
+            ws.state[q] = BASIC;
+            ws.pivot_binv(row);
+            ws.solve_pivots += 1;
+            if ws.pivots_since_refactor >= REFACTOR_EVERY && !ws.refactorize(prep) {
+                return DualEnd::Numerical;
+            }
+        }
     }
 
     /// Solves the LP relaxation of `model` (binary variables relaxed to
@@ -74,262 +1222,65 @@ impl SimplexSolver {
         model: &Model,
         bound_overrides: &[Option<(f64, f64)>],
     ) -> LpSolution {
-        let n = model.num_vars();
-        // Resolve bounds.
-        let mut lower = vec![0.0f64; n];
-        let mut upper = vec![f64::INFINITY; n];
-        for (i, kind) in model.vars().iter().enumerate() {
-            let (lo, hi) = kind.bounds();
-            lower[i] = lo;
-            upper[i] = hi;
-            if let Some(Some((olo, ohi))) = bound_overrides.get(i) {
-                lower[i] = *olo;
-                upper[i] = *ohi;
-            }
-            if lower[i] > upper[i] + self.tolerance {
-                return LpSolution {
-                    outcome: LpOutcome::Infeasible,
-                    objective: f64::INFINITY,
-                    values: vec![],
-                    iterations: 0,
-                };
+        let prep = self.prepare(model);
+        let mut ws = SimplexWorkspace::new();
+        ws.reset(&prep);
+        for (j, ov) in bound_overrides.iter().enumerate().take(prep.n) {
+            if let Some((lo, hi)) = ov {
+                ws.set_var_bounds(j, *lo, *hi);
             }
         }
-
-        // Build rows in terms of shifted variables y = x - lower (y >= 0).
-        // Each row: (coeffs over y, comparison, rhs).
-        let mut rows: Vec<(Vec<f64>, Comparison, f64)> = Vec::new();
-        for c in model.constraints() {
-            let mut coeffs = vec![0.0; n];
-            let mut rhs = c.rhs;
-            for (v, a) in &c.expr.terms {
-                coeffs[v.index()] += *a;
-                rhs -= *a * lower[v.index()];
-            }
-            rows.push((coeffs, c.cmp, rhs));
-        }
-        // Upper bounds as explicit constraints y_i <= upper_i - lower_i.
-        for i in 0..n {
-            let ub = upper[i] - lower[i];
-            if ub.is_finite() {
-                let mut coeffs = vec![0.0; n];
-                coeffs[i] = 1.0;
-                rows.push((coeffs, Comparison::LessEq, ub));
-            }
-        }
-
-        // Normalize rows so rhs >= 0.
-        for (coeffs, cmp, rhs) in &mut rows {
-            if *rhs < 0.0 {
-                for a in coeffs.iter_mut() {
-                    *a = -*a;
-                }
-                *rhs = -*rhs;
-                *cmp = match *cmp {
-                    Comparison::LessEq => Comparison::GreaterEq,
-                    Comparison::GreaterEq => Comparison::LessEq,
-                    Comparison::Equal => Comparison::Equal,
-                };
-            }
-        }
-
-        let m = rows.len();
-        // Count auxiliary columns: slack/surplus + artificial.
-        let mut num_slack = 0usize;
-        let mut num_artificial = 0usize;
-        for (_, cmp, _) in &rows {
-            match cmp {
-                Comparison::LessEq => num_slack += 1,
-                Comparison::GreaterEq => {
-                    num_slack += 1;
-                    num_artificial += 1;
-                }
-                Comparison::Equal => num_artificial += 1,
-            }
-        }
-        let total = n + num_slack + num_artificial;
-
-        // Tableau: m rows of (total coeffs + rhs), plus objective row.
-        let mut tableau = vec![vec![0.0f64; total + 1]; m];
-        let mut basis = vec![0usize; m];
-        let mut obj = vec![0.0f64; total + 1];
-
-        // Objective coefficients for structural variables (shifted): the
-        // constant offset c' * lower is added back at the end.
-        let mut obj_offset = 0.0;
-        for (v, c) in &model.objective().terms {
-            obj[v.index()] += *c;
-            obj_offset += *c * lower[v.index()];
-        }
-
-        let mut slack_cursor = n;
-        let mut artificial_cursor = n + num_slack;
-        let mut artificial_cols: Vec<usize> = Vec::new();
-        for (r, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
-            for (i, a) in coeffs.iter().enumerate() {
-                tableau[r][i] = *a;
-            }
-            tableau[r][total] = *rhs;
-            match cmp {
-                Comparison::LessEq => {
-                    tableau[r][slack_cursor] = 1.0;
-                    basis[r] = slack_cursor;
-                    slack_cursor += 1;
-                }
-                Comparison::GreaterEq => {
-                    tableau[r][slack_cursor] = -1.0;
-                    slack_cursor += 1;
-                    tableau[r][artificial_cursor] = 1.0;
-                    obj[artificial_cursor] = self.big_m;
-                    basis[r] = artificial_cursor;
-                    artificial_cols.push(artificial_cursor);
-                    artificial_cursor += 1;
-                }
-                Comparison::Equal => {
-                    tableau[r][artificial_cursor] = 1.0;
-                    obj[artificial_cursor] = self.big_m;
-                    basis[r] = artificial_cursor;
-                    artificial_cols.push(artificial_cursor);
-                    artificial_cursor += 1;
-                }
-            }
-        }
-
-        // Reduced-cost row: z_j - c_j, starting from the basis.
-        // We maintain the objective row as c_j - z_j (to minimize we pivot on
-        // negative entries of that row). Start: row = obj, then eliminate
-        // basic columns.
-        let mut objective_row = obj.clone();
-        let mut objective_value = 0.0;
-        for r in 0..m {
-            let b = basis[r];
-            let cb = obj[b];
-            if cb != 0.0 {
-                for j in 0..=total {
-                    let delta = cb * tableau[r][j];
-                    if j == total {
-                        objective_value += delta;
-                    } else {
-                        objective_row[j] -= delta;
-                    }
-                }
-            }
-        }
-        // Note: objective_row[j] now holds c_j - z_j; objective_value holds z0.
-
-        let mut iterations = 0usize;
-        loop {
-            if iterations >= self.max_iterations {
-                return LpSolution {
-                    outcome: LpOutcome::IterationLimit,
-                    objective: f64::INFINITY,
-                    values: vec![],
-                    iterations,
-                };
-            }
-            // Entering column: most negative reduced cost (Dantzig), with
-            // Bland's rule as a tie-breaking fallback to avoid cycling.
-            let mut entering: Option<usize> = None;
-            let mut best = -self.tolerance;
-            for (j, &reduced_cost) in objective_row.iter().enumerate().take(total) {
-                if reduced_cost < best {
-                    best = reduced_cost;
-                    entering = Some(j);
-                }
-            }
-            let Some(pivot_col) = entering else {
-                break; // optimal
-            };
-
-            // Ratio test.
-            let mut pivot_row: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..m {
-                let a = tableau[r][pivot_col];
-                if a > self.tolerance {
-                    let ratio = tableau[r][total] / a;
-                    if ratio < best_ratio - self.tolerance
-                        || (ratio < best_ratio + self.tolerance
-                            && pivot_row.is_none_or(|pr| basis[r] < basis[pr]))
-                    {
-                        best_ratio = ratio;
-                        pivot_row = Some(r);
-                    }
-                }
-            }
-            let Some(pivot_row) = pivot_row else {
-                return LpSolution {
-                    outcome: LpOutcome::Unbounded,
-                    objective: f64::NEG_INFINITY,
-                    values: vec![],
-                    iterations,
-                };
-            };
-
-            // Pivot.
-            let pivot_val = tableau[pivot_row][pivot_col];
-            for v in tableau[pivot_row].iter_mut() {
-                *v /= pivot_val;
-            }
-            let pivot_vals = tableau[pivot_row].clone();
-            for (r, row) in tableau.iter_mut().enumerate() {
-                if r == pivot_row {
-                    continue;
-                }
-                let factor = row[pivot_col];
-                if factor.abs() > 0.0 {
-                    for (v, pv) in row.iter_mut().zip(pivot_vals.iter()) {
-                        *v -= factor * pv;
-                    }
-                }
-            }
-            let factor = objective_row[pivot_col];
-            if factor.abs() > 0.0 {
-                for (v, pv) in objective_row.iter_mut().zip(pivot_vals.iter()).take(total) {
-                    *v -= factor * pv;
-                }
-                objective_value -= factor * pivot_vals[total];
-            }
-            basis[pivot_row] = pivot_col;
-            iterations += 1;
-        }
-
-        // Extract solution.
-        let mut shifted = vec![0.0f64; total];
-        for r in 0..m {
-            shifted[basis[r]] = tableau[r][total];
-        }
-        // If any artificial variable is still positive, the problem is infeasible.
-        for &a in &artificial_cols {
-            if shifted[a] > 1e-5 {
-                return LpSolution {
-                    outcome: LpOutcome::Infeasible,
-                    objective: f64::INFINITY,
-                    values: vec![],
-                    iterations,
-                };
-            }
-        }
-
-        let mut values = vec![0.0f64; n];
-        for i in 0..n {
-            values[i] = shifted[i] + lower[i];
-        }
-        // Recompute the objective from the model to avoid Big-M residue.
-        let objective = model.objective_value(&values);
-        let _ = objective_value + obj_offset;
-        LpSolution {
-            outcome: LpOutcome::Optimal,
-            objective,
-            values,
-            iterations,
-        }
+        let outcome = self.solve_workspace(&prep, &mut ws);
+        self.extract(&prep, &ws, outcome)
     }
 
     /// Solves the LP relaxation of `model` with its natural bounds.
     pub fn solve(&self, model: &Model) -> LpSolution {
-        self.solve_with_bounds(model, &vec![None; model.num_vars()])
+        self.solve_with_bounds(model, &[])
     }
+
+    /// Packages the workspace state into an [`LpSolution`].
+    pub fn extract(
+        &self,
+        prep: &Prepared,
+        ws: &SimplexWorkspace,
+        outcome: LpOutcome,
+    ) -> LpSolution {
+        match outcome {
+            LpOutcome::Optimal => LpSolution {
+                outcome,
+                objective: ws.objective(prep),
+                values: ws.values().to_vec(),
+                iterations: ws.last_pivots(),
+            },
+            LpOutcome::Unbounded => LpSolution {
+                outcome,
+                objective: f64::NEG_INFINITY,
+                values: vec![],
+                iterations: ws.last_pivots(),
+            },
+            _ => LpSolution {
+                outcome,
+                objective: f64::INFINITY,
+                values: vec![],
+                iterations: ws.last_pivots(),
+            },
+        }
+    }
+}
+
+/// Returns the natural bounds of every variable of a model (the LP
+/// relaxation bounds for binaries), used by branch-and-bound to seed a
+/// workspace.
+pub fn natural_bounds(model: &Model) -> Vec<(f64, f64)> {
+    model
+        .vars()
+        .iter()
+        .map(|kind| match kind {
+            VarKind::Continuous { lower, upper } => (*lower, *upper),
+            VarKind::Binary => (0.0, 1.0),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -481,6 +1432,25 @@ mod tests {
     }
 
     #[test]
+    fn free_variable_is_supported() {
+        // min x + y s.t. x + y >= -3 with x free, y in [0, 1] -> x = -3.
+        let mut m = Model::new();
+        let x = m.add_continuous(f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_continuous(0.0, 1.0);
+        m.set_objective_term(x, 1.0);
+        m.set_objective_term(y, 1.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::GreaterEq,
+            -3.0,
+            "floor",
+        );
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.objective, -3.0), "obj {}", sol.objective);
+    }
+
+    #[test]
     fn lp_relaxation_of_assignment_problem() {
         // Two apps, two servers, assignment equality constraints, per-server
         // capacity 1, distinct costs; LP optimum equals the integral optimum
@@ -509,5 +1479,152 @@ mod tests {
         assert_eq!(sol.outcome, LpOutcome::Optimal);
         // Optimal assignment: app0 -> server1 (1.0), app1 -> server0 (2.0) = 3.
         assert!(approx(sol.objective, 3.0), "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn warm_restart_after_bound_tightening_matches_cold_solve() {
+        // Knapsack LP; fix a variable after the first solve and compare the
+        // warm (dual simplex) restart against a cold solve.
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        let c = m.add_binary();
+        m.set_objective_term(a, -10.0);
+        m.set_objective_term(b, -6.0);
+        m.set_objective_term(c, -4.0);
+        m.add_constraint(
+            LinearExpr::new().with(a, 5.0).with(b, 4.0).with(c, 3.0),
+            Comparison::LessEq,
+            8.0,
+            "w",
+        );
+        let solver = SimplexSolver::new();
+        let prep = solver.prepare(&m);
+        let mut ws = SimplexWorkspace::new();
+        ws.reset(&prep);
+        assert_eq!(solver.solve_workspace(&prep, &mut ws), LpOutcome::Optimal);
+        assert!(ws.warm_ready());
+        ws.set_var_bounds(a.index(), 0.0, 0.0);
+        let warm = solver.solve_workspace(&prep, &mut ws);
+        assert_eq!(warm, LpOutcome::Optimal);
+        let warm_obj = ws.objective(&prep);
+        let cold = solver.solve_with_bounds(&m, &[Some((0.0, 0.0)), None, None]);
+        assert_eq!(cold.outcome, LpOutcome::Optimal);
+        assert!(
+            (warm_obj - cold.objective).abs() < 1e-6,
+            "warm {warm_obj} vs cold {}",
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_fixing_and_stays_reusable() {
+        // x + y = 1; fixing both to zero is infeasible; relaxing one again
+        // must recover the optimum from the same workspace.
+        let mut m = Model::new();
+        let x = m.add_binary();
+        let y = m.add_binary();
+        m.set_objective_term(x, 2.0);
+        m.set_objective_term(y, 3.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::Equal,
+            1.0,
+            "one",
+        );
+        let solver = SimplexSolver::new();
+        let prep = solver.prepare(&m);
+        let mut ws = SimplexWorkspace::new();
+        ws.reset(&prep);
+        assert_eq!(solver.solve_workspace(&prep, &mut ws), LpOutcome::Optimal);
+        assert!(approx(ws.objective(&prep), 2.0));
+        ws.set_var_bounds(x.index(), 0.0, 0.0);
+        ws.set_var_bounds(y.index(), 0.0, 0.0);
+        assert_eq!(
+            solver.solve_workspace(&prep, &mut ws),
+            LpOutcome::Infeasible
+        );
+        ws.reset_var_bounds(&prep, y.index());
+        assert_eq!(solver.solve_workspace(&prep, &mut ws), LpOutcome::Optimal);
+        assert!(
+            approx(ws.objective(&prep), 3.0),
+            "obj {}",
+            ws.objective(&prep)
+        );
+    }
+
+    #[test]
+    fn contradictory_equalities_on_a_free_variable_are_infeasible() {
+        // Regression: activating an artificial with a negative sign must
+        // flip the corresponding basis-inverse diagonal; with the identity
+        // left in place this model solved to "Optimal" at -5.
+        let mut m = Model::new();
+        let x = m.add_continuous(f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective_term(x, 1.0);
+        m.add_constraint(LinearExpr::new().with(x, 1.0), Comparison::Equal, 5.0, "hi");
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::Equal,
+            -5.0,
+            "lo",
+        );
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn one_sided_variable_with_conflicting_rows_is_infeasible() {
+        // Regression: x <= -2 and -x <= 0 (i.e. x >= 0) cannot both hold;
+        // the corrupted phase-1 used to return Optimal at x = -2.
+        let mut m = Model::new();
+        let x = m.add_continuous(-3.0, f64::INFINITY);
+        m.set_objective_term(x, -1.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::LessEq,
+            -2.0,
+            "cap",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x, -1.0),
+            Comparison::LessEq,
+            0.0,
+            "nonneg",
+        );
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn negated_artificial_rows_solve_to_the_true_optimum() {
+        // A feasible sibling of the regression above: x >= 0 and x <= 4
+        // expressed through a negated row, maximizing x -> 4.
+        let mut m = Model::new();
+        let x = m.add_continuous(-3.0, f64::INFINITY);
+        m.set_objective_term(x, -1.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::LessEq,
+            4.0,
+            "cap",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x, -1.0),
+            Comparison::LessEq,
+            0.0,
+            "nonneg",
+        );
+        let sol = SimplexSolver::new().solve(&m);
+        assert_eq!(sol.outcome, LpOutcome::Optimal);
+        assert!(approx(sol.objective, -4.0), "obj {}", sol.objective);
+        assert!(approx(sol.values[x.index()], 4.0));
+    }
+
+    #[test]
+    fn natural_bounds_reports_relaxation_bounds() {
+        let mut m = Model::new();
+        m.add_binary();
+        m.add_continuous(-1.0, 2.5);
+        assert_eq!(natural_bounds(&m), vec![(0.0, 1.0), (-1.0, 2.5)]);
     }
 }

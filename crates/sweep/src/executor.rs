@@ -91,11 +91,23 @@ impl SweepExecutor {
         requested.clamp(1, cells.max(1))
     }
 
-    /// Evaluates one cell against the shared environment.
-    fn run_cell(&self, shared: &CdnShared, cell: &SweepCell) -> CellResult {
+    /// Evaluates one cell against the shared environment with a per-worker
+    /// placer.  The placer is cloned once per worker (not per cell) and
+    /// re-stamped with each cell's policy, so its solver workspace — basis
+    /// buffers, node arena — keeps its allocations across every cell the
+    /// worker runs.  Any resident warm-start basis is discarded at the cell
+    /// boundary: which cell a worker served previously is a scheduling
+    /// accident, and results must stay bit-identical for any job count.
+    fn run_cell(
+        &self,
+        shared: &CdnShared,
+        cell: &SweepCell,
+        placer: &mut IncrementalPlacer,
+    ) -> CellResult {
         let simulator = shared.simulator(cell.config());
-        let placer = self.placer_template.clone().with_policy(cell.policy);
-        let result = simulator.run_with(&placer);
+        placer.policy = cell.policy;
+        placer.milp_solver.discard_warm_start();
+        let result = simulator.run_with(placer);
         let mean_assigned = if result.assigned_intensity.is_empty() {
             0.0
         } else {
@@ -122,18 +134,23 @@ impl SweepExecutor {
         let slots: Vec<Mutex<Option<CellResult>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         if jobs <= 1 {
+            let mut placer = self.placer_template.clone();
             for (cell, slot) in cells.iter().zip(slots.iter()) {
-                *slot.lock().expect("result slot poisoned") = Some(self.run_cell(&shared, cell));
+                *slot.lock().expect("result slot poisoned") =
+                    Some(self.run_cell(&shared, cell, &mut placer));
             }
         } else {
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..jobs {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(i) else { break };
-                        let result = self.run_cell(&shared, cell);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    scope.spawn(|| {
+                        let mut placer = self.placer_template.clone();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(cell) = cells.get(i) else { break };
+                            let result = self.run_cell(&shared, cell, &mut placer);
+                            *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        }
                     });
                 }
             });

@@ -1,11 +1,19 @@
 //! Offline stand-in for `rayon`.
 //!
-//! The build environment has no crates-registry access, so `par_iter()` here
-//! degrades to the ordinary sequential iterator. Every adapter the workspace
-//! chains after `par_iter()` (`map`, `collect`, …) is a plain `Iterator`
-//! method, so call sites compile unchanged and produce identical results —
-//! just without the parallel speedup. Swapping in real rayon later is a
-//! manifest-only change.
+//! The build environment has no crates-registry access, so this shim
+//! re-implements the slice of the rayon API the workspace uses.  Unlike the
+//! original sequential placeholder, `par_iter()` now runs on a real scoped
+//! worker pool: a `std::thread::scope` spawns one worker per CPU and the
+//! workers pull the next unclaimed index from a shared atomic cursor — the
+//! same work-distribution shape as `carbonedge_sweep::SweepExecutor`.
+//! Results are written into per-index slots and collected **in index
+//! order**, so the output is bit-identical to a sequential run for any
+//! worker count or scheduling order.
+//!
+//! `par_iter_mut()` and `into_par_iter()` (no call sites on hot paths)
+//! remain sequential adapters; swapping in real rayon later is still a
+//! manifest-only change because the exposed method chains are a strict
+//! subset of upstream rayon's.
 
 pub mod prelude {
     pub use crate::iter::{
@@ -13,28 +21,153 @@ pub mod prelude {
     };
 }
 
+mod pool {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Maps `f` over `items` on a scoped worker pool, returning the results
+    /// in index order.  Falls back to a plain sequential loop for trivial
+    /// inputs or single-CPU hosts.
+    pub(crate) fn map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = threads.clamp(1, items.len().max(1));
+        if workers <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index produces a result")
+            })
+            .collect()
+    }
+
+    /// One worker per available CPU.
+    pub(crate) fn default_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
 pub mod iter {
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    use crate::pool;
+
+    /// A parallel iterator over `&[T]`, driven by the scoped worker pool.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+        threads: usize,
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub(crate) fn new(items: &'data [T]) -> Self {
+            Self {
+                items,
+                threads: pool::default_threads(),
+            }
+        }
+
+        /// Overrides the worker count (used by tests to exercise real
+        /// multi-threaded scheduling even on small hosts).
+        pub fn with_threads(mut self, threads: usize) -> Self {
+            self.threads = threads.max(1);
+            self
+        }
+
+        /// Maps each item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                items: self.items,
+                threads: self.threads,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item in parallel (no ordering guarantees on
+        /// execution, deterministic completion).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&T) + Sync,
+        {
+            let _ = pool::map_indexed(self.items, self.threads, |item| f(item));
+        }
+    }
+
+    /// The mapped form of a [`ParIter`].
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        threads: usize,
+        f: F,
+    }
+
+    impl<'data, T, F, R> ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        /// Evaluates the map on the worker pool and collects the results in
+        /// index order, so the collection is identical to a sequential run.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            pool::map_indexed(self.items, self.threads, &self.f)
+                .into_iter()
+                .collect()
+        }
+
+        /// Sums the mapped results (index-ordered reduction, deterministic
+        /// for floating-point outputs).
+        pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+            pool::map_indexed(self.items, self.threads, &self.f)
+                .into_iter()
+                .sum()
+        }
+    }
+
+    /// Parallel iteration over shared references, backed by the worker pool.
     pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Element type.
+        type Item: Sync + 'data;
+        /// Starts a parallel iterator over the collection.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter::new(self)
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter::new(self)
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`
+    /// (no hot-path call sites in the workspace).
     pub trait IntoParallelRefMutIterator<'data> {
         type Iter: Iterator;
         fn par_iter_mut(&'data mut self) -> Self::Iter;
@@ -54,7 +187,8 @@ pub mod iter {
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`
+    /// (no hot-path call sites in the workspace).
     pub trait IntoParallelIterator {
         type Iter: Iterator;
         fn into_par_iter(self) -> Self::Iter;
@@ -71,6 +205,7 @@ pub mod iter {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -83,5 +218,58 @@ mod tests {
     fn into_par_iter_matches_sequential() {
         let total: i32 = (1..=10).into_par_iter().sum();
         assert_eq!(total, 55);
+    }
+
+    #[test]
+    fn collect_is_index_ordered_for_any_worker_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<usize> = items
+                .par_iter()
+                .with_threads(threads)
+                .map(|x| x * x)
+                .collect();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workers_actually_run_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = items
+            .par_iter()
+            .with_threads(4)
+            .map(|x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x + 1
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(sums.iter().sum::<u64>(), (1..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn par_sum_and_for_each_work() {
+        let items: Vec<f64> = (0..64).map(|x| x as f64).collect();
+        let total: f64 = items.par_iter().with_threads(3).map(|x| x * 0.5).sum();
+        assert!((total - 1008.0).abs() < 1e-12);
+
+        let touched = AtomicUsize::new(0);
+        items.par_iter().with_threads(2).for_each(|_| {
+            touched.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_are_handled() {
+        let empty: Vec<u32> = vec![];
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().with_threads(8).map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
     }
 }
