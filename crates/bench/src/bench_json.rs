@@ -18,9 +18,11 @@
 //! parse the snapshots without schema knowledge.
 
 use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
+use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
 use carbonedge_grid::HourOfYear;
 use carbonedge_net::LatencyModel;
+use carbonedge_sim::cdn::{CdnConfig, CdnSimulator};
 use carbonedge_solver::ReferenceBranchBound;
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
 use std::time::Instant;
@@ -188,6 +190,8 @@ pub fn solver_bench_json(quick: bool) -> String {
         ));
     }
 
+    entries.push(epoch_replan_entry(samples));
+
     format!(
         concat!(
             "{{\n",
@@ -199,6 +203,52 @@ pub fn solver_bench_json(quick: bool) -> String {
         ),
         samples,
         entries.join(",\n")
+    )
+}
+
+/// Measures epoch-to-epoch re-placement through the warm-started exact
+/// path: a small European deployment re-solved at every monthly epoch as
+/// carbon intensities shift.  Consecutive epochs build structurally
+/// identical MILPs whose costs change, so each re-solve restarts primal
+/// phase-2 in the shared `MilpWorkspace` instead of cold-starting; the
+/// pivot counts come from the placer's accumulated-pivot counter via
+/// `CdnResult::solver_pivots`.
+fn epoch_replan_entry(samples: usize) -> String {
+    let mut config = CdnConfig::new(ZoneArea::Europe).with_site_limit(3);
+    config.servers_per_site = 2;
+    let simulator = CdnSimulator::new(config);
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+
+    placer.milp_solver.discard_warm_start();
+    let cold_run = simulator.run_with(&placer);
+    let warm_run = simulator.run_with(&placer);
+    debug_assert_eq!(
+        cold_run.outcome, warm_run.outcome,
+        "warm epoch re-solves must stay exact"
+    );
+    let epochs = cold_run.epochs.len();
+    let run_ns = median_ns(samples, || {
+        let _ = simulator.run_with(&placer);
+    });
+
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"epoch_replan/monthly_eu_3site_exact\",\n",
+            "      \"epochs\": {},\n",
+            "      \"exact_decisions\": {},\n",
+            "      \"run_ns_median\": {},\n",
+            "      \"ns_per_epoch_median\": {},\n",
+            "      \"pivots_cold_run\": {},\n",
+            "      \"pivots_warm_run\": {}\n",
+            "    }}"
+        ),
+        epochs,
+        cold_run.exact_decisions,
+        run_ns,
+        run_ns / epochs.max(1) as u64,
+        cold_run.solver_pivots,
+        warm_run.solver_pivots,
     )
 }
 
@@ -265,6 +315,8 @@ mod tests {
         assert!(json.contains("solver_ablation/exact_milp_5x5"));
         assert!(json.contains("\"speedup_vs_reference\""));
         assert!(json.contains("\"bb_nodes\""));
+        assert!(json.contains("epoch_replan/monthly_eu_3site_exact"));
+        assert!(json.contains("\"pivots_warm_run\""));
         // Balanced braces — a cheap structural sanity check without a JSON
         // parser in the offline environment.
         assert_eq!(

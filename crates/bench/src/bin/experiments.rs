@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--sweep] [--jobs N] [--bench-json DIR]
+//! experiments [--quick] [--sweep] [--forecast] [--jobs N] [--bench-json DIR]
 //!             [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
 //!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!              fig15 | fig16 | fig17]
@@ -18,6 +18,11 @@
 //! experiment names it replaces the figure suite, while named figures still
 //! run after the sweep.  `--jobs N` sets the worker count (default: one per
 //! CPU).  The sweep's aggregated output is deterministic for any job count.
+//!
+//! `--forecast` runs the forecaster × epoch-schedule grid and prints the
+//! forecast-regret table (realized carbon versus the oracle replay per
+//! policy × forecaster × epoch); it composes with `--quick`, `--jobs` and
+//! named figures exactly like `--sweep`.
 //!
 //! `--bench-json DIR` measures the solver and sweep performance snapshots
 //! and writes `BENCH_solver.json` / `BENCH_sweep.json` into `DIR`; like
@@ -52,7 +57,7 @@ fn print_usage() {
     println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
     println!();
     println!(
-        "usage: experiments [--quick] [--sweep] [--jobs N] [--bench-json DIR] [all | {}]",
+        "usage: experiments [--quick] [--sweep] [--forecast] [--jobs N] [--bench-json DIR] [all | {}]",
         EXPERIMENTS.join(" | ")
     );
     println!();
@@ -60,7 +65,10 @@ fn print_usage() {
     println!("  --sweep           run the declarative scenario grid through the parallel");
     println!("                    sweep engine (replaces the figure suite unless figures");
     println!("                    are named explicitly, which then run after the sweep)");
-    println!("  --jobs N          worker threads for --sweep (default: one per CPU)");
+    println!("  --forecast        run the forecaster x epoch grid and print the");
+    println!("                    forecast-regret table (realized carbon vs the oracle");
+    println!("                    replay; composes with --quick/--jobs like --sweep)");
+    println!("  --jobs N          worker threads for --sweep/--forecast (default: one per CPU)");
     println!("  --bench-json DIR  measure solver/sweep perf and write BENCH_solver.json");
     println!("                    and BENCH_sweep.json into DIR (replaces the figure");
     println!("                    suite unless figures are named explicitly)");
@@ -119,6 +127,17 @@ fn run_sweep(quick: bool, jobs: usize) {
     eprintln!("\n{}", report.footer());
 }
 
+/// Runs the forecaster × epoch grid and prints the forecast-regret table.
+fn run_forecast(quick: bool, jobs: usize) {
+    header(&format!(
+        "Forecast regret ({})",
+        if quick { "quick grid" } else { "full grid" }
+    ));
+    let report = carbonedge_bench::summary::run_forecast(quick, jobs);
+    print!("{}", report.render_forecast_regret());
+    eprintln!("\n{}", report.footer());
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -145,12 +164,16 @@ fn main() {
     };
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
-    if jobs != 0 && !sweep {
-        eprintln!("warning: --jobs only affects --sweep; running the figure suite single-threaded");
+    let forecast = args.iter().any(|a| a == "--forecast");
+    if jobs != 0 && !sweep && !forecast {
+        eprintln!(
+            "warning: --jobs only affects --sweep/--forecast; \
+             running the figure suite single-threaded"
+        );
     }
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--quick" && *a != "--sweep")
+        .filter(|a| *a != "--quick" && *a != "--sweep" && *a != "--forecast")
         .map(|s| s.as_str())
         .collect();
     if let Some(unknown) = which
@@ -166,10 +189,13 @@ fn main() {
     if sweep {
         run_sweep(quick, jobs);
     }
+    if forecast {
+        run_forecast(quick, jobs);
+    }
     if let Some(dir) = &bench_json {
         run_bench_json(dir, quick);
     }
-    if (sweep || bench_json.is_some()) && which.is_empty() {
+    if (sweep || forecast || bench_json.is_some()) && which.is_empty() {
         eprintln!(
             "\n[experiments completed in {:.1} s]",
             preamble.elapsed().as_secs_f64()

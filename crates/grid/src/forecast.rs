@@ -4,14 +4,29 @@
 //! carbon intensity values* Ī_j over the placement horizon (Section 4.2).
 //! This module provides the forecasters the carbon-intensity service can be
 //! configured with; the oracle forecaster doubles as an ablation baseline.
+//!
+//! # Information model
+//!
+//! A forecast is issued at `now`, the **first hour of an epoch**, and
+//! predicts the mean carbon intensity over the window `[now, now +
+//! horizon_hours)`, truncated at the end of the simulated year (windows
+//! never wrap into January).  At decision time a forecaster may observe the
+//! historical trace strictly *before* `now`, plus the real-time reading at
+//! `now` itself — real-time carbon APIs expose the current intensity — and
+//! nothing later.  Only the oracle is exempt: it reads the future exactly,
+//! which makes it the zero-forecast-error ablation the paper replays
+//! historical Electricity Maps forecasts against.
 
-use crate::time::HourOfYear;
+use crate::time::{HourOfYear, HOURS_PER_YEAR};
 use crate::trace::CarbonTrace;
 
-/// A carbon-intensity forecaster: given the historical trace up to `now`,
+/// A carbon-intensity forecaster: given the trace observed up to `now`,
 /// predict the mean carbon intensity over the next `horizon_hours` hours.
 pub trait Forecaster: Send + Sync {
-    /// Forecast the mean carbon intensity over `[now+1, now+horizon_hours]`.
+    /// Forecast the mean carbon intensity over `[now, now + horizon_hours)`,
+    /// truncated at the end of the year.  Implementations other than the
+    /// oracle must only read hours `<= now` of the trace (see the module
+    /// docs for the information model).
     fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, horizon_hours: usize) -> f64;
 
     /// Human-readable name for reports.
@@ -36,7 +51,11 @@ impl Forecaster for PersistenceForecaster {
 }
 
 /// Moving-average forecast: the future equals the mean of the last
-/// `window_hours` observed values.
+/// `window_hours` *observed* values, i.e. the hours in `[now - window_hours,
+/// now)` clamped to the start of the year.  Early in the year the window
+/// shrinks to the observed prefix instead of wrapping into December (which
+/// would leak future data); at hour 0, with nothing observed yet, it falls
+/// back to persistence.
 #[derive(Debug, Clone, Copy)]
 pub struct MovingAverageForecaster {
     /// Number of past hours averaged.
@@ -52,13 +71,16 @@ impl Default for MovingAverageForecaster {
 impl Forecaster for MovingAverageForecaster {
     fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, _horizon_hours: usize) -> f64 {
         let window = self.window_hours.max(1);
+        if now.index() == 0 {
+            // Nothing observed yet: persistence on the real-time reading.
+            return trace.at(now);
+        }
+        let start = now.index().saturating_sub(window);
         let mut sum = 0.0;
-        for k in 0..window {
-            // Look backwards, wrapping at the start of the year.
-            let idx = (now.index() + crate::time::HOURS_PER_YEAR - k) % crate::time::HOURS_PER_YEAR;
+        for idx in start..now.index() {
             sum += trace.at(HourOfYear(idx));
         }
-        sum / window as f64
+        sum / (now.index() - start) as f64
     }
 
     fn name(&self) -> &'static str {
@@ -70,21 +92,68 @@ impl Forecaster for MovingAverageForecaster {
 ///
 /// Used for ablations that isolate forecast error from placement quality,
 /// analogous to the paper replaying historical Electricity Maps forecasts.
+/// The horizon is truncated at the year end rather than wrapped, so a
+/// December forecast never averages January data in.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OracleForecaster;
 
 impl Forecaster for OracleForecaster {
     fn forecast_mean(&self, trace: &CarbonTrace, now: HourOfYear, horizon_hours: usize) -> f64 {
-        let horizon = horizon_hours.max(1);
+        let remaining = HOURS_PER_YEAR.saturating_sub(now.index()).max(1);
+        let horizon = horizon_hours.max(1).min(remaining);
         let mut sum = 0.0;
-        for k in 1..=horizon {
-            sum += trace.at(now.plus(k));
+        for k in 0..horizon {
+            sum += trace.at(HourOfYear(now.index() + k));
         }
         sum / horizon as f64
     }
 
     fn name(&self) -> &'static str {
         "oracle"
+    }
+}
+
+/// A plain-value descriptor of a forecaster configuration: `Copy`, `Eq` and
+/// `Hash`, so it can ride scenario axes and configuration structs, and
+/// buildable into a boxed [`Forecaster`] for the carbon-intensity service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForecasterKind {
+    /// [`OracleForecaster`]: the exact future mean (zero forecast error).
+    Oracle,
+    /// [`PersistenceForecaster`]: the current reading persists.
+    Persistence,
+    /// [`MovingAverageForecaster`] with the given look-back window.
+    MovingAverage {
+        /// Number of past hours averaged.
+        window_hours: usize,
+    },
+}
+
+impl ForecasterKind {
+    /// The default moving-average configuration (24-hour look-back).
+    pub fn moving_average_24h() -> Self {
+        ForecasterKind::MovingAverage { window_hours: 24 }
+    }
+
+    /// Compact display label (used by reports and sweep-axis values):
+    /// `oracle`, `persistence`, `avg24h`.
+    pub fn label(&self) -> String {
+        match self {
+            ForecasterKind::Oracle => "oracle".to_string(),
+            ForecasterKind::Persistence => "persistence".to_string(),
+            ForecasterKind::MovingAverage { window_hours } => format!("avg{window_hours}h"),
+        }
+    }
+
+    /// Builds the forecaster this kind describes.
+    pub fn build(&self) -> Box<dyn Forecaster> {
+        match self {
+            ForecasterKind::Oracle => Box::new(OracleForecaster),
+            ForecasterKind::Persistence => Box::new(PersistenceForecaster),
+            ForecasterKind::MovingAverage { window_hours } => Box::new(MovingAverageForecaster {
+                window_hours: *window_hours,
+            }),
+        }
     }
 }
 
@@ -107,26 +176,74 @@ mod tests {
     }
 
     #[test]
-    fn moving_average_over_window() {
+    fn moving_average_over_observed_window() {
         let t = ramp_trace();
         let f = MovingAverageForecaster { window_hours: 3 };
-        // hours 100, 99, 98 -> mean 99
-        assert!((f.forecast_mean(&t, HourOfYear(100), 6) - 99.0).abs() < 1e-9);
+        // Strictly-past hours 97, 98, 99 -> mean 98.
+        assert!((f.forecast_mean(&t, HourOfYear(100), 6) - 98.0).abs() < 1e-9);
     }
 
     #[test]
     fn moving_average_handles_zero_window() {
         let t = ramp_trace();
         let f = MovingAverageForecaster { window_hours: 0 };
-        assert_eq!(f.forecast_mean(&t, HourOfYear(5), 1), 5.0);
+        // A zero window clamps to one observed hour: hour 4.
+        assert_eq!(f.forecast_mean(&t, HourOfYear(5), 1), 4.0);
+    }
+
+    #[test]
+    fn moving_average_clamps_to_observed_prefix_at_year_start() {
+        // Regression: the look-back window used to wrap past hour 0 into
+        // end-of-year hours, leaking future data for early-year decisions.
+        let mut values: Vec<f64> = vec![10.0; HOURS_PER_YEAR];
+        values[HOURS_PER_YEAR - 1] = 100_000.0; // would dominate if wrapped in
+        values[0] = 2.0;
+        values[1] = 4.0;
+        let t = CarbonTrace::from_values(values).unwrap();
+        let f = MovingAverageForecaster { window_hours: 24 };
+        // At hour 2 only hours 0 and 1 are observed: mean 3, no December leak.
+        assert!((f.forecast_mean(&t, HourOfYear(2), 6) - 3.0).abs() < 1e-9);
+        // At hour 0 nothing is observed: fall back to persistence.
+        assert_eq!(f.forecast_mean(&t, HourOfYear(0), 6), 2.0);
     }
 
     #[test]
     fn oracle_returns_future_mean() {
         let t = ramp_trace();
         let f = OracleForecaster;
-        // hours 101, 102, 103 -> mean 102
-        assert!((f.forecast_mean(&t, HourOfYear(100), 3) - 102.0).abs() < 1e-9);
+        // Window [100, 103): hours 100, 101, 102 -> mean 101.
+        assert!((f.forecast_mean(&t, HourOfYear(100), 3) - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_truncates_at_year_end() {
+        // Regression: the horizon used to wrap via `HourOfYear::plus`,
+        // averaging January data into a December horizon.
+        let mut values: Vec<f64> = vec![50.0; HOURS_PER_YEAR];
+        values[0] = 100_000.0; // would dominate if wrapped in
+        let last = HOURS_PER_YEAR - 2;
+        values[last] = 10.0;
+        values[last + 1] = 20.0;
+        let t = CarbonTrace::from_values(values).unwrap();
+        let f = OracleForecaster;
+        // Only two hours remain: mean 15, regardless of the longer horizon.
+        assert!((f.forecast_mean(&t, HourOfYear(last), 24) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_matches_monthly_mean_over_month_windows() {
+        // The epoch engine's bit-for-bit legacy guarantee rests on this:
+        // an oracle forecast over a calendar month is the month's mean.
+        let t = ramp_trace();
+        for epoch in crate::time::EpochSchedule::Monthly.epochs() {
+            let forecast = OracleForecaster.forecast_mean(&t, epoch.start, epoch.hours);
+            assert_eq!(
+                forecast,
+                t.monthly_mean(epoch.index),
+                "month {}",
+                epoch.index
+            );
+        }
     }
 
     #[test]
@@ -148,5 +265,36 @@ mod tests {
             names.iter().collect::<std::collections::HashSet<_>>().len(),
             names.len()
         );
+    }
+
+    #[test]
+    fn kind_builds_matching_forecaster_and_labels_are_distinct() {
+        let t = ramp_trace();
+        let kinds = [
+            ForecasterKind::Oracle,
+            ForecasterKind::Persistence,
+            ForecasterKind::moving_average_24h(),
+            ForecasterKind::MovingAverage { window_hours: 168 },
+        ];
+        let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+        for kind in kinds {
+            let built = kind.build();
+            assert_eq!(
+                built.forecast_mean(&t, HourOfYear(500), 12),
+                match kind {
+                    ForecasterKind::Oracle =>
+                        OracleForecaster.forecast_mean(&t, HourOfYear(500), 12),
+                    ForecasterKind::Persistence =>
+                        PersistenceForecaster.forecast_mean(&t, HourOfYear(500), 12),
+                    ForecasterKind::MovingAverage { window_hours } =>
+                        MovingAverageForecaster { window_hours }.forecast_mean(
+                            &t,
+                            HourOfYear(500),
+                            12
+                        ),
+                }
+            );
+        }
     }
 }

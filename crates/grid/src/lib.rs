@@ -22,10 +22,12 @@ pub mod time;
 pub mod trace;
 pub mod zone;
 
-pub use forecast::{Forecaster, MovingAverageForecaster, OracleForecaster, PersistenceForecaster};
+pub use forecast::{
+    Forecaster, ForecasterKind, MovingAverageForecaster, OracleForecaster, PersistenceForecaster,
+};
 pub use mix::EnergyMix;
 pub use service::CarbonIntensityService;
 pub use source::EnergySource;
-pub use time::{HourOfYear, HOURS_PER_DAY, HOURS_PER_YEAR};
+pub use time::{Epoch, EpochSchedule, HourOfYear, HOURS_PER_DAY, HOURS_PER_YEAR};
 pub use trace::{CarbonTrace, TraceGenerator};
 pub use zone::{ZoneId, ZoneProfile};

@@ -9,11 +9,16 @@ use crate::forecast::{Forecaster, PersistenceForecaster};
 use crate::time::HourOfYear;
 use crate::trace::CarbonTrace;
 use crate::zone::ZoneId;
+use std::sync::Arc;
 
 /// Replays per-zone carbon-intensity traces and serves current values and
 /// forecast means, mirroring the "Carbon Intensity Service" box of Figure 6.
+///
+/// The traces are held behind an `Arc`, so a simulator (or many sweep cells)
+/// can stand up a service over an already-shared year of traces without
+/// copying them.
 pub struct CarbonIntensityService {
-    traces: Vec<CarbonTrace>,
+    traces: Arc<Vec<CarbonTrace>>,
     forecaster: Box<dyn Forecaster>,
     /// Forecast horizon used for the average intensity Ī (hours).
     pub horizon_hours: usize,
@@ -23,6 +28,12 @@ impl CarbonIntensityService {
     /// Creates a service over a set of zone traces (indexed by [`ZoneId`])
     /// with the default persistence forecaster and a 1-hour horizon.
     pub fn new(traces: Vec<CarbonTrace>) -> Self {
+        Self::shared(Arc::new(traces))
+    }
+
+    /// Creates a service over traces already shared elsewhere (e.g. a
+    /// simulation's per-seed trace cache) without cloning them.
+    pub fn shared(traces: Arc<Vec<CarbonTrace>>) -> Self {
         Self {
             traces,
             forecaster: Box::new(PersistenceForecaster),
@@ -54,8 +65,16 @@ impl CarbonIntensityService {
     /// Average forecast carbon intensity Ī for a zone over the configured
     /// horizon starting at `now`.
     pub fn forecast_mean(&self, zone: ZoneId, now: HourOfYear) -> f64 {
+        self.forecast_mean_over(zone, now, self.horizon_hours)
+    }
+
+    /// Average forecast carbon intensity Ī for a zone over an explicit
+    /// horizon starting at `now` — the epoch re-placement engine calls this
+    /// with each epoch's length (months differ in length, and the final
+    /// weekly epoch absorbs the year's leftover day).
+    pub fn forecast_mean_over(&self, zone: ZoneId, now: HourOfYear, horizon_hours: usize) -> f64 {
         self.forecaster
-            .forecast_mean(&self.traces[zone.index()], now, self.horizon_hours)
+            .forecast_mean(&self.traces[zone.index()], now, horizon_hours)
     }
 
     /// Direct access to a zone trace (used by the analysis crate).
@@ -68,14 +87,18 @@ impl CarbonIntensityService {
         &self.traces
     }
 
-    /// The zone with the lowest current carbon intensity at `now`.
+    /// The zone with the lowest current carbon intensity at `now`.  Ties
+    /// break deterministically toward the lowest [`ZoneId`] — made explicit
+    /// by the index comparison rather than left to `min_by`'s first-wins
+    /// tie rule; malformed readings order after every real value under
+    /// `f64::total_cmp` instead of panicking.
     pub fn greenest_zone(&self, now: HourOfYear) -> Option<ZoneId> {
         (0..self.traces.len())
             .min_by(|a, b| {
                 self.traces[*a]
                     .at(now)
-                    .partial_cmp(&self.traces[*b].at(now))
-                    .unwrap()
+                    .total_cmp(&self.traces[*b].at(now))
+                    .then(a.cmp(b))
             })
             .map(ZoneId)
     }
@@ -115,12 +138,48 @@ mod tests {
     }
 
     #[test]
+    fn greenest_zone_breaks_ties_by_lowest_zone_id() {
+        // The lowest-id tie rule is part of the documented contract (and
+        // stated explicitly in the comparator rather than inherited from
+        // `min_by`'s first-wins behavior).
+        let s = CarbonIntensityService::new(vec![
+            CarbonTrace::constant(500.0),
+            CarbonTrace::constant(30.0),
+            CarbonTrace::constant(30.0),
+        ]);
+        assert_eq!(s.greenest_zone(HourOfYear(7)), Some(ZoneId(1)));
+    }
+
+    #[test]
+    fn greenest_zone_survives_nan_readings() {
+        // Regression: `partial_cmp(..).unwrap()` panicked on NaN readings.
+        // NaN cannot enter through the public trace constructors, but the
+        // service must stay robust to malformed data: under `total_cmp` a
+        // NaN orders after every real value and simply loses.
+        let nan_trace = CarbonTrace::unchecked_for_tests(vec![f64::NAN; HOURS_PER_YEAR]);
+        let s = CarbonIntensityService::new(vec![
+            nan_trace,
+            CarbonTrace::constant(80.0),
+            CarbonTrace::constant(40.0),
+        ]);
+        assert_eq!(s.greenest_zone(HourOfYear(0)), Some(ZoneId(2)));
+        // All-NaN readings still resolve deterministically (lowest id).
+        let all_nan = CarbonIntensityService::new(vec![
+            CarbonTrace::unchecked_for_tests(vec![f64::NAN; HOURS_PER_YEAR]),
+            CarbonTrace::unchecked_for_tests(vec![f64::NAN; HOURS_PER_YEAR]),
+        ]);
+        assert_eq!(all_nan.greenest_zone(HourOfYear(0)), Some(ZoneId(0)));
+    }
+
+    #[test]
     fn forecast_mean_uses_configured_forecaster() {
         let ramp: Vec<f64> = (0..HOURS_PER_YEAR).map(|i| i as f64).collect();
         let s = CarbonIntensityService::new(vec![CarbonTrace::from_values(ramp).unwrap()])
             .with_forecaster(Box::new(OracleForecaster), 2);
-        // Oracle over hours 11 and 12 -> 11.5
-        assert!((s.forecast_mean(ZoneId(0), HourOfYear(10)) - 11.5).abs() < 1e-9);
+        // Oracle over the window [10, 12): hours 10 and 11 -> 10.5.
+        assert!((s.forecast_mean(ZoneId(0), HourOfYear(10)) - 10.5).abs() < 1e-9);
+        // An explicit horizon overrides the configured one: [10, 14) -> 11.5.
+        assert!((s.forecast_mean_over(ZoneId(0), HourOfYear(10), 4) - 11.5).abs() < 1e-9);
     }
 
     #[test]
@@ -133,5 +192,13 @@ mod tests {
     fn horizon_is_clamped_to_at_least_one() {
         let s = service().with_forecaster(Box::new(OracleForecaster), 0);
         assert_eq!(s.horizon_hours, 1);
+    }
+
+    #[test]
+    fn shared_traces_are_not_cloned() {
+        let traces = Arc::new(vec![CarbonTrace::constant(10.0)]);
+        let s = CarbonIntensityService::shared(Arc::clone(&traces));
+        assert_eq!(s.current(ZoneId(0), HourOfYear(0)), 10.0);
+        assert_eq!(Arc::strong_count(&traces), 2);
     }
 }

@@ -79,6 +79,99 @@ impl HourOfYear {
     }
 }
 
+/// One placement epoch: a contiguous, non-wrapping hour range of the
+/// simulated year over which a placement decision stays in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Epoch {
+    /// Position in the schedule, `[0, epoch_count)`.
+    pub index: usize,
+    /// First hour of the epoch.
+    pub start: HourOfYear,
+    /// Number of hours the epoch spans.
+    pub hours: usize,
+}
+
+/// How often a year-long simulation re-solves its placement: the year is
+/// partitioned into consecutive epochs, a decision is made at each epoch's
+/// first hour against the forecast mean intensity over the epoch, and
+/// realized carbon is accounted from the actual trace over the same hours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EpochSchedule {
+    /// Twelve calendar-month epochs (the legacy CDN-simulation granularity).
+    Monthly,
+    /// Fifty-two 168-hour epochs; the final epoch absorbs the year's
+    /// remaining day (192 hours), so the partition is exact.
+    Weekly,
+    /// 365 one-day epochs.
+    Daily,
+}
+
+impl EpochSchedule {
+    /// Display name used in reports and sweep axes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpochSchedule::Monthly => "monthly",
+            EpochSchedule::Weekly => "weekly",
+            EpochSchedule::Daily => "daily",
+        }
+    }
+
+    /// Number of epochs in the schedule.
+    pub fn epoch_count(&self) -> usize {
+        match self {
+            EpochSchedule::Monthly => 12,
+            EpochSchedule::Weekly => 52,
+            EpochSchedule::Daily => 365,
+        }
+    }
+
+    /// The epochs of the schedule, in order; together they cover every hour
+    /// of the year exactly once and never wrap past the year end.
+    pub fn epochs(&self) -> Vec<Epoch> {
+        match self {
+            EpochSchedule::Monthly => {
+                let mut start = 0usize;
+                DAYS_PER_MONTH
+                    .iter()
+                    .enumerate()
+                    .map(|(index, days)| {
+                        let hours = days * HOURS_PER_DAY;
+                        let epoch = Epoch {
+                            index,
+                            start: HourOfYear(start),
+                            hours,
+                        };
+                        start += hours;
+                        epoch
+                    })
+                    .collect()
+            }
+            EpochSchedule::Weekly => (0..52)
+                .map(|index| {
+                    let start = index * 7 * HOURS_PER_DAY;
+                    let hours = if index == 51 {
+                        HOURS_PER_YEAR - start
+                    } else {
+                        7 * HOURS_PER_DAY
+                    };
+                    Epoch {
+                        index,
+                        start: HourOfYear(start),
+                        hours,
+                    }
+                })
+                .collect(),
+            EpochSchedule::Daily => (0..365)
+                .map(|index| Epoch {
+                    index,
+                    start: HourOfYear(index * HOURS_PER_DAY),
+                    hours: HOURS_PER_DAY,
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +235,45 @@ mod tests {
     #[test]
     fn all_yields_every_hour() {
         assert_eq!(HourOfYear::all().count(), HOURS_PER_YEAR);
+    }
+
+    #[test]
+    fn every_schedule_partitions_the_year_exactly() {
+        for schedule in [
+            EpochSchedule::Monthly,
+            EpochSchedule::Weekly,
+            EpochSchedule::Daily,
+        ] {
+            let epochs = schedule.epochs();
+            assert_eq!(epochs.len(), schedule.epoch_count(), "{}", schedule.name());
+            let mut next = 0usize;
+            for (k, epoch) in epochs.iter().enumerate() {
+                assert_eq!(epoch.index, k);
+                assert_eq!(epoch.start.index(), next, "{} gap", schedule.name());
+                assert!(epoch.hours > 0);
+                next += epoch.hours;
+            }
+            assert_eq!(
+                next,
+                HOURS_PER_YEAR,
+                "{} must cover the year",
+                schedule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn monthly_epochs_align_with_calendar_months() {
+        for epoch in EpochSchedule::Monthly.epochs() {
+            assert_eq!(epoch.start.month(), epoch.index);
+            assert_eq!(epoch.hours, DAYS_PER_MONTH[epoch.index] * HOURS_PER_DAY);
+        }
+    }
+
+    #[test]
+    fn weekly_last_epoch_absorbs_the_leftover_day() {
+        let epochs = EpochSchedule::Weekly.epochs();
+        assert!(epochs[..51].iter().all(|e| e.hours == 168));
+        assert_eq!(epochs[51].hours, 192);
     }
 }

@@ -22,7 +22,7 @@ pub mod metrics;
 pub mod testbed;
 pub mod tradeoff;
 
-pub use cdn::{CdnConfig, CdnResult, CdnScenario, CdnShared, CdnSimulator};
+pub use cdn::{CdnConfig, CdnResult, CdnScenario, CdnShared, CdnSimulator, EpochOutcome};
 pub use hetero::{HeterogeneityConfig, HeterogeneityResult};
 pub use metrics::{PolicyOutcome, Savings};
 pub use testbed::{TestbedConfig, TestbedResult, TestbedWorkload};

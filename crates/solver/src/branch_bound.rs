@@ -119,6 +119,10 @@ pub struct MilpWorkspace {
     binaries: Vec<usize>,
     candidate: Vec<f64>,
     incumbent: Vec<f64>,
+    /// Simplex pivots accumulated across every solve routed through this
+    /// workspace via [`BranchBoundSolver::solve`] — the per-run warm-start
+    /// work a caller (e.g. the epoch re-placement engine) can surface.
+    accumulated_pivots: usize,
 }
 
 impl MilpWorkspace {
@@ -242,7 +246,22 @@ impl BranchBoundSolver {
             .workspace
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        self.solve_with_workspace(model, &mut ws)
+        let solution = self.solve_with_workspace(model, &mut ws);
+        ws.accumulated_pivots += solution.pivots;
+        solution
+    }
+
+    /// Total simplex pivots across every [`Self::solve`] call on this
+    /// solver's internal workspace.  Reading the counter before and after a
+    /// stream of placements gives the per-run pivot count — e.g. the
+    /// epoch-to-epoch warm-restart work of a year-long simulation.
+    /// (Callers driving `solve_with_workspace` directly track their own
+    /// counts from [`MilpSolution::pivots`].)
+    pub fn accumulated_pivots(&self) -> usize {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .accumulated_pivots
     }
 
     /// Solves the MILP in a caller-provided workspace (for callers that
@@ -675,5 +694,32 @@ mod tests {
         assert_eq!(sol.outcome, MilpOutcome::Optimal);
         assert!(sol.nodes >= 1);
         assert!(sol.pivots >= 1, "expected at least one simplex pivot");
+    }
+
+    #[test]
+    fn accumulated_pivots_track_solves_on_the_internal_workspace() {
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.set_objective_term(a, -3.0);
+        m.set_objective_term(b, -2.0);
+        m.add_constraint(
+            LinearExpr::new().with(a, 1.0).with(b, 1.0),
+            Comparison::LessEq,
+            1.0,
+            "pick-one",
+        );
+        let solver = BranchBoundSolver::new();
+        assert_eq!(solver.accumulated_pivots(), 0);
+        let first = solver.solve(&m);
+        assert_eq!(solver.accumulated_pivots(), first.pivots);
+        let second = solver.solve(&m);
+        assert_eq!(
+            solver.accumulated_pivots(),
+            first.pivots + second.pivots,
+            "counter must accumulate across solves"
+        );
+        // A clone starts with a fresh workspace and a fresh counter.
+        assert_eq!(solver.clone().accumulated_pivots(), 0);
     }
 }

@@ -116,6 +116,7 @@ impl SweepExecutor {
         CellResult {
             cell: cell.clone(),
             outcome: result.outcome,
+            decision_carbon_g: result.decision_carbon_g,
             monthly_carbon_g: result.monthly.iter().map(|m| m.carbon_g).collect(),
             mean_assigned_intensity: mean_assigned,
             site_count: simulator.site_count(),

@@ -7,15 +7,18 @@
 //!
 //! * [`SweepSpec`] — the declarative scenario matrix: each axis (policy,
 //!   area, demand/capacity scenario, latency limit, site count, workload,
-//!   seed) is a list of values, and the grid is their cartesian product,
-//!   enumerated deterministically with stable per-cell seeds;
+//!   seed, forecaster, epoch schedule) is a list of values, and the grid is
+//!   their cartesian product, enumerated deterministically with stable
+//!   per-cell seeds;
 //! * [`SweepExecutor`] — a worker-pool executor that evaluates cells in
 //!   parallel while sharing zone catalogs and per-seed carbon traces across
 //!   cells (via `carbonedge_sim::CdnShared`), producing results that are
 //!   bit-identical for any `--jobs` count;
 //! * [`SweepReport`] — per-cell outcomes plus per-scenario savings versus
-//!   the Latency-aware baseline and marginal savings tables per axis, with a
-//!   deterministic text rendering used by the golden-output tests.
+//!   the Latency-aware baseline, marginal savings tables per axis, and a
+//!   forecast-regret table (realized carbon versus the oracle replay per
+//!   policy × forecaster × epoch), all with deterministic text renderings
+//!   used by the golden-output tests.
 //!
 //! # Example
 //!
@@ -39,5 +42,5 @@ pub mod report;
 pub mod spec;
 
 pub use executor::{take_jobs_flag, SweepExecutor};
-pub use report::{CellResult, MarginalRow, SavingsRow, SweepReport, BASELINE_POLICY};
+pub use report::{CellResult, MarginalRow, RegretRow, SavingsRow, SweepReport, BASELINE_POLICY};
 pub use spec::{ScenarioKey, SweepAxis, SweepCell, SweepSpec, WorkloadSpec};

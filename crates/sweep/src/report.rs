@@ -2,6 +2,7 @@
 //! against the Latency-aware baseline, and marginal savings tables per axis.
 
 use crate::spec::{area_name, ScenarioKey, SweepAxis, SweepCell, SweepSpec};
+use carbonedge_grid::ForecasterKind;
 use carbonedge_sim::metrics::{PolicyOutcome, Savings};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -14,8 +15,11 @@ pub const BASELINE_POLICY: &str = "Latency-aware";
 pub struct CellResult {
     /// The cell coordinate.
     pub cell: SweepCell,
-    /// Year-aggregated policy outcome.
+    /// Year-aggregated *realized* policy outcome.
     pub outcome: PolicyOutcome,
+    /// Carbon the placer expected under its forecasts; the gap to
+    /// `outcome.carbon_g` is the cell's aggregate forecast pricing error.
+    pub decision_carbon_g: f64,
     /// Per-month carbon (12 entries), for seasonality views.
     pub monthly_carbon_g: Vec<f64>,
     /// Mean carbon intensity of the zones applications were assigned to.
@@ -40,6 +44,34 @@ pub struct SavingsRow {
     pub baseline_carbon_g: f64,
     /// Savings versus the baseline.
     pub savings: Savings,
+}
+
+/// One row of the forecast-regret table: a (policy, forecaster, epoch)
+/// triple compared with the **oracle** forecaster runs of the otherwise
+/// identical scenario coordinates — the realized cost of forecast error.
+#[derive(Debug, Clone)]
+pub struct RegretRow {
+    /// Policy display name.
+    pub policy: String,
+    /// Forecaster display label.
+    pub forecaster: String,
+    /// Epoch-schedule display name.
+    pub epoch: String,
+    /// Number of (cell, oracle-partner) comparisons averaged.
+    pub comparisons: usize,
+    /// Mean realized carbon of the triple's cells, grams.
+    pub mean_carbon_g: f64,
+    /// Mean realized carbon of the oracle partners, grams.
+    pub mean_oracle_carbon_g: f64,
+    /// Mean regret versus the oracle partner, percent (0 for oracle rows;
+    /// positive means forecast error cost real carbon).
+    pub mean_regret_percent: f64,
+    /// Mean forecast pricing error, percent: how far the carbon the placer
+    /// *expected* under its forecasts sat from the realized carbon.  Large
+    /// pricing error with small regret means the placement was robust to
+    /// the mis-forecast (the rankings survived); with capacity pressure the
+    /// error starts flipping placements and becomes regret.
+    pub mean_decision_error_percent: f64,
 }
 
 /// One row of a marginal savings table: the mean effect of one axis value,
@@ -138,6 +170,8 @@ impl SweepReport {
             },
             SweepAxis::Workload => cell.workload.name.clone(),
             SweepAxis::Seed => format!("seed {}", cell.seed),
+            SweepAxis::Forecaster => cell.forecaster.label(),
+            SweepAxis::Epoch => cell.epoch.name().to_string(),
         }
     }
 
@@ -163,6 +197,8 @@ impl SweepReport {
             SweepAxis::SiteLimit => self.spec.site_limits.len(),
             SweepAxis::Workload => self.spec.workloads.len(),
             SweepAxis::Seed => self.spec.seeds.len(),
+            SweepAxis::Forecaster => self.spec.forecasters.len(),
+            SweepAxis::Epoch => self.spec.epochs.len(),
         };
         len > 1
     }
@@ -207,6 +243,119 @@ impl SweepReport {
             .collect()
     }
 
+    /// Forecast-regret aggregation: every cell paired with the **oracle**
+    /// cell of the same policy and scenario coordinate, grouped by (policy,
+    /// forecaster, epoch) in first-occurrence order.  Cells whose oracle
+    /// partner is absent from the sweep produce no rows; a sweep without an
+    /// oracle forecaster therefore yields an empty table.
+    pub fn forecast_regret_rows(&self) -> Vec<RegretRow> {
+        let mut oracle_by_key: HashMap<(ScenarioKey, String), f64> = HashMap::new();
+        for cell in &self.cells {
+            if cell.cell.forecaster == ForecasterKind::Oracle {
+                oracle_by_key
+                    .entry((cell.cell.scenario_key(), cell.cell.policy.name()))
+                    .or_insert(cell.outcome.carbon_g);
+            }
+        }
+        type Triple = (String, String, String);
+        let mut order: Vec<Triple> = Vec::new();
+        let mut sums: HashMap<Triple, (usize, f64, f64, f64, f64)> = HashMap::new();
+        for cell in &self.cells {
+            let mut oracle_key = cell.cell.scenario_key();
+            oracle_key.forecaster = ForecasterKind::Oracle;
+            let Some(oracle_carbon) = oracle_by_key.get(&(oracle_key, cell.cell.policy.name()))
+            else {
+                continue;
+            };
+            let key = (
+                cell.cell.policy.name(),
+                cell.cell.forecaster.label(),
+                cell.cell.epoch.name().to_string(),
+            );
+            let entry = sums.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, 0.0, 0.0, 0.0, 0.0)
+            });
+            entry.0 += 1;
+            entry.1 += cell.outcome.carbon_g;
+            entry.2 += oracle_carbon;
+            entry.3 += if *oracle_carbon > 0.0 {
+                (cell.outcome.carbon_g / oracle_carbon - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            entry.4 += if cell.outcome.carbon_g > 0.0 {
+                (cell.decision_carbon_g / cell.outcome.carbon_g - 1.0) * 100.0
+            } else {
+                0.0
+            };
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let (n, carbon, oracle, regret, decision_error) = sums[&key];
+                RegretRow {
+                    policy: key.0,
+                    forecaster: key.1,
+                    epoch: key.2,
+                    comparisons: n,
+                    mean_carbon_g: carbon / n as f64,
+                    mean_oracle_carbon_g: oracle / n as f64,
+                    mean_regret_percent: regret / n as f64,
+                    mean_decision_error_percent: decision_error / n as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the forecast-regret table (realized carbon versus the oracle
+    /// replay per policy × forecaster × epoch).  Deterministic like
+    /// [`Self::render`], so it is golden-testable.
+    pub fn render_forecast_regret(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "forecast regret `{}`: realized carbon vs oracle replay",
+            self.spec.name,
+        );
+        let rows = self.forecast_regret_rows();
+        if rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n(no regret rows: add the oracle forecaster to the forecaster axis \
+                 so each cell has a zero-error partner)"
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "\n{:<18} {:<14} {:<10} {:>8} {:>14} {:>12} {:>10} {:>12}",
+            "policy",
+            "forecaster",
+            "epoch",
+            "cells",
+            "realized kg",
+            "oracle kg",
+            "regret %",
+            "fcst err %"
+        );
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "{:<18} {:<14} {:<10} {:>8} {:>14.2} {:>12.2} {:>10.2} {:>12.2}",
+                row.policy,
+                row.forecaster,
+                row.epoch,
+                row.comparisons,
+                row.mean_carbon_g / 1000.0,
+                row.mean_oracle_carbon_g / 1000.0,
+                row.mean_regret_percent,
+                row.mean_decision_error_percent,
+            );
+        }
+        out
+    }
+
     /// One-line run summary for binaries to print on stderr.  Unlike
     /// [`Self::render`] this includes wall-clock time, so it is *not* part
     /// of the deterministic output.
@@ -245,7 +394,7 @@ impl SweepReport {
         let _ = writeln!(out, "\nper-scenario savings:");
         let _ = writeln!(
             out,
-            "{:<44} {:<18} {:>12} {:>12} {:>10} {:>12} {:>16}",
+            "{:<60} {:<18} {:>12} {:>12} {:>10} {:>12} {:>16}",
             "scenario",
             "policy",
             "carbon kg",
@@ -258,7 +407,7 @@ impl SweepReport {
             let assigned = self.cells[row.cell_index].mean_assigned_intensity;
             let _ = writeln!(
                 out,
-                "{:<44} {:<18} {:>12.2} {:>12.2} {:>10.1} {:>12.1} {:>16.1}",
+                "{:<60} {:<18} {:>12.2} {:>12.2} {:>10.1} {:>12.1} {:>16.1}",
                 row.scenario,
                 row.policy,
                 row.carbon_g / 1000.0,
@@ -382,6 +531,56 @@ mod tests {
         assert_eq!(marginals.len(), 2);
         assert!(marginals.iter().any(|m| m.value == "10 ms"));
         assert!(marginals.iter().any(|m| m.value == "10.4 ms"));
+    }
+
+    #[test]
+    fn forecast_regret_pairs_every_cell_with_its_oracle_partner() {
+        use carbonedge_grid::EpochSchedule;
+        let spec = SweepSpec::new("regret-test")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_site_limit(Some(10))
+            .with_forecasters(vec![ForecasterKind::Oracle, ForecasterKind::Persistence])
+            .with_epochs(vec![EpochSchedule::Monthly]);
+        let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+        let rows = report.forecast_regret_rows();
+        // 2 policies x 2 forecasters x 1 epoch.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.comparisons, 1);
+            if row.forecaster == "oracle" {
+                assert_eq!(row.mean_regret_percent, 0.0, "{}", row.policy);
+                assert_eq!(row.mean_carbon_g, row.mean_oracle_carbon_g);
+            }
+        }
+        // The latency-aware baseline ignores carbon, so its placements (and
+        // realized carbon) are forecast-independent: zero regret everywhere.
+        let baseline_rows: Vec<_> = rows
+            .iter()
+            .filter(|r| r.policy == BASELINE_POLICY)
+            .collect();
+        assert_eq!(baseline_rows.len(), 2);
+        for row in baseline_rows {
+            assert!(
+                row.mean_regret_percent.abs() < 1e-9,
+                "baseline regret {}",
+                row.mean_regret_percent
+            );
+        }
+        let text = report.render_forecast_regret();
+        assert_eq!(text, report.render_forecast_regret());
+        assert!(text.contains("persistence") && text.contains("oracle"));
+        assert!(text.contains("regret %"));
+    }
+
+    #[test]
+    fn regret_table_without_oracle_renders_an_explicit_note() {
+        let spec = SweepSpec::new("no-oracle")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_site_limit(Some(8))
+            .with_forecasters(vec![ForecasterKind::Persistence]);
+        let report = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        assert!(report.forecast_regret_rows().is_empty());
+        assert!(report.render_forecast_regret().contains("no regret rows"));
     }
 
     #[test]

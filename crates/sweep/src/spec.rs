@@ -3,6 +3,7 @@
 
 use carbonedge_core::PlacementPolicy;
 use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sim::cdn::{CdnConfig, CdnScenario};
 use carbonedge_workload::{DeviceKind, ModelKind};
 
@@ -92,17 +93,23 @@ pub enum SweepAxis {
     Workload,
     /// Trace seed (replication axis).
     Seed,
+    /// Forecaster serving the decision intensity.
+    Forecaster,
+    /// Re-placement epoch schedule.
+    Epoch,
 }
 
 impl SweepAxis {
     /// All axes in the canonical enumeration order.
-    pub const ALL: [SweepAxis; 7] = [
+    pub const ALL: [SweepAxis; 9] = [
         SweepAxis::Area,
         SweepAxis::Scenario,
         SweepAxis::LatencyLimit,
         SweepAxis::SiteLimit,
         SweepAxis::Workload,
         SweepAxis::Seed,
+        SweepAxis::Forecaster,
+        SweepAxis::Epoch,
         SweepAxis::Policy,
     ];
 
@@ -116,6 +123,8 @@ impl SweepAxis {
             SweepAxis::SiteLimit => "site limit",
             SweepAxis::Workload => "workload",
             SweepAxis::Seed => "seed",
+            SweepAxis::Forecaster => "forecaster",
+            SweepAxis::Epoch => "epoch",
         }
     }
 }
@@ -149,6 +158,15 @@ pub struct SweepCell {
     /// Trace seed (shared by every cell on the same seed-axis value, so the
     /// executor can cache generated traces).
     pub seed: u64,
+    /// Forecaster serving the decision intensity at each epoch boundary.
+    pub forecaster: ForecasterKind,
+    /// Re-placement epoch schedule.
+    pub epoch: EpochSchedule,
+    /// Applications per site per epoch (spec-wide deployment shape, not an
+    /// axis — constant across cells, so it is excluded from `ScenarioKey`).
+    pub apps_per_site: usize,
+    /// Servers per site (spec-wide deployment shape, like `apps_per_site`).
+    pub servers_per_site: usize,
     /// A unique per-cell seed derived deterministically from the spec's base
     /// seed and the cell coordinate — available for any per-cell randomness
     /// a backend needs without correlating cells.
@@ -173,6 +191,10 @@ pub struct ScenarioKey {
     pub workload: WorkloadKey,
     /// Trace seed.
     pub seed: u64,
+    /// Forecaster serving the decision intensity.
+    pub forecaster: ForecasterKind,
+    /// Re-placement epoch schedule.
+    pub epoch: EpochSchedule,
 }
 
 impl SweepCell {
@@ -188,6 +210,10 @@ impl SweepCell {
         config.device = self.workload.device;
         config.request_rate_rps = self.workload.request_rate_rps;
         config.seed = self.seed;
+        config.forecaster = self.forecaster;
+        config.epoch = self.epoch;
+        config.apps_per_site = self.apps_per_site;
+        config.servers_per_site = self.servers_per_site;
         config
     }
 
@@ -200,6 +226,8 @@ impl SweepCell {
             site_limit: self.site_limit,
             workload: self.workload.key(),
             seed: self.seed,
+            forecaster: self.forecaster,
+            epoch: self.epoch,
         }
     }
 
@@ -208,7 +236,7 @@ impl SweepCell {
     /// (e.g. 10.0 and 10.4) never collapse to the same label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}ms/{}/{}/s{}",
+            "{}/{}/{}ms/{}/{}/s{}/{}/{}",
             area_name(self.area),
             self.scenario.name(),
             self.latency_limit_ms,
@@ -218,6 +246,8 @@ impl SweepCell {
             },
             self.workload.name,
             self.seed,
+            self.forecaster.label(),
+            self.epoch.name(),
         )
     }
 }
@@ -295,6 +325,19 @@ pub struct SweepSpec {
     pub workloads: Vec<WorkloadSpec>,
     /// Trace-seed axis (replications).
     pub seeds: Vec<u64>,
+    /// Forecaster axis (decision-intensity source).
+    pub forecasters: Vec<ForecasterKind>,
+    /// Epoch-schedule axis (re-placement granularity).
+    pub epochs: Vec<EpochSchedule>,
+    /// Applications arriving per site per epoch — a scalar deployment shape
+    /// shared by every cell, not an axis.  Together with
+    /// `servers_per_site` it sets the utilization pressure of the grid;
+    /// saturated deployments are where forecast error actually flips
+    /// placements.
+    pub apps_per_site: usize,
+    /// Servers per edge site (scalar deployment shape, like
+    /// `apps_per_site`).
+    pub servers_per_site: usize,
 }
 
 impl SweepSpec {
@@ -311,6 +354,10 @@ impl SweepSpec {
             site_limits: vec![None],
             workloads: vec![WorkloadSpec::resnet50_on_a2()],
             seeds: vec![42],
+            forecasters: vec![ForecasterKind::Oracle],
+            epochs: vec![EpochSchedule::Monthly],
+            apps_per_site: 1,
+            servers_per_site: 4,
         }
     }
 
@@ -376,6 +423,29 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the forecaster axis.
+    pub fn with_forecasters(mut self, forecasters: Vec<ForecasterKind>) -> Self {
+        self.forecasters = forecasters;
+        self
+    }
+
+    /// Sets the epoch-schedule axis.
+    pub fn with_epochs(mut self, epochs: Vec<EpochSchedule>) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the deployment shape shared by every cell: applications
+    /// arriving per site per epoch and servers per site.  The defaults
+    /// (1 app, 4 servers) are the paper's lightly-loaded CDN; `(4, 1)`
+    /// runs the fleet near 80% utilization, where forecast error has real
+    /// consequences.
+    pub fn with_demand(mut self, apps_per_site: usize, servers_per_site: usize) -> Self {
+        self.apps_per_site = apps_per_site;
+        self.servers_per_site = servers_per_site;
+        self
+    }
+
     /// Sets the base seed mixed into per-cell seeds.
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
@@ -391,6 +461,8 @@ impl SweepSpec {
             * self.site_limits.len()
             * self.workloads.len()
             * self.seeds.len()
+            * self.forecasters.len()
+            * self.epochs.len()
     }
 
     /// Number of axes with more than one value (the grid's dimensionality).
@@ -403,6 +475,8 @@ impl SweepSpec {
             self.site_limits.len(),
             self.workloads.len(),
             self.seeds.len(),
+            self.forecasters.len(),
+            self.epochs.len(),
         ]
         .iter()
         .filter(|n| **n > 1)
@@ -412,7 +486,7 @@ impl SweepSpec {
     /// Checks that every axis has at least one value and that values are
     /// usable (finite positive latency limits, non-empty workload names).
     pub fn validate(&self) -> Result<(), String> {
-        let axes: [(&str, usize); 7] = [
+        let axes: [(&str, usize); 9] = [
             ("policies", self.policies.len()),
             ("areas", self.areas.len()),
             ("scenarios", self.scenarios.len()),
@@ -420,6 +494,8 @@ impl SweepSpec {
             ("site_limits", self.site_limits.len()),
             ("workloads", self.workloads.len()),
             ("seeds", self.seeds.len()),
+            ("forecasters", self.forecasters.len()),
+            ("epochs", self.epochs.len()),
         ];
         for (name, len) in axes {
             if len == 0 {
@@ -435,6 +511,12 @@ impl SweepSpec {
         }
         if let Some(0) = self.site_limits.iter().flatten().min() {
             return Err("site limit 0 would simulate no sites".into());
+        }
+        if self.apps_per_site == 0 {
+            return Err("apps_per_site 0 would simulate no demand".into());
+        }
+        if self.servers_per_site == 0 {
+            return Err("servers_per_site 0 would simulate no capacity".into());
         }
         if self.workloads.iter().any(|w| w.name.is_empty()) {
             return Err("workload with empty name".into());
@@ -472,6 +554,8 @@ impl SweepSpec {
         Self::reject_duplicates("site_limits", self.site_limits.iter())?;
         Self::reject_duplicates("workloads", self.workloads.iter().map(|w| w.key()))?;
         Self::reject_duplicates("seeds", self.seeds.iter())?;
+        Self::reject_duplicates("forecasters", self.forecasters.iter())?;
+        Self::reject_duplicates("epochs", self.epochs.iter())?;
         Ok(())
     }
 
@@ -489,9 +573,10 @@ impl SweepSpec {
     }
 
     /// Enumerates the full grid in canonical order (area, scenario, latency
-    /// limit, site limit, workload, seed, policy — policy innermost so that a
-    /// scenario's policy variants are adjacent).  Ordering and per-cell seeds
-    /// depend only on the spec, never on execution.
+    /// limit, site limit, workload, seed, forecaster, epoch, policy — policy
+    /// innermost so that a scenario's policy variants are adjacent).
+    /// Ordering and per-cell seeds depend only on the spec, never on
+    /// execution.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for area in &self.areas {
@@ -500,26 +585,35 @@ impl SweepSpec {
                     for site_limit in &self.site_limits {
                         for workload in &self.workloads {
                             for seed in &self.seeds {
-                                for policy in &self.policies {
-                                    let index = cells.len();
-                                    // Chained (not XOR-combined) mixing: an
-                                    // XOR of two splitmix outputs cancels
-                                    // whenever index == seed, which would
-                                    // correlate those cells' seeds.
-                                    let cell_seed = splitmix64(
-                                        splitmix64(self.base_seed ^ index as u64) ^ *seed,
-                                    );
-                                    cells.push(SweepCell {
-                                        index,
-                                        policy: *policy,
-                                        area: *area,
-                                        scenario: *scenario,
-                                        latency_limit_ms: *latency,
-                                        site_limit: *site_limit,
-                                        workload: workload.clone(),
-                                        seed: *seed,
-                                        cell_seed,
-                                    });
+                                for forecaster in &self.forecasters {
+                                    for epoch in &self.epochs {
+                                        for policy in &self.policies {
+                                            let index = cells.len();
+                                            // Chained (not XOR-combined)
+                                            // mixing: an XOR of two splitmix
+                                            // outputs cancels whenever
+                                            // index == seed, which would
+                                            // correlate those cells' seeds.
+                                            let cell_seed = splitmix64(
+                                                splitmix64(self.base_seed ^ index as u64) ^ *seed,
+                                            );
+                                            cells.push(SweepCell {
+                                                index,
+                                                policy: *policy,
+                                                area: *area,
+                                                scenario: *scenario,
+                                                latency_limit_ms: *latency,
+                                                site_limit: *site_limit,
+                                                workload: workload.clone(),
+                                                seed: *seed,
+                                                forecaster: *forecaster,
+                                                epoch: *epoch,
+                                                apps_per_site: self.apps_per_site,
+                                                servers_per_site: self.servers_per_site,
+                                                cell_seed,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -609,6 +703,80 @@ mod tests {
         assert_eq!(config.model, ModelKind::YoloV4);
         assert_eq!(config.device, DeviceKind::Gtx1080);
         assert_eq!(config.seed, 99);
+        // Defaults reproduce the legacy simulation configuration.
+        assert_eq!(config.forecaster, ForecasterKind::Oracle);
+        assert_eq!(config.epoch, EpochSchedule::Monthly);
+    }
+
+    #[test]
+    fn forecaster_and_epoch_axes_widen_the_grid_and_reach_the_config() {
+        let spec = SweepSpec::new("t")
+            .with_forecasters(vec![
+                ForecasterKind::Oracle,
+                ForecasterKind::Persistence,
+                ForecasterKind::moving_average_24h(),
+            ])
+            .with_epochs(vec![EpochSchedule::Monthly, EpochSchedule::Weekly]);
+        assert_eq!(spec.cell_count(), 2 * 3 * 2);
+        assert_eq!(spec.axis_count(), 3);
+        assert!(spec.validate().is_ok());
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 12);
+        // Policy stays innermost: adjacent cells share a scenario key.
+        assert_eq!(cells[0].scenario_key(), cells[1].scenario_key());
+        // The coordinate reaches the simulator configuration and the label.
+        let weekly_persistence = cells
+            .iter()
+            .find(|c| {
+                c.forecaster == ForecasterKind::Persistence && c.epoch == EpochSchedule::Weekly
+            })
+            .unwrap();
+        let config = weekly_persistence.config();
+        assert_eq!(config.forecaster, ForecasterKind::Persistence);
+        assert_eq!(config.epoch, EpochSchedule::Weekly);
+        assert!(weekly_persistence.label().contains("/persistence/weekly"));
+        // Distinct coordinates keep distinct scenario keys and labels.
+        let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.scenario_key()).collect();
+        assert_eq!(keys.len(), 6, "one key per non-policy coordinate");
+    }
+
+    #[test]
+    fn demand_shape_reaches_the_config_and_is_validated() {
+        let spec = SweepSpec::new("t").with_demand(4, 1);
+        assert!(spec.validate().is_ok());
+        let config = spec.cells()[0].config();
+        assert_eq!(config.apps_per_site, 4);
+        assert_eq!(config.servers_per_site, 1);
+        // Defaults reproduce the paper's lightly-loaded CDN.
+        let default_config = SweepSpec::new("t").cells()[0].config();
+        assert_eq!(default_config.apps_per_site, 1);
+        assert_eq!(default_config.servers_per_site, 4);
+        assert!(SweepSpec::new("t").with_demand(0, 4).validate().is_err());
+        assert!(SweepSpec::new("t").with_demand(1, 0).validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_forecasters_and_epochs_are_rejected() {
+        assert!(SweepSpec::new("t")
+            .with_forecasters(vec![ForecasterKind::Oracle, ForecasterKind::Oracle])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("t")
+            .with_epochs(vec![EpochSchedule::Daily, EpochSchedule::Daily])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("t")
+            .with_forecasters(vec![])
+            .validate()
+            .is_err());
+        // Distinct moving-average windows are distinct axis values.
+        assert!(SweepSpec::new("t")
+            .with_forecasters(vec![
+                ForecasterKind::MovingAverage { window_hours: 24 },
+                ForecasterKind::MovingAverage { window_hours: 168 },
+            ])
+            .validate()
+            .is_ok());
     }
 
     #[test]

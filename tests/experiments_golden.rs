@@ -20,6 +20,10 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/experiments_quick.txt")
 }
 
+fn forecast_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/forecast_quick.txt")
+}
+
 fn numbers_close(actual: f64, expected: f64) -> bool {
     let diff = (actual - expected).abs();
     diff <= ABS_TOL || diff <= REL_TOL * expected.abs()
@@ -75,26 +79,40 @@ fn diff_with_tolerance(actual: &str, expected: &str) -> Vec<String> {
     problems
 }
 
-#[test]
-fn quick_sweep_summary_matches_golden_snapshot() {
-    let actual = carbonedge_bench::summary::quick_summary(2);
-    let path = golden_path();
+/// Diffs `actual` against the snapshot at `path`, honoring `UPDATE_GOLDEN`.
+fn assert_matches_golden(what: &str, actual: &str, path: &PathBuf) {
     let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0");
     if update {
-        std::fs::write(&path, &actual).expect("write golden snapshot");
+        std::fs::write(path, actual).expect("write golden snapshot");
         eprintln!("golden snapshot updated at {}", path.display());
         return;
     }
-    let expected = std::fs::read_to_string(&path)
+    let expected = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
-    let problems = diff_with_tolerance(&actual, &expected);
+    let problems = diff_with_tolerance(actual, &expected);
     assert!(
         problems.is_empty(),
-        "quick sweep summary drifted from {} ({} problems):\n  {}\n\nfull output:\n{}",
+        "{what} drifted from {} ({} problems):\n  {}\n\nfull output:\n{}",
         path.display(),
         problems.len(),
         problems.join("\n  "),
         actual
+    );
+}
+
+#[test]
+fn quick_sweep_summary_matches_golden_snapshot() {
+    let actual = carbonedge_bench::summary::quick_summary(2);
+    assert_matches_golden("quick sweep summary", &actual, &golden_path());
+}
+
+#[test]
+fn quick_forecast_regret_matches_golden_snapshot() {
+    let actual = carbonedge_bench::summary::forecast_summary(2);
+    assert_matches_golden(
+        "quick forecast regret table",
+        &actual,
+        &forecast_golden_path(),
     );
 }
 

@@ -6,6 +6,7 @@
 
 use carbonedge_core::PlacementPolicy;
 use carbonedge_datasets::zones::ZoneArea;
+use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sim::cdn::{CdnScenario, CdnSimulator};
 use carbonedge_sweep::{SweepAxis, SweepExecutor, SweepSpec, WorkloadSpec, BASELINE_POLICY};
 
@@ -82,6 +83,35 @@ fn additional_policies_ride_the_policy_axis() {
         rows.iter().map(|r| r.policy.as_str()).collect();
     assert!(policies.contains("CarbonEdge") && policies.contains("Intensity-aware"));
     assert!(rows.iter().all(|r| r.policy != BASELINE_POLICY));
+}
+
+#[test]
+fn forecaster_and_epoch_axes_are_parallel_deterministic() {
+    let spec = SweepSpec::new("forecast-axes")
+        .with_areas(vec![ZoneArea::UnitedStates])
+        .with_site_limit(Some(12))
+        .with_demand(4, 1)
+        .with_forecasters(vec![ForecasterKind::Oracle, ForecasterKind::Persistence])
+        .with_epochs(vec![EpochSchedule::Monthly, EpochSchedule::Weekly]);
+    assert!(spec.axis_count() >= 3);
+    let sequential = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+    let parallel = SweepExecutor::new().with_jobs(4).run(&spec).unwrap();
+    for (a, b) in sequential.cells.iter().zip(parallel.cells.iter()) {
+        assert_eq!(a.outcome, b.outcome, "cell {}", a.cell.index);
+        assert_eq!(a.decision_carbon_g, b.decision_carbon_g);
+    }
+    assert_eq!(sequential.render(), parallel.render());
+    assert_eq!(
+        sequential.render_forecast_regret(),
+        parallel.render_forecast_regret()
+    );
+    // Marginal aggregation picks the new axes up unchanged.
+    let by_forecaster = sequential.marginal_rows(SweepAxis::Forecaster);
+    assert!(by_forecaster.iter().any(|m| m.value == "oracle"));
+    assert!(by_forecaster.iter().any(|m| m.value == "persistence"));
+    let by_epoch = sequential.marginal_rows(SweepAxis::Epoch);
+    assert!(by_epoch.iter().any(|m| m.value == "monthly"));
+    assert!(by_epoch.iter().any(|m| m.value == "weekly"));
 }
 
 /// Long-sweep smoke (CI `--ignored` job): a five-axis grid with a seed
