@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--sweep] [--forecast] [--jobs N] [--bench-json DIR]
+//! experiments [--quick] [--sweep] [--forecast] [--migration] [--jobs N]
+//!             [--bench-json DIR]
 //!             [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
 //!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!              fig15 | fig16 | fig17]
@@ -23,6 +24,11 @@
 //! forecast-regret table (realized carbon versus the oracle replay per
 //! policy × forecaster × epoch); it composes with `--quick`, `--jobs` and
 //! named figures exactly like `--sweep`.
+//!
+//! `--migration` runs the epoch-schedule × migration-cost grid and prints
+//! the churn-vs-savings table (moves, migration carbon and net savings per
+//! policy × epoch × migration level); it composes with `--quick`, `--jobs`
+//! and named figures exactly like `--sweep`.
 //!
 //! `--bench-json DIR` measures the solver and sweep performance snapshots
 //! and writes `BENCH_solver.json` / `BENCH_sweep.json` into `DIR`; like
@@ -57,7 +63,8 @@ fn print_usage() {
     println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
     println!();
     println!(
-        "usage: experiments [--quick] [--sweep] [--forecast] [--jobs N] [--bench-json DIR] [all | {}]",
+        "usage: experiments [--quick] [--sweep] [--forecast] [--migration] [--jobs N] \
+         [--bench-json DIR] [all | {}]",
         EXPERIMENTS.join(" | ")
     );
     println!();
@@ -68,7 +75,11 @@ fn print_usage() {
     println!("  --forecast        run the forecaster x epoch grid and print the");
     println!("                    forecast-regret table (realized carbon vs the oracle");
     println!("                    replay; composes with --quick/--jobs like --sweep)");
-    println!("  --jobs N          worker threads for --sweep/--forecast (default: one per CPU)");
+    println!("  --migration       run the epoch x migration-cost grid and print the");
+    println!("                    churn-vs-savings table (moves, migration carbon and net");
+    println!("                    savings; composes with --quick/--jobs like --sweep)");
+    println!("  --jobs N          worker threads for --sweep/--forecast/--migration");
+    println!("                    (default: one per CPU)");
     println!("  --bench-json DIR  measure solver/sweep perf and write BENCH_solver.json");
     println!("                    and BENCH_sweep.json into DIR (replaces the figure");
     println!("                    suite unless figures are named explicitly)");
@@ -138,6 +149,17 @@ fn run_forecast(quick: bool, jobs: usize) {
     eprintln!("\n{}", report.footer());
 }
 
+/// Runs the epoch × migration-cost grid and prints the churn table.
+fn run_migration(quick: bool, jobs: usize) {
+    header(&format!(
+        "Migration churn ({})",
+        if quick { "quick grid" } else { "full grid" }
+    ));
+    let report = carbonedge_bench::summary::run_migration(quick, jobs);
+    print!("{}", report.render_migration());
+    eprintln!("\n{}", report.footer());
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -165,15 +187,16 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
     let forecast = args.iter().any(|a| a == "--forecast");
-    if jobs != 0 && !sweep && !forecast {
+    let migration = args.iter().any(|a| a == "--migration");
+    if jobs != 0 && !sweep && !forecast && !migration {
         eprintln!(
-            "warning: --jobs only affects --sweep/--forecast; \
+            "warning: --jobs only affects --sweep/--forecast/--migration; \
              running the figure suite single-threaded"
         );
     }
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--quick" && *a != "--sweep" && *a != "--forecast")
+        .filter(|a| *a != "--quick" && *a != "--sweep" && *a != "--forecast" && *a != "--migration")
         .map(|s| s.as_str())
         .collect();
     if let Some(unknown) = which
@@ -192,10 +215,13 @@ fn main() {
     if forecast {
         run_forecast(quick, jobs);
     }
+    if migration {
+        run_migration(quick, jobs);
+    }
     if let Some(dir) = &bench_json {
         run_bench_json(dir, quick);
     }
-    if (sweep || forecast || bench_json.is_some()) && which.is_empty() {
+    if (sweep || forecast || migration || bench_json.is_some()) && which.is_empty() {
         eprintln!(
             "\n[experiments completed in {:.1} s]",
             preamble.elapsed().as_secs_f64()

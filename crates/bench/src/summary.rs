@@ -9,6 +9,7 @@
 //! snapshot with numeric tolerances and catch silent drift in any layer
 //! under it (datasets, traces, solver, simulator, aggregation).
 
+use carbonedge_core::MigrationCostLevel;
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sweep::{SweepExecutor, SweepReport, SweepSpec};
@@ -89,6 +90,49 @@ pub fn forecast_summary(jobs: usize) -> String {
     run_forecast(true, jobs).render_forecast_regret()
 }
 
+/// The grid `experiments --migration` runs: the re-placement epoch schedule
+/// (monthly, weekly, daily) crossed with the migration-cost calibration
+/// (free, paper, heavy) and both policies, so the churn table isolates what
+/// re-placement cadence buys once moving a service has a price.  The grid
+/// is European with a 30 ms latency limit — the wide reach puts near-tied
+/// zones in every feasible set, so intensity rankings genuinely flip
+/// between epochs and free re-placement churns (hundreds of moves monthly,
+/// ~10k daily); at the paper's lightly-loaded request rate each move is
+/// worth milligrams while a paper-calibrated move costs ~10 g, so the
+/// hysteresis suppresses the churn and the daily savings shrink
+/// monotonically as the migration cost rises.  `quick` caps the catalog at
+/// 60 sites (the golden-test configuration); the full grid uses 100.
+pub fn migration_spec(quick: bool) -> SweepSpec {
+    SweepSpec::new(if quick {
+        "migration-quick"
+    } else {
+        "migration-grid"
+    })
+    .with_areas(vec![ZoneArea::Europe])
+    .with_latency_limits(vec![30.0])
+    .with_site_limit(Some(if quick { 60 } else { 100 }))
+    .with_epochs(vec![
+        EpochSchedule::Monthly,
+        EpochSchedule::Weekly,
+        EpochSchedule::Daily,
+    ])
+    .with_migrations(MigrationCostLevel::ALL.to_vec())
+}
+
+/// Runs the `--migration` grid with `jobs` workers.
+pub fn run_migration(quick: bool, jobs: usize) -> SweepReport {
+    SweepExecutor::new()
+        .with_jobs(jobs)
+        .run(&migration_spec(quick))
+        .expect("the built-in migration grids are valid")
+}
+
+/// Runs the quick migration grid and returns the deterministic churn table
+/// (snapshotted by the golden-output regression test).
+pub fn migration_summary(jobs: usize) -> String {
+    run_migration(true, jobs).render_migration()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +150,23 @@ mod tests {
         }
         assert_eq!(sweep_spec(true).cells()[0].site_limit, Some(40));
         assert_eq!(sweep_spec(false).cells()[0].site_limit, Some(120));
+    }
+
+    #[test]
+    fn migration_grids_cross_epoch_migration_and_policy() {
+        for quick in [true, false] {
+            let spec = migration_spec(quick);
+            assert!(spec.validate().is_ok());
+            assert_eq!(spec.epochs.len(), 3);
+            assert_eq!(spec.migrations.len(), 3);
+            assert!(
+                spec.migrations.contains(&MigrationCostLevel::Free),
+                "the churn table needs the free level as the no-cost anchor"
+            );
+        }
+        assert_eq!(migration_spec(true).cell_count(), 18);
+        assert_eq!(migration_spec(true).cells()[0].site_limit, Some(60));
+        assert_eq!(migration_spec(false).cells()[0].site_limit, Some(100));
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //! phase-2 for cost changes) instead of cold-starting, cutting the
 //! per-decision latency well below the paper's ~3.3 ms OR-Tools budget.
 
+use crate::diff::AssignmentDiff;
 use crate::policy::PlacementPolicy;
-use crate::problem::PlacementProblem;
+use crate::problem::{PlacementProblem, PlacementState};
 use carbonedge_solver::{
     AssignmentProblem, AssignmentSolver, BranchBoundSolver, Comparison, LinearExpr, MilpOutcome,
     Model,
@@ -80,6 +81,13 @@ pub struct PlacementDecision {
     /// Whether the exact MILP solver produced the decision (vs. the
     /// assignment heuristic).
     pub exact: bool,
+    /// Applications moved off their incumbent server (0 for stateless
+    /// problems).
+    pub moves: usize,
+    /// Migration carbon charged for those moves (and any evictions), grams
+    /// — *on top of* `total_carbon_g`, which stays the Eq. 6 operational +
+    /// activation total.
+    pub migration_carbon_g: f64,
 }
 
 /// The MILP form of one placement problem (Eq. 7), exposed so that callers —
@@ -176,6 +184,9 @@ impl IncrementalPlacer {
     ) -> Option<f64> {
         let (pair_cost, activation_cost) = self.policy.costs(problem);
         let mut total = 0.0;
+        if let Some(state) = self.active_migration_state(problem) {
+            total += state.migration_carbon_g(assignment);
+        }
         let mut newly_on = vec![false; problem.servers.len()];
         for (i, a) in assignment.iter().enumerate() {
             let Some(j) = a else { continue };
@@ -194,13 +205,67 @@ impl IncrementalPlacer {
 
     /// Builds the MILP of Eq. 7 for this placer's policy: binary `x_ij` per
     /// feasible pair, binary `y_j` per server, assignment / capacity /
-    /// power-consistency / linking constraints.
+    /// power-consistency / linking constraints — with the migration terms of
+    /// the attached [`PlacementState`] folded into the pair costs (see
+    /// [`Self::fold_migration_costs`]).
     pub fn build_model(&self, problem: &PlacementProblem) -> PlacementModel {
-        let (pair_cost, activation_cost) = self.policy.costs(problem);
+        let (mut pair_cost, activation_cost) = self.policy.costs(problem);
+        self.fold_migration_costs(problem, &mut pair_cost);
         self.build_model_from_costs(problem, &pair_cost, &activation_cost)
     }
 
-    /// Runs Algorithm 1 on a placement problem.
+    /// The migration state that should influence this placer's decisions:
+    /// present, carbon-commensurate with the policy, and not all-free.
+    /// Free or unit-incompatible states still drive move *accounting*, but
+    /// never alter the optimized costs — which is what pins the zero-cost
+    /// stateful path to the stateless legacy decisions bit for bit.
+    fn active_migration_state<'a>(
+        &self,
+        problem: &'a PlacementProblem,
+    ) -> Option<&'a PlacementState> {
+        problem
+            .state
+            .as_ref()
+            .filter(|s| self.policy.migration_aware() && !s.is_free())
+    }
+
+    /// Folds the per-application migration costs into the pair costs: every
+    /// feasible pair *other than* the incumbent gains the application's
+    /// migration carbon.  With the assignment equality (Eq. 3) this is
+    /// exactly the linearization of a binary "moved" indicator
+    /// `moved_i = 1 - x_{i,prev(i)}` with objective `m_i * moved_i` — the
+    /// indicator is eliminated into the costs rather than added as a
+    /// variable, so the MILP keeps the *identical* structure across epochs
+    /// and the branch-and-bound warm-starts every delta re-solve as a
+    /// cost-only change.
+    fn fold_migration_costs(&self, problem: &PlacementProblem, pair_cost: &mut [Vec<Option<f64>>]) {
+        let Some(state) = self.active_migration_state(problem) else {
+            return;
+        };
+        for (i, row) in pair_cost.iter_mut().enumerate() {
+            let Some(prev) = state.previous.get(i).copied().flatten() else {
+                continue;
+            };
+            let migration = state.migration[i].total_g();
+            if migration <= 0.0 {
+                continue;
+            }
+            for (j, cell) in row.iter_mut().enumerate() {
+                if j != prev {
+                    if let Some(cost) = cell {
+                        *cost += migration;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 on a placement problem.  When the problem carries a
+    /// [`PlacementState`], the solve becomes a delta re-placement: the exact
+    /// path minimizes operational + activation + migration carbon in one
+    /// MILP (via the folded costs), and the heuristic path additionally gets
+    /// a hysteresis pass that reverts any move whose forecast savings over
+    /// the epoch do not exceed its migration cost.
     pub fn place(&self, problem: &PlacementProblem) -> Result<PlacementDecision, PlacementError> {
         let (apps, servers) = problem.size();
         if apps == 0 {
@@ -210,7 +275,8 @@ impl IncrementalPlacer {
             return Err(PlacementError::NoServers);
         }
 
-        let (pair_cost, activation_cost) = self.policy.costs(problem);
+        let (mut pair_cost, activation_cost) = self.policy.costs(problem);
+        self.fold_migration_costs(problem, &mut pair_cost);
 
         // Applications with no feasible server at all: hard constraint failure.
         let stranded: Vec<usize> = (0..apps)
@@ -220,7 +286,7 @@ impl IncrementalPlacer {
             return Err(PlacementError::NoFeasibleServer(stranded));
         }
 
-        let (assignment, exact) = if apps * servers <= self.exact_size_limit {
+        let (mut assignment, exact) = if apps * servers <= self.exact_size_limit {
             match self.solve_exact(problem, &pair_cost, &activation_cost) {
                 Some(a) => (a, true),
                 None => (
@@ -234,6 +300,10 @@ impl IncrementalPlacer {
                 false,
             )
         };
+        if !exact {
+            self.apply_move_hysteresis(problem, &pair_cost, &mut assignment);
+        }
+        let assignment = assignment;
 
         let unplaced: Vec<usize> = assignment
             .iter()
@@ -249,6 +319,13 @@ impl IncrementalPlacer {
             .collect();
         newly_activated.sort_unstable();
         newly_activated.dedup();
+        let (moves, migration_carbon_g) = match &problem.state {
+            Some(state) => (
+                AssignmentDiff::between(&state.previous, &assignment).moves(),
+                state.migration_carbon_g(&assignment),
+            ),
+            None => (0, 0.0),
+        };
 
         Ok(PlacementDecision {
             total_carbon_g: problem.total_carbon_g(&assignment).unwrap_or(f64::NAN),
@@ -259,7 +336,86 @@ impl IncrementalPlacer {
             unplaced,
             policy: self.policy.name(),
             exact,
+            moves,
+            migration_carbon_g,
         })
+    }
+
+    /// The hysteresis rule of the heuristic path: visit moved applications
+    /// in index order and revert each to its incumbent server when the
+    /// folded cost of staying is no worse than the folded cost of the move
+    /// (equivalently: the forecast carbon savings over the epoch do not
+    /// exceed the migration cost), provided the incumbent is still feasible,
+    /// has the capacity, and reverting cannot newly activate a server.  The
+    /// exact path needs no such pass — the folded MILP already trades moves
+    /// against savings optimally.
+    fn apply_move_hysteresis(
+        &self,
+        problem: &PlacementProblem,
+        pair_cost: &[Vec<Option<f64>>],
+        assignment: &mut [Option<usize>],
+    ) {
+        if self.active_migration_state(problem).is_none() {
+            return;
+        }
+        let state = problem.state.as_ref().expect("active state exists");
+        // Running per-server usage of the current assignment.
+        let servers = problem.servers.len();
+        let mut used = vec![[0.0f64; 3]; servers];
+        for (i, a) in assignment.iter().enumerate() {
+            let Some(j) = a else { continue };
+            let d = problem.demand(i, *j).expect("assigned pair has demand");
+            used[*j][0] += d.compute;
+            used[*j][1] += d.memory_mb;
+            used[*j][2] += d.bandwidth_mbps;
+        }
+        for i in 0..assignment.len() {
+            let Some(prev) = state.previous.get(i).copied().flatten() else {
+                continue;
+            };
+            let Some(current) = assignment[i] else {
+                continue;
+            };
+            if current == prev {
+                continue;
+            }
+            let (Some(keep_cost), Some(move_cost)) = (pair_cost[i][prev], pair_cost[i][current])
+            else {
+                continue;
+            };
+            // `move_cost` carries the folded migration term, so this is the
+            // hysteresis comparison: savings must *exceed* the migration
+            // cost for the move to survive.
+            if keep_cost > move_cost {
+                continue;
+            }
+            // Reverting must not newly activate the incumbent.
+            let incumbent_active =
+                problem.servers[prev].powered_on || used[prev].iter().any(|u| *u > 0.0);
+            if !incumbent_active {
+                continue;
+            }
+            let Some(d) = problem.demand(i, prev) else {
+                continue;
+            };
+            let cap = problem.servers[prev].available;
+            let fits = used[prev][0] + d.compute <= cap.compute + 1e-9
+                && used[prev][1] + d.memory_mb <= cap.memory_mb + 1e-9
+                && used[prev][2] + d.bandwidth_mbps <= cap.bandwidth_mbps + 1e-9;
+            if !fits {
+                continue;
+            }
+            let d_cur = problem
+                .demand(i, current)
+                .expect("assigned pair has demand");
+            used[current][0] -= d_cur.compute;
+            used[current][1] -= d_cur.memory_mb;
+            used[current][2] -= d_cur.bandwidth_mbps;
+            used[prev][0] += d.compute;
+            used[prev][1] += d.memory_mb;
+            used[prev][2] += d.bandwidth_mbps;
+            assignment[i] = Some(prev);
+        }
     }
 
     /// Builds the assignment-problem form and solves it heuristically.
@@ -403,7 +559,7 @@ impl IncrementalPlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::ServerSnapshot;
+    use crate::problem::{MigrationCost, ServerSnapshot};
     use carbonedge_geo::Coordinates;
     use carbonedge_grid::ZoneId;
     use carbonedge_net::LatencyModel;
@@ -765,6 +921,120 @@ mod tests {
         let objective = placer.objective_of(&p, &[Some(1)]).unwrap();
         let expected = p.operational_carbon_g(0, 1).unwrap() + p.activation_carbon_g(1);
         assert!((objective - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_state_reproduces_stateless_decisions_and_counts_moves() {
+        let p = green_and_dirty_problem(30.0);
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        let stateless = placer.place(&p).unwrap();
+        let stateful = placer
+            .place(&p.clone().with_state(PlacementState::free(vec![Some(0)])))
+            .unwrap();
+        assert_eq!(stateless.assignment, stateful.assignment);
+        assert_eq!(stateless.total_carbon_g, stateful.total_carbon_g);
+        assert_eq!(stateless.moves, 0, "stateless problems report no moves");
+        assert_eq!(stateful.moves, 1, "free state still tracks churn");
+        assert_eq!(stateful.migration_carbon_g, 0.0);
+    }
+
+    #[test]
+    fn migration_cost_pins_app_to_incumbent_on_the_exact_path() {
+        let p = green_and_dirty_problem(30.0);
+        let savings = p.operational_carbon_g(0, 0).unwrap() - p.operational_carbon_g(0, 1).unwrap();
+        assert!(savings > 0.0);
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        // Migration dearer than the epoch's savings: stay on the dirty
+        // incumbent.
+        let pinned = placer
+            .place(&p.clone().with_state(PlacementState::new(
+                vec![Some(0)],
+                vec![MigrationCost::new(savings * 2.0, 0.0)],
+            )))
+            .unwrap();
+        assert!(pinned.exact);
+        assert_eq!(pinned.assignment, vec![Some(0)]);
+        assert_eq!(pinned.moves, 0);
+        assert_eq!(pinned.migration_carbon_g, 0.0);
+        // Migration cheaper than the savings: move and get charged for it.
+        let moved = placer
+            .place(&p.with_state(PlacementState::new(
+                vec![Some(0)],
+                vec![MigrationCost::new(savings * 0.5, 0.0)],
+            )))
+            .unwrap();
+        assert_eq!(moved.assignment, vec![Some(1)]);
+        assert_eq!(moved.moves, 1);
+        assert!((moved.migration_carbon_g - savings * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_hysteresis_matches_the_exact_migration_tradeoff() {
+        let p = green_and_dirty_problem(30.0);
+        let savings = p.operational_carbon_g(0, 0).unwrap() - p.operational_carbon_g(0, 1).unwrap();
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+        let pinned = placer
+            .place(&p.clone().with_state(PlacementState::new(
+                vec![Some(0)],
+                vec![MigrationCost::new(savings * 2.0, 0.0)],
+            )))
+            .unwrap();
+        assert!(!pinned.exact);
+        assert_eq!(
+            pinned.assignment,
+            vec![Some(0)],
+            "move savings below the migration cost must be held back"
+        );
+        let moved = placer
+            .place(&p.with_state(PlacementState::new(
+                vec![Some(0)],
+                vec![MigrationCost::new(savings * 0.5, 0.0)],
+            )))
+            .unwrap();
+        assert_eq!(moved.assignment, vec![Some(1)]);
+        assert!((moved.migration_carbon_g - savings * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_costs_never_alter_unit_incompatible_policies() {
+        // The latency-aware policy costs pairs in milliseconds; a gram-
+        // denominated migration cost must not leak into its decisions, but
+        // its moves are still accounted.
+        let p = green_and_dirty_problem(30.0).with_state(PlacementState::new(
+            vec![Some(1)],
+            vec![MigrationCost::new(1e9, 0.0)],
+        ));
+        let d = IncrementalPlacer::new(PlacementPolicy::LatencyAware)
+            .place(&p)
+            .unwrap();
+        assert_eq!(d.assignment, vec![Some(0)], "latency policy stays local");
+        assert_eq!(d.moves, 1);
+        assert!((d.migration_carbon_g - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn objective_of_includes_migration_for_carbon_policies() {
+        let p = green_and_dirty_problem(30.0);
+        let migration = MigrationCost::new(7.0, 3.0);
+        let stateful = p
+            .clone()
+            .with_state(PlacementState::new(vec![Some(0)], vec![migration]));
+        let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware);
+        let stay = placer.objective_of(&stateful, &[Some(0)]).unwrap();
+        let move_away = placer.objective_of(&stateful, &[Some(1)]).unwrap();
+        assert!((stay - p.operational_carbon_g(0, 0).unwrap()).abs() < 1e-9);
+        assert!(
+            (move_away - (p.operational_carbon_g(0, 1).unwrap() + migration.total_g())).abs()
+                < 1e-9
+        );
+        // The MILP form agrees with objective_of on the migration-aware
+        // objective, so the differential tests keep one common yardstick.
+        let placement_model = placer.build_model(&stateful);
+        let solution = placer.milp_solver.solve(&placement_model.model);
+        assert!(solution.has_solution());
+        let assignment = placement_model.decode(&solution.values);
+        let objective = placer.objective_of(&stateful, &assignment).unwrap();
+        assert!((objective - solution.objective).abs() < 1e-6);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   carbon–energy trade-off policy;
 //! * [`algorithm`] — the incremental placement algorithm that filters
 //!   latency-feasible servers, solves the optimization, and commits the
-//!   resulting placement and power-state decisions.
+//!   resulting placement and power-state decisions;
+//! * [`diff`] — assignment diffs (moves / stays / evictions), the shared
+//!   vocabulary of the stateful re-placement pipeline's churn accounting.
 //!
 //! # Quick example
 //!
@@ -42,18 +44,25 @@
 //! ```
 
 pub mod algorithm;
+pub mod diff;
 pub mod policy;
 pub mod problem;
 
 pub use algorithm::{IncrementalPlacer, PlacementDecision, PlacementError, PlacementModel};
+pub use diff::AssignmentDiff;
 pub use policy::PlacementPolicy;
-pub use problem::{PlacementProblem, ServerSnapshot};
+pub use problem::{
+    MigrationCost, MigrationCostLevel, PlacementProblem, PlacementState, ServerSnapshot,
+};
 
 /// Convenient re-exports of the types needed to drive a placement.
 pub mod prelude {
     pub use crate::algorithm::{
         IncrementalPlacer, PlacementDecision, PlacementError, PlacementModel,
     };
+    pub use crate::diff::AssignmentDiff;
     pub use crate::policy::PlacementPolicy;
-    pub use crate::problem::{PlacementProblem, ServerSnapshot};
+    pub use crate::problem::{
+        MigrationCost, MigrationCostLevel, PlacementProblem, PlacementState, ServerSnapshot,
+    };
 }

@@ -57,6 +57,16 @@ impl PlacementPolicy {
         PlacementPolicy::CarbonAware,
     ];
 
+    /// Whether this policy's pair costs are denominated in grams of carbon,
+    /// making a per-move migration carbon term directly commensurate with
+    /// its objective.  Only such policies weigh migration cost in their
+    /// *decisions*; every policy still has migration carbon *accounted*
+    /// after the fact, but folding grams into, say, the latency-aware
+    /// policy's millisecond costs would mix units.
+    pub fn migration_aware(&self) -> bool {
+        matches!(self, PlacementPolicy::CarbonAware)
+    }
+
     /// Builds the per-pair operational costs and per-server activation costs
     /// the placement optimizer should minimize for this policy.
     ///

@@ -1,9 +1,12 @@
-//! The carbon-aware placement problem (Table 2, Eqs. 1–6).
+//! The carbon-aware placement problem (Table 2, Eqs. 1–6), plus the
+//! stateful extension: an incumbent assignment with per-application
+//! migration costs, so re-placement decisions weigh forecast carbon savings
+//! against the churn of actually moving a service between edge sites.
 
 use carbonedge_geo::Coordinates;
 use carbonedge_grid::ZoneId;
 use carbonedge_net::LatencyModel;
-use carbonedge_workload::{Application, DeviceKind, ResourceDemand};
+use carbonedge_workload::{Application, DeviceKind, ModelKind, ResourceDemand, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
 /// A snapshot of one edge server at placement time: everything the placement
@@ -75,6 +78,176 @@ impl ServerSnapshot {
     }
 }
 
+/// The carbon cost of moving one application off its incumbent server:
+/// transferring its state (dominated by the model image) across the WAN,
+/// plus a downtime penalty for the restart window.  Both are in grams
+/// CO2-equivalent so they are directly commensurate with the operational
+/// carbon objective (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MigrationCost {
+    /// Carbon of transferring the application's data between sites, grams.
+    pub data_transfer_g: f64,
+    /// Carbon-equivalent penalty of the migration downtime window, grams.
+    pub downtime_g: f64,
+}
+
+impl MigrationCost {
+    /// A zero-cost migration (the stateless legacy behavior).
+    pub fn free() -> Self {
+        Self::default()
+    }
+
+    /// Creates a migration cost from its components, clamped non-negative.
+    pub fn new(data_transfer_g: f64, downtime_g: f64) -> Self {
+        Self {
+            data_transfer_g: data_transfer_g.max(0.0),
+            downtime_g: downtime_g.max(0.0),
+        }
+    }
+
+    /// Total carbon charged per move, grams.
+    pub fn total_g(&self) -> f64 {
+        self.data_transfer_g + self.downtime_g
+    }
+
+    /// Whether moving is free (total cost exactly zero).
+    pub fn is_free(&self) -> bool {
+        self.total_g() == 0.0
+    }
+}
+
+/// WAN transfer energy per gigabyte moved between edge sites, kWh/GB (a
+/// commonly cited wired-network figure; see the "Calibrating a migration
+/// cost" recipe in the README).
+pub const TRANSFER_KWH_PER_GB: f64 = 0.06;
+/// Grid intensity used to price migration energy, g CO2eq/kWh (a world
+/// average — migration traffic crosses zones, so no single zone's intensity
+/// applies).
+pub const MIGRATION_GRID_G_PER_KWH: f64 = 475.0;
+/// Downtime window of one migration, seconds (drain + image load + warmup).
+pub const MIGRATION_DOWNTIME_S: f64 = 30.0;
+
+/// Calibration presets for per-application migration costs, used by the
+/// simulator and as a sweep axis.  `Free` reproduces the stateless legacy
+/// behavior bit for bit; `Paper` derives the cost from the workload's model
+/// size and device (the profiling data of Figure 7); `Heavy` scales the
+/// paper calibration 25×, the regime where churn dominates mesoscale
+/// savings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationCostLevel {
+    /// Moves cost nothing (the stateless legacy behavior).
+    Free,
+    /// Paper-calibrated: model-image transfer + a 30 s downtime window.
+    Paper,
+    /// 25× the paper calibration: churn-dominated placement.
+    Heavy,
+}
+
+impl MigrationCostLevel {
+    /// All levels in increasing cost order.
+    pub const ALL: [MigrationCostLevel; 3] = [
+        MigrationCostLevel::Free,
+        MigrationCostLevel::Paper,
+        MigrationCostLevel::Heavy,
+    ];
+
+    /// Display label used in reports and cell labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationCostLevel::Free => "mig-free",
+            MigrationCostLevel::Paper => "mig-paper",
+            MigrationCostLevel::Heavy => "mig-heavy",
+        }
+    }
+
+    /// The multiplier applied to the paper calibration.
+    pub fn factor(&self) -> f64 {
+        match self {
+            MigrationCostLevel::Free => 0.0,
+            MigrationCostLevel::Paper => 1.0,
+            MigrationCostLevel::Heavy => 25.0,
+        }
+    }
+
+    /// The migration cost of one application serving `model` on `device` at
+    /// this level.  The data-transfer term prices moving the model image
+    /// (the profiled memory footprint) across the WAN; the downtime term
+    /// prices the device's base power over the restart window.  Unprofiled
+    /// combinations fall back to a nominal 512 MB image.
+    pub fn cost_for(&self, model: ModelKind, device: DeviceKind) -> MigrationCost {
+        if *self == MigrationCostLevel::Free {
+            return MigrationCost::free();
+        }
+        let image_mb = WorkloadProfile::lookup(model, device)
+            .map(|p| p.memory_mb)
+            .unwrap_or(512.0);
+        let transfer_g =
+            image_mb / 1024.0 * TRANSFER_KWH_PER_GB * MIGRATION_GRID_G_PER_KWH * self.factor();
+        let downtime_g = device.base_power_w() * MIGRATION_DOWNTIME_S / 3.6e6
+            * MIGRATION_GRID_G_PER_KWH
+            * self.factor();
+        MigrationCost::new(transfer_g, downtime_g)
+    }
+}
+
+/// The incumbent state a stateful placement carries from the previous epoch:
+/// where each application currently runs and what moving it would cost.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlacementState {
+    /// `previous[i]`: server index currently hosting application `i`
+    /// (`None` for a new arrival).
+    pub previous: Vec<Option<usize>>,
+    /// `migration[i]`: the cost of moving application `i` off its incumbent
+    /// server.  Must be the same length as `previous`.
+    pub migration: Vec<MigrationCost>,
+}
+
+impl PlacementState {
+    /// Creates a state; panics if the vectors disagree in length.
+    pub fn new(previous: Vec<Option<usize>>, migration: Vec<MigrationCost>) -> Self {
+        assert_eq!(
+            previous.len(),
+            migration.len(),
+            "placement state vectors must align per application"
+        );
+        Self {
+            previous,
+            migration,
+        }
+    }
+
+    /// A state where every incumbent moves for free (useful to track churn
+    /// without influencing decisions).
+    pub fn free(previous: Vec<Option<usize>>) -> Self {
+        let migration = vec![MigrationCost::free(); previous.len()];
+        Self {
+            previous,
+            migration,
+        }
+    }
+
+    /// Whether every migration cost is exactly zero, in which case the
+    /// stateful problem optimizes to the same decisions as the stateless one.
+    pub fn is_free(&self) -> bool {
+        self.migration.iter().all(|m| m.is_free())
+    }
+
+    /// Total migration carbon of an assignment against this state: the sum
+    /// of `migration[i].total_g()` over applications placed on a different
+    /// server than their incumbent, or torn down (evicted) entirely.
+    pub fn migration_carbon_g(&self, assignment: &[Option<usize>]) -> f64 {
+        let mut total = 0.0;
+        for (i, prev) in self.previous.iter().enumerate() {
+            let Some(prev) = prev else { continue };
+            match assignment.get(i).copied().flatten() {
+                Some(next) if next == *prev => {}
+                _ => total += self.migration[i].total_g(),
+            }
+        }
+        total
+    }
+}
+
 /// One instance of the incremental placement problem: a batch of arriving
 /// applications, the current server states, and the epoch length over which
 /// operational energy is accounted.
@@ -91,6 +264,9 @@ pub struct PlacementProblem {
     /// Latency model used to compute `L_ij` between an application's origin
     /// and a candidate server.
     pub latency_model: LatencyModel,
+    /// Incumbent assignment and migration costs from the previous epoch;
+    /// `None` for a stateless (first-decision) problem.
+    pub state: Option<PlacementState>,
 }
 
 impl PlacementProblem {
@@ -101,6 +277,7 @@ impl PlacementProblem {
             apps,
             epoch_hours: epoch_hours.max(1e-6),
             latency_model: LatencyModel::default(),
+            state: None,
         }
     }
 
@@ -108,6 +285,21 @@ impl PlacementProblem {
     pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
         self.latency_model = model;
         self
+    }
+
+    /// Attaches the incumbent state from the previous epoch, making this a
+    /// stateful (delta) placement problem.
+    pub fn with_state(mut self, state: PlacementState) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// Migration carbon of an assignment against the attached state, grams
+    /// (zero for stateless problems).
+    pub fn migration_carbon_g(&self, assignment: &[Option<usize>]) -> f64 {
+        self.state
+            .as_ref()
+            .map_or(0.0, |s| s.migration_carbon_g(assignment))
     }
 
     /// Round-trip latency `L_ij` between application `i` and server `j`, ms.
@@ -348,6 +540,79 @@ mod tests {
     fn size_reports_dimensions() {
         let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
         assert_eq!(p.size(), (1, 2));
+    }
+
+    #[test]
+    fn migration_cost_levels_scale_and_order() {
+        let free = MigrationCostLevel::Free.cost_for(ModelKind::ResNet50, DeviceKind::A2);
+        assert!(free.is_free());
+        assert_eq!(free.total_g(), 0.0);
+        let paper = MigrationCostLevel::Paper.cost_for(ModelKind::ResNet50, DeviceKind::A2);
+        assert!(paper.data_transfer_g > 0.0 && paper.downtime_g > 0.0);
+        // ResNet50 on A2 is a 350 MB image: ~9.7 g of transfer carbon.
+        assert!(
+            paper.data_transfer_g > 5.0 && paper.data_transfer_g < 15.0,
+            "transfer {}",
+            paper.data_transfer_g
+        );
+        let heavy = MigrationCostLevel::Heavy.cost_for(ModelKind::ResNet50, DeviceKind::A2);
+        assert!((heavy.total_g() / paper.total_g() - 25.0).abs() < 1e-9);
+        // Bigger model images cost more to move.
+        let yolo = MigrationCostLevel::Paper.cost_for(ModelKind::YoloV4, DeviceKind::A2);
+        assert!(yolo.data_transfer_g > paper.data_transfer_g);
+        // Unprofiled combinations fall back to the nominal image size.
+        let fallback = MigrationCostLevel::Paper.cost_for(ModelKind::SciCpu, DeviceKind::A2);
+        assert!(fallback.data_transfer_g > 0.0);
+        assert_eq!(MigrationCostLevel::Free.label(), "mig-free");
+        assert_eq!(MigrationCostLevel::ALL.len(), 3);
+    }
+
+    #[test]
+    fn migration_cost_clamps_negative_components() {
+        let cost = MigrationCost::new(-1.0, 2.0);
+        assert_eq!(cost.data_transfer_g, 0.0);
+        assert_eq!(cost.total_g(), 2.0);
+    }
+
+    #[test]
+    fn placement_state_charges_moves_and_evictions_only() {
+        let per_app = MigrationCost::new(3.0, 1.0);
+        let state = PlacementState::new(vec![Some(0), Some(1), None], vec![per_app; 3]);
+        assert!(!state.is_free());
+        // App 0 stays, app 1 moves, app 2 arrives: one move charged.
+        assert_eq!(
+            state.migration_carbon_g(&[Some(0), Some(2), Some(1)]),
+            per_app.total_g()
+        );
+        // An eviction tears the incumbent down: also charged.
+        assert_eq!(
+            state.migration_carbon_g(&[Some(0), None, None]),
+            per_app.total_g()
+        );
+        // Everything in place: free.
+        assert_eq!(state.migration_carbon_g(&[Some(0), Some(1), None]), 0.0);
+        // Free states charge nothing no matter what moves.
+        let free = PlacementState::free(vec![Some(0), Some(1), None]);
+        assert!(free.is_free());
+        assert_eq!(free.migration_carbon_g(&[Some(2), Some(2), Some(2)]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn placement_state_rejects_misaligned_vectors() {
+        PlacementState::new(vec![Some(0)], vec![]);
+    }
+
+    #[test]
+    fn problem_migration_carbon_defaults_to_zero_without_state() {
+        let p = PlacementProblem::new(servers(), vec![app(30.0)], 1.0);
+        assert_eq!(p.migration_carbon_g(&[Some(1)]), 0.0);
+        let stateful = p.with_state(PlacementState::new(
+            vec![Some(0)],
+            vec![MigrationCost::new(5.0, 0.0)],
+        ));
+        assert_eq!(stateful.migration_carbon_g(&[Some(1)]), 5.0);
+        assert_eq!(stateful.migration_carbon_g(&[Some(0)]), 0.0);
     }
 
     #[test]

@@ -120,6 +120,8 @@ impl SweepExecutor {
             monthly_carbon_g: result.monthly.iter().map(|m| m.carbon_g).collect(),
             mean_assigned_intensity: mean_assigned,
             site_count: simulator.site_count(),
+            moves: result.moves,
+            migration_carbon_g: result.migration_carbon_g,
         }
     }
 

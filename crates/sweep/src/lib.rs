@@ -7,18 +7,20 @@
 //!
 //! * [`SweepSpec`] — the declarative scenario matrix: each axis (policy,
 //!   area, demand/capacity scenario, latency limit, site count, workload,
-//!   seed, forecaster, epoch schedule) is a list of values, and the grid is
-//!   their cartesian product, enumerated deterministically with stable
-//!   per-cell seeds;
+//!   seed, forecaster, epoch schedule, migration-cost level) is a list of
+//!   values, and the grid is their cartesian product, enumerated
+//!   deterministically with stable per-cell seeds;
 //! * [`SweepExecutor`] — a worker-pool executor that evaluates cells in
 //!   parallel while sharing zone catalogs and per-seed carbon traces across
 //!   cells (via `carbonedge_sim::CdnShared`), producing results that are
 //!   bit-identical for any `--jobs` count;
 //! * [`SweepReport`] — per-cell outcomes plus per-scenario savings versus
-//!   the Latency-aware baseline, marginal savings tables per axis, and a
+//!   the Latency-aware baseline, marginal savings tables per axis, a
 //!   forecast-regret table (realized carbon versus the oracle replay per
-//!   policy × forecaster × epoch), all with deterministic text renderings
-//!   used by the golden-output tests.
+//!   policy × forecaster × epoch), and a churn-vs-savings table (moves,
+//!   migration carbon and net savings per policy × epoch × migration
+//!   level), all with deterministic text renderings used by the
+//!   golden-output tests.
 //!
 //! # Example
 //!
@@ -42,5 +44,7 @@ pub mod report;
 pub mod spec;
 
 pub use executor::{take_jobs_flag, SweepExecutor};
-pub use report::{CellResult, MarginalRow, RegretRow, SavingsRow, SweepReport, BASELINE_POLICY};
+pub use report::{
+    CellResult, ChurnRow, MarginalRow, RegretRow, SavingsRow, SweepReport, BASELINE_POLICY,
+};
 pub use spec::{ScenarioKey, SweepAxis, SweepCell, SweepSpec, WorkloadSpec};

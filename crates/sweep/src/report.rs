@@ -26,6 +26,12 @@ pub struct CellResult {
     pub mean_assigned_intensity: f64,
     /// Number of edge sites simulated in this cell.
     pub site_count: usize,
+    /// Applications moved between servers across epoch boundaries (the
+    /// run's churn).
+    pub moves: usize,
+    /// Migration carbon charged for those moves, grams (included in
+    /// `outcome.carbon_g`).
+    pub migration_carbon_g: f64,
 }
 
 /// One row of the per-scenario savings table: a non-baseline policy compared
@@ -72,6 +78,30 @@ pub struct RegretRow {
     /// the mis-forecast (the rankings survived); with capacity pressure the
     /// error starts flipping placements and becomes regret.
     pub mean_decision_error_percent: f64,
+}
+
+/// One row of the churn-vs-savings table: a (policy, epoch, migration
+/// level) triple, averaged over every scenario coordinate that pairs with a
+/// Latency-aware baseline — what re-placement cadence actually buys once
+/// moving a service has a price.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Policy display name.
+    pub policy: String,
+    /// Epoch-schedule display name.
+    pub epoch: String,
+    /// Migration-cost level display label.
+    pub migration: String,
+    /// Number of (cell, baseline) comparisons averaged.
+    pub comparisons: usize,
+    /// Mean applications moved over the year (churn).
+    pub mean_moves: f64,
+    /// Mean migration carbon charged, grams.
+    pub mean_migration_carbon_g: f64,
+    /// Mean realized carbon (migration included), grams.
+    pub mean_carbon_g: f64,
+    /// Mean carbon savings versus the Latency-aware baseline, percent.
+    pub mean_saving_percent: f64,
 }
 
 /// One row of a marginal savings table: the mean effect of one axis value,
@@ -172,6 +202,7 @@ impl SweepReport {
             SweepAxis::Seed => format!("seed {}", cell.seed),
             SweepAxis::Forecaster => cell.forecaster.label(),
             SweepAxis::Epoch => cell.epoch.name().to_string(),
+            SweepAxis::Migration => cell.migration.label().to_string(),
         }
     }
 
@@ -199,6 +230,7 @@ impl SweepReport {
             SweepAxis::Seed => self.spec.seeds.len(),
             SweepAxis::Forecaster => self.spec.forecasters.len(),
             SweepAxis::Epoch => self.spec.epochs.len(),
+            SweepAxis::Migration => self.spec.migrations.len(),
         };
         len > 1
     }
@@ -306,6 +338,103 @@ impl SweepReport {
                 }
             })
             .collect()
+    }
+
+    /// Churn-vs-savings aggregation: every non-baseline cell paired with
+    /// the Latency-aware cell of the same scenario coordinate (exactly like
+    /// [`Self::savings_rows`]), grouped by (policy, epoch, migration level)
+    /// in first-occurrence order.  Reading down a fixed (policy, epoch)
+    /// block shows savings shrinking as the migration cost rises; reading
+    /// down a fixed migration level shows what finer re-placement cadence
+    /// buys net of churn.
+    pub fn migration_churn_rows(&self) -> Vec<ChurnRow> {
+        type Triple = (String, String, String);
+        let mut order: Vec<Triple> = Vec::new();
+        let mut sums: HashMap<Triple, (usize, f64, f64, f64, f64)> = HashMap::new();
+        for row in self.savings_rows() {
+            let cell = &self.cells[row.cell_index];
+            let key = (
+                row.policy.clone(),
+                cell.cell.epoch.name().to_string(),
+                cell.cell.migration.label().to_string(),
+            );
+            let entry = sums.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, 0.0, 0.0, 0.0, 0.0)
+            });
+            entry.0 += 1;
+            entry.1 += cell.moves as f64;
+            entry.2 += cell.migration_carbon_g;
+            entry.3 += cell.outcome.carbon_g;
+            entry.4 += row.savings.carbon_percent;
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let (n, moves, migration, carbon, saving) = sums[&key];
+                ChurnRow {
+                    policy: key.0,
+                    epoch: key.1,
+                    migration: key.2,
+                    comparisons: n,
+                    mean_moves: moves / n as f64,
+                    mean_migration_carbon_g: migration / n as f64,
+                    mean_carbon_g: carbon / n as f64,
+                    mean_saving_percent: saving / n as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the churn-vs-savings table (moves, migration carbon and
+    /// realized savings per policy × epoch × migration level).  Savings are
+    /// printed with three decimals — re-placement gains are fractions of a
+    /// percent on top of the mesoscale headline, and the point of the table
+    /// is how the migration cost eats them.  Deterministic like
+    /// [`Self::render`], so it is golden-testable.
+    pub fn render_migration(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "migration churn `{}`: re-placement savings vs migration cost",
+            self.spec.name,
+        );
+        let rows = self.migration_churn_rows();
+        if rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n(no churn rows: the policy axis needs `{BASELINE_POLICY}` plus at \
+                 least one other policy to pair against it)"
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "\n{:<18} {:<10} {:<11} {:>8} {:>10} {:>14} {:>12} {:>10}",
+            "policy",
+            "epoch",
+            "migration",
+            "cells",
+            "moves",
+            "migration kg",
+            "realized kg",
+            "saving %"
+        );
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "{:<18} {:<10} {:<11} {:>8} {:>10.1} {:>14.3} {:>12.2} {:>10.3}",
+                row.policy,
+                row.epoch,
+                row.migration,
+                row.comparisons,
+                row.mean_moves,
+                row.mean_migration_carbon_g / 1000.0,
+                row.mean_carbon_g / 1000.0,
+                row.mean_saving_percent,
+            );
+        }
+        out
     }
 
     /// Renders the forecast-regret table (realized carbon versus the oracle
@@ -570,6 +699,64 @@ mod tests {
         assert_eq!(text, report.render_forecast_regret());
         assert!(text.contains("persistence") && text.contains("oracle"));
         assert!(text.contains("regret %"));
+    }
+
+    #[test]
+    fn churn_table_groups_by_policy_epoch_and_migration() {
+        use carbonedge_core::MigrationCostLevel;
+        use carbonedge_grid::EpochSchedule;
+        let spec = SweepSpec::new("churn-test")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_latency_limits(vec![30.0])
+            .with_site_limit(Some(40))
+            .with_epochs(vec![EpochSchedule::Monthly, EpochSchedule::Weekly])
+            .with_migrations(vec![MigrationCostLevel::Free, MigrationCostLevel::Paper]);
+        let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+        let rows = report.migration_churn_rows();
+        // 1 non-baseline policy x 2 epochs x 2 migration levels.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.policy, "CarbonEdge");
+            assert_eq!(row.comparisons, 1);
+            assert!(row.mean_carbon_g > 0.0);
+            if row.migration == "mig-free" {
+                assert_eq!(row.mean_migration_carbon_g, 0.0);
+            }
+        }
+        // Paper migration suppresses churn relative to free at the same
+        // epoch cadence.
+        for epoch in ["monthly", "weekly"] {
+            let free = rows
+                .iter()
+                .find(|r| r.epoch == epoch && r.migration == "mig-free")
+                .unwrap();
+            let paper = rows
+                .iter()
+                .find(|r| r.epoch == epoch && r.migration == "mig-paper")
+                .unwrap();
+            assert!(
+                paper.mean_moves <= free.mean_moves,
+                "{epoch}: paper churn {} vs free {}",
+                paper.mean_moves,
+                free.mean_moves
+            );
+        }
+        let text = report.render_migration();
+        assert_eq!(text, report.render_migration());
+        assert!(text.contains("mig-free") && text.contains("mig-paper"));
+        assert!(text.contains("saving %"));
+    }
+
+    #[test]
+    fn churn_table_without_baseline_renders_an_explicit_note() {
+        use carbonedge_core::PlacementPolicy;
+        let spec = SweepSpec::new("no-baseline")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_site_limit(Some(8))
+            .with_policies(vec![PlacementPolicy::CarbonAware]);
+        let report = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        assert!(report.migration_churn_rows().is_empty());
+        assert!(report.render_migration().contains("no churn rows"));
     }
 
     #[test]

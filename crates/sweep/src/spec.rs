@@ -1,7 +1,7 @@
 //! Declarative description of a scenario sweep: the axes, their values, and
 //! the enumeration of the resulting (policy × scenario × region × …) grid.
 
-use carbonedge_core::PlacementPolicy;
+use carbonedge_core::{MigrationCostLevel, PlacementPolicy};
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sim::cdn::{CdnConfig, CdnScenario};
@@ -97,11 +97,13 @@ pub enum SweepAxis {
     Forecaster,
     /// Re-placement epoch schedule.
     Epoch,
+    /// Per-move migration-cost calibration.
+    Migration,
 }
 
 impl SweepAxis {
     /// All axes in the canonical enumeration order.
-    pub const ALL: [SweepAxis; 9] = [
+    pub const ALL: [SweepAxis; 10] = [
         SweepAxis::Area,
         SweepAxis::Scenario,
         SweepAxis::LatencyLimit,
@@ -110,6 +112,7 @@ impl SweepAxis {
         SweepAxis::Seed,
         SweepAxis::Forecaster,
         SweepAxis::Epoch,
+        SweepAxis::Migration,
         SweepAxis::Policy,
     ];
 
@@ -125,6 +128,7 @@ impl SweepAxis {
             SweepAxis::Seed => "seed",
             SweepAxis::Forecaster => "forecaster",
             SweepAxis::Epoch => "epoch",
+            SweepAxis::Migration => "migration cost",
         }
     }
 }
@@ -162,6 +166,8 @@ pub struct SweepCell {
     pub forecaster: ForecasterKind,
     /// Re-placement epoch schedule.
     pub epoch: EpochSchedule,
+    /// Per-move migration-cost calibration.
+    pub migration: MigrationCostLevel,
     /// Applications per site per epoch (spec-wide deployment shape, not an
     /// axis — constant across cells, so it is excluded from `ScenarioKey`).
     pub apps_per_site: usize,
@@ -195,6 +201,8 @@ pub struct ScenarioKey {
     pub forecaster: ForecasterKind,
     /// Re-placement epoch schedule.
     pub epoch: EpochSchedule,
+    /// Per-move migration-cost calibration.
+    pub migration: MigrationCostLevel,
 }
 
 impl SweepCell {
@@ -212,6 +220,7 @@ impl SweepCell {
         config.seed = self.seed;
         config.forecaster = self.forecaster;
         config.epoch = self.epoch;
+        config.migration = self.migration;
         config.apps_per_site = self.apps_per_site;
         config.servers_per_site = self.servers_per_site;
         config
@@ -228,6 +237,7 @@ impl SweepCell {
             seed: self.seed,
             forecaster: self.forecaster,
             epoch: self.epoch,
+            migration: self.migration,
         }
     }
 
@@ -236,7 +246,7 @@ impl SweepCell {
     /// (e.g. 10.0 and 10.4) never collapse to the same label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}ms/{}/{}/s{}/{}/{}",
+            "{}/{}/{}ms/{}/{}/s{}/{}/{}/{}",
             area_name(self.area),
             self.scenario.name(),
             self.latency_limit_ms,
@@ -248,6 +258,7 @@ impl SweepCell {
             self.seed,
             self.forecaster.label(),
             self.epoch.name(),
+            self.migration.label(),
         )
     }
 }
@@ -329,6 +340,8 @@ pub struct SweepSpec {
     pub forecasters: Vec<ForecasterKind>,
     /// Epoch-schedule axis (re-placement granularity).
     pub epochs: Vec<EpochSchedule>,
+    /// Migration-cost axis (per-move churn penalty calibration).
+    pub migrations: Vec<MigrationCostLevel>,
     /// Applications arriving per site per epoch — a scalar deployment shape
     /// shared by every cell, not an axis.  Together with
     /// `servers_per_site` it sets the utilization pressure of the grid;
@@ -356,6 +369,7 @@ impl SweepSpec {
             seeds: vec![42],
             forecasters: vec![ForecasterKind::Oracle],
             epochs: vec![EpochSchedule::Monthly],
+            migrations: vec![MigrationCostLevel::Free],
             apps_per_site: 1,
             servers_per_site: 4,
         }
@@ -435,6 +449,12 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the migration-cost axis.
+    pub fn with_migrations(mut self, migrations: Vec<MigrationCostLevel>) -> Self {
+        self.migrations = migrations;
+        self
+    }
+
     /// Sets the deployment shape shared by every cell: applications
     /// arriving per site per epoch and servers per site.  The defaults
     /// (1 app, 4 servers) are the paper's lightly-loaded CDN; `(4, 1)`
@@ -463,6 +483,7 @@ impl SweepSpec {
             * self.seeds.len()
             * self.forecasters.len()
             * self.epochs.len()
+            * self.migrations.len()
     }
 
     /// Number of axes with more than one value (the grid's dimensionality).
@@ -477,6 +498,7 @@ impl SweepSpec {
             self.seeds.len(),
             self.forecasters.len(),
             self.epochs.len(),
+            self.migrations.len(),
         ]
         .iter()
         .filter(|n| **n > 1)
@@ -486,7 +508,7 @@ impl SweepSpec {
     /// Checks that every axis has at least one value and that values are
     /// usable (finite positive latency limits, non-empty workload names).
     pub fn validate(&self) -> Result<(), String> {
-        let axes: [(&str, usize); 9] = [
+        let axes: [(&str, usize); 10] = [
             ("policies", self.policies.len()),
             ("areas", self.areas.len()),
             ("scenarios", self.scenarios.len()),
@@ -496,6 +518,7 @@ impl SweepSpec {
             ("seeds", self.seeds.len()),
             ("forecasters", self.forecasters.len()),
             ("epochs", self.epochs.len()),
+            ("migrations", self.migrations.len()),
         ];
         for (name, len) in axes {
             if len == 0 {
@@ -556,6 +579,7 @@ impl SweepSpec {
         Self::reject_duplicates("seeds", self.seeds.iter())?;
         Self::reject_duplicates("forecasters", self.forecasters.iter())?;
         Self::reject_duplicates("epochs", self.epochs.iter())?;
+        Self::reject_duplicates("migrations", self.migrations.iter())?;
         Ok(())
     }
 
@@ -573,10 +597,10 @@ impl SweepSpec {
     }
 
     /// Enumerates the full grid in canonical order (area, scenario, latency
-    /// limit, site limit, workload, seed, forecaster, epoch, policy — policy
-    /// innermost so that a scenario's policy variants are adjacent).
-    /// Ordering and per-cell seeds depend only on the spec, never on
-    /// execution.
+    /// limit, site limit, workload, seed, forecaster, epoch, migration,
+    /// policy — policy innermost so that a scenario's policy variants are
+    /// adjacent).  Ordering and per-cell seeds depend only on the spec,
+    /// never on execution.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for area in &self.areas {
@@ -587,31 +611,36 @@ impl SweepSpec {
                             for seed in &self.seeds {
                                 for forecaster in &self.forecasters {
                                     for epoch in &self.epochs {
-                                        for policy in &self.policies {
-                                            let index = cells.len();
-                                            // Chained (not XOR-combined)
-                                            // mixing: an XOR of two splitmix
-                                            // outputs cancels whenever
-                                            // index == seed, which would
-                                            // correlate those cells' seeds.
-                                            let cell_seed = splitmix64(
-                                                splitmix64(self.base_seed ^ index as u64) ^ *seed,
-                                            );
-                                            cells.push(SweepCell {
-                                                index,
-                                                policy: *policy,
-                                                area: *area,
-                                                scenario: *scenario,
-                                                latency_limit_ms: *latency,
-                                                site_limit: *site_limit,
-                                                workload: workload.clone(),
-                                                seed: *seed,
-                                                forecaster: *forecaster,
-                                                epoch: *epoch,
-                                                apps_per_site: self.apps_per_site,
-                                                servers_per_site: self.servers_per_site,
-                                                cell_seed,
-                                            });
+                                        for migration in &self.migrations {
+                                            for policy in &self.policies {
+                                                let index = cells.len();
+                                                // Chained (not XOR-combined)
+                                                // mixing: an XOR of two
+                                                // splitmix outputs cancels
+                                                // whenever index == seed,
+                                                // which would correlate those
+                                                // cells' seeds.
+                                                let cell_seed = splitmix64(
+                                                    splitmix64(self.base_seed ^ index as u64)
+                                                        ^ *seed,
+                                                );
+                                                cells.push(SweepCell {
+                                                    index,
+                                                    policy: *policy,
+                                                    area: *area,
+                                                    scenario: *scenario,
+                                                    latency_limit_ms: *latency,
+                                                    site_limit: *site_limit,
+                                                    workload: workload.clone(),
+                                                    seed: *seed,
+                                                    forecaster: *forecaster,
+                                                    epoch: *epoch,
+                                                    migration: *migration,
+                                                    apps_per_site: self.apps_per_site,
+                                                    servers_per_site: self.servers_per_site,
+                                                    cell_seed,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -738,6 +767,43 @@ mod tests {
         // Distinct coordinates keep distinct scenario keys and labels.
         let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.scenario_key()).collect();
         assert_eq!(keys.len(), 6, "one key per non-policy coordinate");
+    }
+
+    #[test]
+    fn migration_axis_widens_the_grid_and_reaches_the_config() {
+        let spec = SweepSpec::new("t")
+            .with_epochs(vec![EpochSchedule::Monthly, EpochSchedule::Daily])
+            .with_migrations(MigrationCostLevel::ALL.to_vec());
+        assert_eq!(spec.cell_count(), 2 * 2 * 3);
+        assert_eq!(spec.axis_count(), 3);
+        assert!(spec.validate().is_ok());
+        let cells = spec.cells();
+        // Policy stays innermost: adjacent cells share a scenario key.
+        assert_eq!(cells[0].scenario_key(), cells[1].scenario_key());
+        let heavy_daily = cells
+            .iter()
+            .find(|c| c.migration == MigrationCostLevel::Heavy && c.epoch == EpochSchedule::Daily)
+            .unwrap();
+        let config = heavy_daily.config();
+        assert_eq!(config.migration, MigrationCostLevel::Heavy);
+        assert!(heavy_daily.label().ends_with("/daily/mig-heavy"));
+        // Distinct levels keep distinct scenario keys.
+        let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.scenario_key()).collect();
+        assert_eq!(keys.len(), 6, "one key per non-policy coordinate");
+        // The default reproduces the stateless legacy configuration.
+        assert_eq!(
+            SweepSpec::new("t").cells()[0].config().migration,
+            MigrationCostLevel::Free
+        );
+        // Duplicates and empties are rejected like every other axis.
+        assert!(SweepSpec::new("t")
+            .with_migrations(vec![MigrationCostLevel::Paper, MigrationCostLevel::Paper])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("t")
+            .with_migrations(vec![])
+            .validate()
+            .is_err());
     }
 
     #[test]

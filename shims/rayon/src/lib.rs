@@ -10,10 +10,14 @@
 //! order**, so the output is bit-identical to a sequential run for any
 //! worker count or scheduling order.
 //!
-//! `par_iter_mut()` and `into_par_iter()` (no call sites on hot paths)
-//! remain sequential adapters; swapping in real rayon later is still a
-//! manifest-only change because the exposed method chains are a strict
-//! subset of upstream rayon's.
+//! `par_iter_mut()` runs on the same scoped pool: the mutable slice is cut
+//! into disjoint chunks handed out through a mutex-guarded chunk iterator,
+//! so workers mutate non-overlapping elements in place — deterministic for
+//! any worker count because each element is visited exactly once and the
+//! results land at their own indices.  `into_par_iter()` (no call sites on
+//! hot paths) remains a sequential adapter; swapping in real rayon later is
+//! still a manifest-only change because the exposed method chains are a
+//! strict subset of upstream rayon's.
 
 pub mod prelude {
     pub use crate::iter::{
@@ -58,6 +62,39 @@ mod pool {
                     .expect("every index produces a result")
             })
             .collect()
+    }
+
+    /// Runs `f` on every element of a mutable slice using the scoped worker
+    /// pool.  The slice is cut into disjoint chunks; workers pull the next
+    /// unclaimed chunk from a mutex-guarded iterator, so every element is
+    /// mutated in place exactly once — the outcome is identical to a
+    /// sequential pass for any worker count or scheduling order.
+    pub(crate) fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let workers = threads.clamp(1, items.len().max(1));
+        if workers <= 1 || items.len() <= 1 {
+            items.iter_mut().for_each(f);
+            return;
+        }
+        // A few chunks per worker keeps the pool load-balanced without
+        // paying a lock round-trip per element.
+        let chunk_len = items.len().div_ceil(workers * 4).max(1);
+        let chunks = Mutex::new(items.chunks_mut(chunk_len));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some(chunk) = chunks.lock().expect("chunk queue poisoned").next() else {
+                        break;
+                    };
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
     }
 
     /// One worker per available CPU.
@@ -166,24 +203,60 @@ pub mod iter {
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`
-    /// (no hot-path call sites in the workspace).
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    /// A parallel iterator over `&mut [T]`, driven by the scoped worker
+    /// pool.  Elements are mutated in place, so "collection order" is the
+    /// slice order by construction; determinism only requires that each
+    /// element is visited exactly once, which the disjoint chunk hand-out
+    /// guarantees.
+    pub struct ParIterMut<'data, T> {
+        items: &'data mut [T],
+        threads: usize,
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+    impl<'data, T: Send> ParIterMut<'data, T> {
+        pub(crate) fn new(items: &'data mut [T]) -> Self {
+            Self {
+                items,
+                threads: pool::default_threads(),
+            }
+        }
+
+        /// Overrides the worker count (used by tests to exercise real
+        /// multi-threaded scheduling even on small hosts).
+        pub fn with_threads(mut self, threads: usize) -> Self {
+            self.threads = threads.max(1);
+            self
+        }
+
+        /// Runs `f` on every element in parallel, mutating in place.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            pool::for_each_mut(self.items, self.threads, f);
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+    /// Parallel iteration over mutable references, backed by the worker
+    /// pool (the slice of upstream rayon's API the workspace uses).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type.
+        type Item: Send + 'data;
+        /// Starts a parallel iterator over the collection's elements.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut::new(self)
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut::new(self)
         }
     }
 
@@ -261,6 +334,41 @@ mod tests {
             touched.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(touched.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_iter_mut_matches_sequential_for_any_worker_count() {
+        let expected: Vec<u64> = (0..257u64).map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..257).collect();
+            items
+                .par_iter_mut()
+                .with_threads(threads)
+                .for_each(|x| *x = *x * 3 + 1);
+            assert_eq!(items, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut items = vec![0u32; 100];
+        items.par_iter_mut().with_threads(4).for_each(|x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            *x += 1;
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert!(items.iter().all(|x| *x == 1));
+    }
+
+    #[test]
+    fn par_iter_mut_handles_empty_and_single_inputs() {
+        let mut empty: Vec<u32> = vec![];
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        assert!(empty.is_empty());
+        let mut one = [41u32];
+        one.par_iter_mut().with_threads(8).for_each(|x| *x += 1);
+        assert_eq!(one, [42]);
     }
 
     #[test]

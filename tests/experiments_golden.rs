@@ -24,6 +24,10 @@ fn forecast_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/forecast_quick.txt")
 }
 
+fn migration_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/migration_quick.txt")
+}
+
 fn numbers_close(actual: f64, expected: f64) -> bool {
     let diff = (actual - expected).abs();
     diff <= ABS_TOL || diff <= REL_TOL * expected.abs()
@@ -113,6 +117,16 @@ fn quick_forecast_regret_matches_golden_snapshot() {
         "quick forecast regret table",
         &actual,
         &forecast_golden_path(),
+    );
+}
+
+#[test]
+fn quick_migration_churn_matches_golden_snapshot() {
+    let actual = carbonedge_bench::summary::migration_summary(2);
+    assert_matches_golden(
+        "quick migration churn table",
+        &actual,
+        &migration_golden_path(),
     );
 }
 
