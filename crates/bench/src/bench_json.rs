@@ -1,5 +1,6 @@
 //! Machine-readable performance snapshots (`BENCH_solver.json`,
-//! `BENCH_sweep.json`) behind `experiments --bench-json <dir>`.
+//! `BENCH_sweep.json`, `BENCH_serving.json`) behind
+//! `experiments --bench-json <dir>`.
 //!
 //! The solver snapshot measures the median wall time of one placement
 //! decision on the paper's regional instances (Section 6.5 reports ~3.3 ms
@@ -11,7 +12,14 @@
 //! the perf trajectory tracks algorithmic work alongside wall time.
 //!
 //! The sweep snapshot measures cells/second of the quick scenario grid at
-//! `--jobs 1` and `--jobs 0` (one worker per CPU).
+//! `--jobs 1` and `--jobs 0` (one worker per CPU; the auto measurement is
+//! skipped when only one CPU is detected, because it would duplicate
+//! `jobs_1`).
+//!
+//! The serving snapshot measures the batched event-level engine: the median
+//! wall time of a year-long event-level run against the identical
+//! aggregate-mode run, and the simulated requests per second per core the
+//! difference implies.
 //!
 //! The JSON is hand-rendered (the offline `serde` shim has no wire format);
 //! every field is a plain number or string, so any downstream tooling can
@@ -25,6 +33,7 @@ use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
 use carbonedge_grid::HourOfYear;
 use carbonedge_net::LatencyModel;
 use carbonedge_sim::cdn::{CdnConfig, CdnSimulator};
+use carbonedge_sim::ServingMode;
 use carbonedge_solver::ReferenceBranchBound;
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
 use std::time::Instant;
@@ -306,11 +315,19 @@ fn migration_replan_entry(samples: usize) -> String {
 }
 
 /// Renders the sweep snapshot: quick-grid cells/second at one worker and at
-/// one worker per CPU.
+/// one worker per CPU.  On a single-CPU machine the automatic worker count
+/// resolves to the same single worker as `jobs_1`, so the duplicate
+/// measurement is skipped rather than snapshotted as a misleading
+/// "parallel" figure.
 pub fn sweep_bench_json(quick: bool) -> String {
+    let detected_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut modes = vec![("jobs_1", 1usize)];
+    if detected_cpus > 1 {
+        modes.push(("jobs_auto", 0usize));
+    }
     let mut sections = Vec::new();
     let mut cells = 0usize;
-    for (label, jobs) in [("jobs_1", 1usize), ("jobs_auto", 0usize)] {
+    for (label, jobs) in modes {
         let start = Instant::now();
         let report = crate::summary::run_sweep(quick, jobs);
         let seconds = start.elapsed().as_secs_f64();
@@ -333,17 +350,80 @@ pub fn sweep_bench_json(quick: bool) -> String {
             "  \"bench\": \"sweep\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cells\": {},\n",
+            "  \"detected_cpus\": {},\n",
             "{}\n",
             "}}\n"
         ),
         if quick { "quick" } else { "default" },
         cells,
+        detected_cpus,
         sections.join(",\n")
     )
 }
 
-/// Runs both benches and writes `BENCH_solver.json` and `BENCH_sweep.json`
-/// into `dir`, creating it if needed.  Returns the written paths.
+/// Renders the serving snapshot: the event-level engine's cost on top of
+/// the identical aggregate run, and the simulated request throughput that
+/// overhead implies.  The engine is batched — each (app, hour) batch is
+/// routed, queued and drained in O(1) — so the per-request figure is the
+/// batch throughput amortized over the requests the batches carry, not a
+/// per-request event loop.  Both runs are single-threaded, so the figure is
+/// per core.
+pub fn serving_bench_json(quick: bool) -> String {
+    let samples = if quick { 3 } else { 7 };
+    let config = CdnConfig::new(ZoneArea::Europe).with_site_limit(if quick { 10 } else { 20 });
+    let aggregate = CdnSimulator::new(config.clone());
+    let event = CdnSimulator::new(config.with_serving(ServingMode::EventLevel));
+    let placer = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+
+    let result = event.run_with(&placer);
+    let metrics = result
+        .serving
+        .expect("event-level runs record serving metrics");
+    let aggregate_ns = median_ns(samples, || {
+        let _ = aggregate.run_with(&placer);
+    });
+    let event_ns = median_ns(samples, || {
+        let _ = event.run_with(&placer);
+    });
+    let serving_ns = event_ns.saturating_sub(aggregate_ns).max(1);
+    let events_per_sec = metrics.requests_total as f64 * 1e9 / serving_ns as f64;
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving\",\n",
+            "  \"grid\": \"{}\",\n",
+            "  \"samples_per_case\": {},\n",
+            "  \"hours\": {},\n",
+            "  \"requests_total\": {},\n",
+            "  \"aggregate_run_ns_median\": {},\n",
+            "  \"event_run_ns_median\": {},\n",
+            "  \"serving_overhead_ns\": {},\n",
+            "  \"events_per_sec_per_core\": {:.0},\n",
+            "  \"p99_ms\": {:.3},\n",
+            "  \"drop_percent\": {:.4}\n",
+            "}}\n"
+        ),
+        if quick {
+            "eu_10site_quick"
+        } else {
+            "eu_20site_default"
+        },
+        samples,
+        metrics.hours,
+        metrics.requests_total,
+        aggregate_ns,
+        event_ns,
+        serving_ns,
+        events_per_sec,
+        metrics.p99_ms,
+        metrics.drop_percent(),
+    )
+}
+
+/// Runs the benches and writes `BENCH_solver.json`, `BENCH_sweep.json` and
+/// `BENCH_serving.json` into `dir`, creating it if needed.  Returns the
+/// written paths.
 pub fn write_bench_json(
     dir: &std::path::Path,
     quick: bool,
@@ -353,7 +433,9 @@ pub fn write_bench_json(
     std::fs::write(&solver_path, solver_bench_json(quick))?;
     let sweep_path = dir.join("BENCH_sweep.json");
     std::fs::write(&sweep_path, sweep_bench_json(quick))?;
-    Ok(vec![solver_path, sweep_path])
+    let serving_path = dir.join("BENCH_serving.json");
+    std::fs::write(&serving_path, serving_bench_json(quick))?;
+    Ok(vec![solver_path, sweep_path, serving_path])
 }
 
 #[cfg(test)]
@@ -374,6 +456,42 @@ mod tests {
         assert!(json.contains("\"pivots_warm_run\""));
         // Balanced braces — a cheap structural sanity check without a JSON
         // parser in the offline environment.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+    }
+
+    #[test]
+    fn serving_bench_json_is_wellformed_and_reports_throughput() {
+        let json = serving_bench_json(true);
+        assert!(json.contains("\"bench\": \"serving\""));
+        assert!(json.contains("\"requests_total\""));
+        assert!(json.contains("\"events_per_sec_per_core\""));
+        assert!(json.contains("\"serving_overhead_ns\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+    }
+
+    #[test]
+    fn sweep_bench_json_records_cpus_and_never_duplicates_workers() {
+        // Built on the quick grid this takes a few seconds; the structural
+        // claims are what matter: the detected CPU count is recorded, and
+        // `jobs_auto` appears only when it measures something `jobs_1`
+        // does not.
+        let json = sweep_bench_json(true);
+        assert!(json.contains("\"detected_cpus\""));
+        assert!(json.contains("\"jobs_1\""));
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(
+            json.contains("\"jobs_auto\""),
+            cpus > 1,
+            "jobs_auto must appear exactly when more than one CPU is available"
+        );
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--quick] [--sweep] [--forecast] [--migration] [--jobs N]
-//!             [--bench-json DIR]
+//! experiments [--quick] [--sweep] [--forecast] [--migration] [--serving]
+//!             [--jobs N] [--bench-json DIR] [--all --out DIR]
 //!             [all | fig1 | fig2 | fig3 | fig4 | fig5 | table1 |
 //!              fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!              fig15 | fig16 | fig17]
@@ -30,10 +30,21 @@
 //! policy × epoch × migration level); it composes with `--quick`, `--jobs`
 //! and named figures exactly like `--sweep`.
 //!
-//! `--bench-json DIR` measures the solver and sweep performance snapshots
-//! and writes `BENCH_solver.json` / `BENCH_sweep.json` into `DIR`; like
-//! `--sweep` it replaces the figure suite unless figures are named
-//! explicitly.
+//! `--serving` runs the serving-mode × policy grid and prints the serving
+//! table (tail latency, drop rate and utilization next to carbon savings
+//! per policy × serving mode); it composes with `--quick`, `--jobs` and
+//! named figures exactly like `--sweep`.
+//!
+//! `--bench-json DIR` measures the solver, sweep and serving performance
+//! snapshots and writes `BENCH_solver.json` / `BENCH_sweep.json` /
+//! `BENCH_serving.json` into `DIR`; like `--sweep` it replaces the figure
+//! suite unless figures are named explicitly.
+//!
+//! `--all --out DIR` is the one-command artifact pipeline: every figure and
+//! table of the suite plus all four sweep-engine tables and the three
+//! `BENCH_*.json` snapshots are written into `DIR` as individual files
+//! (figures run in child processes so each one's stdout lands in its own
+//! file).  It composes with `--quick` and `--jobs`.
 
 use carbonedge_analysis::mesoscale::{
     region_latency_table, standard_regions_and_traces, RegionSnapshot, RegionYearly,
@@ -63,8 +74,8 @@ fn print_usage() {
     println!("experiments: regenerate the tables and figures of the CarbonEdge paper");
     println!();
     println!(
-        "usage: experiments [--quick] [--sweep] [--forecast] [--migration] [--jobs N] \
-         [--bench-json DIR] [all | {}]",
+        "usage: experiments [--quick] [--sweep] [--forecast] [--migration] [--serving] \
+         [--jobs N] [--bench-json DIR] [--all --out DIR] [all | {}]",
         EXPERIMENTS.join(" | ")
     );
     println!();
@@ -78,27 +89,35 @@ fn print_usage() {
     println!("  --migration       run the epoch x migration-cost grid and print the");
     println!("                    churn-vs-savings table (moves, migration carbon and net");
     println!("                    savings; composes with --quick/--jobs like --sweep)");
-    println!("  --jobs N          worker threads for --sweep/--forecast/--migration");
-    println!("                    (default: one per CPU)");
-    println!("  --bench-json DIR  measure solver/sweep perf and write BENCH_solver.json");
-    println!("                    and BENCH_sweep.json into DIR (replaces the figure");
+    println!("  --serving         run the serving-mode x policy grid and print the");
+    println!("                    serving table (tail latency and drops vs carbon");
+    println!("                    savings; composes with --quick/--jobs like --sweep)");
+    println!("  --jobs N          worker threads for --sweep/--forecast/--migration/");
+    println!("                    --serving (default: one per CPU)");
+    println!("  --bench-json DIR  measure solver/sweep/serving perf and write");
+    println!("                    BENCH_solver.json, BENCH_sweep.json and");
+    println!("                    BENCH_serving.json into DIR (replaces the figure");
     println!("                    suite unless figures are named explicitly)");
+    println!("  --all --out DIR   write every figure, every sweep-engine table and all");
+    println!("                    BENCH_*.json snapshots into DIR as individual files");
     println!("  (no experiment names runs the full suite)");
 }
 
-/// Parses a `--bench-json DIR` / `--bench-json=DIR` flag out of the
-/// argument list, removing the consumed tokens.
-fn take_bench_json_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+/// Parses a `--<name> DIR` / `--<name>=DIR` flag out of the argument list,
+/// removing the consumed tokens.  Shared by `--bench-json` and `--out`.
+fn take_dir_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
     let mut dir = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--bench-json" {
+        if args[i] == flag {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| "--bench-json requires a directory".to_string())?;
+                .ok_or_else(|| format!("{flag} requires a directory"))?;
             dir = Some(value.clone());
             args.drain(i..=i + 1);
-        } else if let Some(value) = args[i].strip_prefix("--bench-json=") {
+        } else if let Some(value) = args[i].strip_prefix(&prefix) {
             dir = Some(value.to_string());
             args.remove(i);
         } else {
@@ -160,6 +179,96 @@ fn run_migration(quick: bool, jobs: usize) {
     eprintln!("\n{}", report.footer());
 }
 
+/// Runs the serving-mode × policy grid and prints the serving table.
+fn run_serving(quick: bool, jobs: usize) {
+    header(&format!(
+        "Event-level serving ({})",
+        if quick { "quick grid" } else { "full grid" }
+    ));
+    let report = carbonedge_bench::summary::run_serving(quick, jobs);
+    print!("{}", report.render_serving());
+    eprintln!("\n{}", report.footer());
+}
+
+/// Writes one artifact file, exiting with a diagnostic on failure.
+fn write_artifact(dir: &std::path::Path, name: &str, contents: &[u8]) {
+    let path = dir.join(name);
+    if let Err(err) = std::fs::write(&path, contents) {
+        eprintln!("error: could not write `{}`: {err}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}
+
+/// The `--all --out DIR` artifact pipeline: every figure of the suite (each
+/// captured from a child process into its own file), the four sweep-engine
+/// tables, and the three `BENCH_*.json` snapshots.
+fn run_all_artifacts(dir: &str, quick: bool, jobs: usize) {
+    let out = std::path::Path::new(dir);
+    if let Err(err) = std::fs::create_dir_all(out) {
+        eprintln!("error: could not create `{dir}`: {err}");
+        std::process::exit(1);
+    }
+    header(&format!(
+        "Artifact pipeline ({} mode) -> {}",
+        if quick { "quick" } else { "full" },
+        out.display()
+    ));
+
+    // Figures re-run in child processes so each one's stdout lands in its
+    // own file without re-plumbing every figure through a writer.
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            eprintln!("error: could not locate the experiments binary: {err}");
+            std::process::exit(1);
+        }
+    };
+    for name in EXPERIMENTS {
+        let mut command = std::process::Command::new(&exe);
+        if quick {
+            command.arg("--quick");
+        }
+        match command.arg(name).output() {
+            Ok(output) if output.status.success() => {
+                write_artifact(out, &format!("{name}.txt"), &output.stdout);
+            }
+            Ok(output) => {
+                eprintln!(
+                    "error: `{name}` exited with {}:\n{}",
+                    output.status,
+                    String::from_utf8_lossy(&output.stderr)
+                );
+                std::process::exit(1);
+            }
+            Err(err) => {
+                eprintln!("error: could not run `{name}`: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The sweep-engine tables run in-process so they honor `--jobs`.
+    let sweep = carbonedge_bench::summary::run_sweep(quick, jobs);
+    write_artifact(out, "sweep.txt", sweep.render().as_bytes());
+    let forecast = carbonedge_bench::summary::run_forecast(quick, jobs);
+    write_artifact(
+        out,
+        "forecast.txt",
+        forecast.render_forecast_regret().as_bytes(),
+    );
+    let migration = carbonedge_bench::summary::run_migration(quick, jobs);
+    write_artifact(
+        out,
+        "migration.txt",
+        migration.render_migration().as_bytes(),
+    );
+    let serving = carbonedge_bench::summary::run_serving(quick, jobs);
+    write_artifact(out, "serving.txt", serving.render_serving().as_bytes());
+
+    run_bench_json(dir, quick);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -175,7 +284,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let bench_json = match take_bench_json_flag(&mut args) {
+    let bench_json = match take_dir_flag(&mut args, "bench-json") {
+        Ok(dir) => dir,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let out_dir = match take_dir_flag(&mut args, "out") {
         Ok(dir) => dir,
         Err(message) => {
             eprintln!("error: {message}");
@@ -188,15 +306,39 @@ fn main() {
     let sweep = args.iter().any(|a| a == "--sweep");
     let forecast = args.iter().any(|a| a == "--forecast");
     let migration = args.iter().any(|a| a == "--migration");
-    if jobs != 0 && !sweep && !forecast && !migration {
+    let serving = args.iter().any(|a| a == "--serving");
+    let all_flag = args.iter().any(|a| a == "--all" || a == "all");
+    if let Some(dir) = &out_dir {
+        if !all_flag {
+            eprintln!("error: --out only applies to the `--all` artifact pipeline");
+            eprintln!();
+            print_usage();
+            std::process::exit(2);
+        }
+        run_all_artifacts(dir, quick, jobs);
+        return;
+    }
+    if args.iter().any(|a| a == "--all") {
+        eprintln!("error: --all requires --out DIR (use `all` to print the full suite)");
+        eprintln!();
+        print_usage();
+        std::process::exit(2);
+    }
+    if jobs != 0 && !sweep && !forecast && !migration && !serving {
         eprintln!(
-            "warning: --jobs only affects --sweep/--forecast/--migration; \
+            "warning: --jobs only affects --sweep/--forecast/--migration/--serving; \
              running the figure suite single-threaded"
         );
     }
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--quick" && *a != "--sweep" && *a != "--forecast" && *a != "--migration")
+        .filter(|a| {
+            *a != "--quick"
+                && *a != "--sweep"
+                && *a != "--forecast"
+                && *a != "--migration"
+                && *a != "--serving"
+        })
         .map(|s| s.as_str())
         .collect();
     if let Some(unknown) = which
@@ -218,10 +360,13 @@ fn main() {
     if migration {
         run_migration(quick, jobs);
     }
+    if serving {
+        run_serving(quick, jobs);
+    }
     if let Some(dir) = &bench_json {
         run_bench_json(dir, quick);
     }
-    if (sweep || forecast || migration || bench_json.is_some()) && which.is_empty() {
+    if (sweep || forecast || migration || serving || bench_json.is_some()) && which.is_empty() {
         eprintln!(
             "\n[experiments completed in {:.1} s]",
             preamble.elapsed().as_secs_f64()

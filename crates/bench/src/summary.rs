@@ -12,6 +12,7 @@
 use carbonedge_core::MigrationCostLevel;
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_grid::{EpochSchedule, ForecasterKind};
+use carbonedge_sim::ServingMode;
 use carbonedge_sweep::{SweepExecutor, SweepReport, SweepSpec};
 
 /// The grid `experiments --sweep` runs: both continents, three latency
@@ -133,6 +134,43 @@ pub fn migration_summary(jobs: usize) -> String {
     run_migration(true, jobs).render_migration()
 }
 
+/// The grid `experiments --serving` runs: all three serving modes
+/// (aggregate, event-level, event-level with the online drift trigger)
+/// crossed with both policies, so the serving table prices carbon-aware
+/// placement in tail latency and drops once requests are materialized and
+/// queued.  The deployment runs saturated (4 apps per site on single-server
+/// sites) with a 30 ms European reach — at the paper's lightly-loaded
+/// defaults the queues never fill and every mode serves everything, so the
+/// saturated shape is where diurnal peaks and bursts produce real drops and
+/// tail inflation.  `quick` caps the catalog at 25 sites (the golden-test
+/// configuration); the full grid uses 60.
+pub fn serving_spec(quick: bool) -> SweepSpec {
+    SweepSpec::new(if quick {
+        "serving-quick"
+    } else {
+        "serving-grid"
+    })
+    .with_areas(vec![ZoneArea::Europe])
+    .with_latency_limits(vec![30.0])
+    .with_site_limit(Some(if quick { 25 } else { 60 }))
+    .with_demand(4, 1)
+    .with_servings(ServingMode::ALL.to_vec())
+}
+
+/// Runs the `--serving` grid with `jobs` workers.
+pub fn run_serving(quick: bool, jobs: usize) -> SweepReport {
+    SweepExecutor::new()
+        .with_jobs(jobs)
+        .run(&serving_spec(quick))
+        .expect("the built-in serving grids are valid")
+}
+
+/// Runs the quick serving grid and returns the deterministic serving table
+/// (snapshotted by the golden-output regression test).
+pub fn serving_summary(jobs: usize) -> String {
+    run_serving(true, jobs).render_serving()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +205,27 @@ mod tests {
         assert_eq!(migration_spec(true).cell_count(), 18);
         assert_eq!(migration_spec(true).cells()[0].site_limit, Some(60));
         assert_eq!(migration_spec(false).cells()[0].site_limit, Some(100));
+    }
+
+    #[test]
+    fn serving_grids_cross_serving_mode_and_policy() {
+        for quick in [true, false] {
+            let spec = serving_spec(quick);
+            assert!(spec.validate().is_ok());
+            assert_eq!(spec.servings.len(), 3);
+            assert!(
+                spec.servings.contains(&ServingMode::Aggregate),
+                "the serving grid needs the aggregate mode as the no-queueing anchor"
+            );
+            assert_eq!(
+                (spec.apps_per_site, spec.servers_per_site),
+                (4, 1),
+                "the serving grid must run saturated or queues never fill"
+            );
+        }
+        assert_eq!(serving_spec(true).cell_count(), 6);
+        assert_eq!(serving_spec(true).cells()[0].site_limit, Some(25));
+        assert_eq!(serving_spec(false).cells()[0].site_limit, Some(60));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! engine's decisions bit for bit while still reporting churn.
 
 use crate::metrics::{PolicyOutcome, Savings};
+use crate::serving::{ServingEngine, ServingMetrics, ServingMode};
 use carbonedge_core::{
     IncrementalPlacer, MigrationCostLevel, PlacementPolicy, PlacementProblem, PlacementState,
     ServerSnapshot,
@@ -40,7 +41,9 @@ use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_datasets::{EdgeSiteCatalog, ZoneCatalog};
 use carbonedge_grid::{CarbonIntensityService, CarbonTrace, EpochSchedule, ForecasterKind};
 use carbonedge_net::LatencyModel;
-use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use carbonedge_workload::{
+    AppId, Application, ArrivalProcess, DeviceKind, ModelKind, RequestStream, WorkloadProfile,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -98,6 +101,18 @@ pub struct CdnConfig {
     /// Per-application migration cost charged when a re-solve moves an
     /// application off its incumbent server.
     pub migration: MigrationCostLevel,
+    /// How demand is served: hour-aggregated (the legacy model) or through
+    /// the batched event-level loop (with or without the online
+    /// re-placement trigger).
+    pub serving: ServingMode,
+    /// Hour-of-day modulation of the event-level request streams (its
+    /// `mean` field is ignored; each stream scales by the app's rate).
+    pub arrivals: ArrivalProcess,
+    /// Relative per-site demand drift that triggers a mid-epoch re-solve
+    /// under [`ServingMode::OnlineReplace`].
+    pub drift_threshold: f64,
+    /// Hours a fresh decision is exempt from the drift trigger.
+    pub drift_cooldown_hours: usize,
 }
 
 impl CdnConfig {
@@ -118,6 +133,10 @@ impl CdnConfig {
             epoch: EpochSchedule::Monthly,
             forecaster: ForecasterKind::Oracle,
             migration: MigrationCostLevel::Free,
+            serving: ServingMode::Aggregate,
+            arrivals: ArrivalProcess::diurnal_bursty(),
+            drift_threshold: 0.5,
+            drift_cooldown_hours: 24,
         }
     }
 
@@ -154,6 +173,27 @@ impl CdnConfig {
     /// Sets the migration-cost calibration charged per move.
     pub fn with_migration(mut self, migration: MigrationCostLevel) -> Self {
         self.migration = migration;
+        self
+    }
+
+    /// Sets the serving mode (aggregate, event-level, or event-level with
+    /// the online re-placement trigger).
+    pub fn with_serving(mut self, serving: ServingMode) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Sets the arrival modulation of the event-level request streams.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the online re-placement trigger: relative demand drift and the
+    /// per-decision cooldown before the trigger re-arms.
+    pub fn with_drift(mut self, threshold: f64, cooldown_hours: usize) -> Self {
+        self.drift_threshold = threshold;
+        self.drift_cooldown_hours = cooldown_hours;
         self
     }
 }
@@ -233,6 +273,10 @@ pub struct CdnResult {
     /// Total migration carbon charged for those moves, grams; included in
     /// `outcome.carbon_g` and `decision_carbon_g`.
     pub migration_carbon_g: f64,
+    /// Event-level serving metrics (`None` under
+    /// [`ServingMode::Aggregate`], which leaves the legacy result
+    /// untouched).
+    pub serving: Option<ServingMetrics>,
 }
 
 impl CdnResult {
@@ -420,6 +464,119 @@ impl CdnSimulator {
     /// previous optimal basis (cost-only changes restart primal phase-2);
     /// the per-run pivot count is surfaced as [`CdnResult::solver_pivots`].
     pub fn run_with(&self, placer: &IncrementalPlacer) -> CdnResult {
+        match self.config.serving {
+            ServingMode::OnlineReplace => self.run_online(placer),
+            _ => self.run_epochal(placer),
+        }
+    }
+
+    /// Builds the placement inputs for one decision window: server
+    /// snapshots priced at the forecast mean intensity over the window, the
+    /// server→site map, the per-server *actual* window-mean intensity kept
+    /// aside for accounting, and the applications demanding placement.
+    /// Shared by the epoch-boundary path and the online re-placement path;
+    /// the statement sequence is identical to the legacy inline loop, so
+    /// the aggregate path stays bit-exact.
+    #[allow(clippy::type_complexity)]
+    fn build_epoch_inputs(
+        &self,
+        window_start: carbonedge_grid::HourOfYear,
+        window_hours: usize,
+        service: &CarbonIntensityService,
+        mean_population: f64,
+    ) -> (Vec<ServerSnapshot>, Vec<usize>, Vec<f64>, Vec<Application>) {
+        // Server snapshots: capacity per site according to the scenario,
+        // intensity = the *forecast* mean for the site's zone over the
+        // window (the decision intensity Ī of Section 4.2).  The actual
+        // window mean is kept aside for accounting.
+        let mut servers = Vec::new();
+        let mut server_site = Vec::new();
+        let mut actual_by_server = Vec::new();
+        // Both means depend only on (zone, window); sites sharing a zone
+        // reuse them instead of re-scanning the trace window per site.
+        let mut zone_means: HashMap<carbonedge_grid::ZoneId, (f64, f64)> = HashMap::new();
+        for (site_idx, (_, loc, zone, pop)) in self.sites.iter().enumerate() {
+            let count = self.capacity_multiplier(*pop, mean_population);
+            let (decided, actual) = *zone_means.entry(*zone).or_insert_with(|| {
+                (
+                    service.forecast_mean_over(*zone, window_start, window_hours),
+                    self.traces[zone.index()]
+                        .window_mean(window_start, window_hours)
+                        .max(0.0),
+                )
+            });
+            for _ in 0..count {
+                servers.push(
+                    ServerSnapshot::new(servers.len(), site_idx, *zone, self.config.device, *loc)
+                        .with_carbon_intensity(decided),
+                );
+                server_site.push(site_idx);
+                actual_by_server.push(actual);
+            }
+        }
+        // Applications: demand per site according to the scenario.
+        let mut apps = Vec::new();
+        for (_, loc, _, pop) in &self.sites {
+            let count = self.demand_for_site(*pop, mean_population);
+            for _ in 0..count {
+                apps.push(Application::new(
+                    AppId(apps.len()),
+                    self.config.model,
+                    self.config.request_rate_rps,
+                    self.config.latency_limit_ms,
+                    *loc,
+                    0,
+                ));
+            }
+        }
+        (servers, server_site, actual_by_server, apps)
+    }
+
+    /// Builds the event-level serving engine for this deployment: one
+    /// request stream per application (seeded from its (app, origin-site)
+    /// pair and the trace seed), per-site capacities matching the scenario's
+    /// server counts, and the profiled service time of the configured
+    /// (model, device) pair.
+    fn build_serving_engine(&self) -> ServingEngine {
+        let mean_population =
+            self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
+        let mut streams = Vec::new();
+        for (site_idx, (_, _, _, pop)) in self.sites.iter().enumerate() {
+            let count = self.demand_for_site(*pop, mean_population);
+            for _ in 0..count {
+                streams.push(RequestStream::new(
+                    streams.len(),
+                    site_idx,
+                    self.config.request_rate_rps,
+                    self.config.arrivals,
+                    self.config.seed,
+                ));
+            }
+        }
+        let locations: Vec<_> = self.sites.iter().map(|(_, loc, _, _)| *loc).collect();
+        let servers_per_site: Vec<usize> = self
+            .sites
+            .iter()
+            .map(|(_, _, _, pop)| self.capacity_multiplier(*pop, mean_population))
+            .collect();
+        let profile = WorkloadProfile::lookup(self.config.model, self.config.device)
+            .expect("CDN simulations use profiled (model, device) pairs");
+        ServingEngine::new(
+            streams,
+            &locations,
+            &servers_per_site,
+            profile.max_throughput_rps(),
+            profile.processing_time_ms,
+            &self.latency_model,
+        )
+    }
+
+    /// The epoch-boundary engine: one placement decision per epoch of the
+    /// configured schedule.  [`ServingMode::Aggregate`] runs exactly the
+    /// legacy loop; [`ServingMode::EventLevel`] additionally streams every
+    /// epoch through the batched serving loop (the placement and carbon
+    /// numbers are identical — serving metrics ride on top).
+    fn run_epochal(&self, placer: &IncrementalPlacer) -> CdnResult {
         let mean_population =
             self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
         let service = CarbonIntensityService::shared(Arc::clone(&self.traces))
@@ -428,6 +585,11 @@ impl CdnSimulator {
             .config
             .migration
             .cost_for(self.config.model, self.config.device);
+        let mut serving_engine = self
+            .config
+            .serving
+            .is_event_level()
+            .then(|| self.build_serving_engine());
 
         let mut outcome = PolicyOutcome::default();
         let mut decision_carbon_total = 0.0f64;
@@ -444,56 +606,8 @@ impl CdnSimulator {
 
         for epoch in self.config.epoch.epochs() {
             let month = epoch.start.month();
-            // Server snapshots: capacity per site according to the scenario,
-            // intensity = the *forecast* mean for the site's zone over the
-            // epoch (the decision intensity Ī of Section 4.2).  The actual
-            // epoch mean is kept aside for accounting.
-            let mut servers = Vec::new();
-            let mut server_site = Vec::new();
-            let mut actual_by_server = Vec::new();
-            // Both means depend only on (zone, epoch); sites sharing a zone
-            // reuse them instead of re-scanning the trace window per site.
-            let mut zone_means: HashMap<carbonedge_grid::ZoneId, (f64, f64)> = HashMap::new();
-            for (site_idx, (_, loc, zone, pop)) in self.sites.iter().enumerate() {
-                let count = self.capacity_multiplier(*pop, mean_population);
-                let (decided, actual) = *zone_means.entry(*zone).or_insert_with(|| {
-                    (
-                        service.forecast_mean_over(*zone, epoch.start, epoch.hours),
-                        self.traces[zone.index()]
-                            .window_mean(epoch.start, epoch.hours)
-                            .max(0.0),
-                    )
-                });
-                for _ in 0..count {
-                    servers.push(
-                        ServerSnapshot::new(
-                            servers.len(),
-                            site_idx,
-                            *zone,
-                            self.config.device,
-                            *loc,
-                        )
-                        .with_carbon_intensity(decided),
-                    );
-                    server_site.push(site_idx);
-                    actual_by_server.push(actual);
-                }
-            }
-            // Applications: demand per site according to the scenario.
-            let mut apps = Vec::new();
-            for (_, loc, _, pop) in &self.sites {
-                let count = self.demand_for_site(*pop, mean_population);
-                for _ in 0..count {
-                    apps.push(Application::new(
-                        AppId(apps.len()),
-                        self.config.model,
-                        self.config.request_rate_rps,
-                        self.config.latency_limit_ms,
-                        *loc,
-                        0,
-                    ));
-                }
-            }
+            let (servers, server_site, actual_by_server, apps) =
+                self.build_epoch_inputs(epoch.start, epoch.hours, &service, mean_population);
             if apps.is_empty() || servers.is_empty() {
                 epochs.push(EpochOutcome {
                     index: epoch.index,
@@ -572,6 +686,15 @@ impl CdnSimulator {
                 placements_per_site[month][site] += 1;
                 assigned_intensity.push(problem.servers[*assignment].carbon_intensity);
             }
+            // Event-level serving rides on top of the identical placement:
+            // stream the epoch's request batches through the site queues.
+            if let Some(engine) = serving_engine.as_mut() {
+                engine.load_epoch(epoch.start.index(), epoch.hours);
+                engine.set_assignment(&decision.assignment, &server_site, |app, server| {
+                    problem.latency_ms(app, server)
+                });
+                engine.serve_hours(0, epoch.hours, f64::INFINITY, 0);
+            }
             committed = Some(decision.assignment);
         }
 
@@ -588,6 +711,177 @@ impl CdnSimulator {
             exact_decisions,
             moves: moves_total,
             migration_carbon_g: migration_total,
+            serving: serving_engine.map(ServingEngine::finish),
+        }
+    }
+
+    /// The online re-placement engine ([`ServingMode::OnlineReplace`]): the
+    /// epoch schedule still paces the *baseline* decisions, but within an
+    /// epoch the event-level loop watches observed per-site demand against
+    /// the decision's assumption and re-solves the remaining window as soon
+    /// as the relative drift exceeds [`CdnConfig::drift_threshold`] (after a
+    /// [`CdnConfig::drift_cooldown_hours`] grace period).  Each re-solve is
+    /// a delta placement against the committed incumbent with the
+    /// configured migration costs, exactly like an epoch boundary; carbon
+    /// is decided and accounted per *segment* (the hours a decision
+    /// actually served), so an oracle forecast still realizes exactly what
+    /// it promised.
+    fn run_online(&self, placer: &IncrementalPlacer) -> CdnResult {
+        let mean_population =
+            self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
+        let service = CarbonIntensityService::shared(Arc::clone(&self.traces))
+            .with_forecaster(self.config.forecaster.build(), 1);
+        let per_app_migration = self
+            .config
+            .migration
+            .cost_for(self.config.model, self.config.device);
+        let mut engine = self.build_serving_engine();
+
+        let mut outcome = PolicyOutcome::default();
+        let mut decision_carbon_total = 0.0f64;
+        let mut placements_per_site = vec![vec![0usize; self.sites.len()]; 12];
+        let mut assigned_intensity = Vec::new();
+        let mut epochs = Vec::with_capacity(self.config.epoch.epoch_count());
+        let pivots_before = placer.milp_solver.accumulated_pivots();
+        let mut exact_decisions = 0usize;
+        let mut moves_total = 0usize;
+        let mut migration_total = 0.0f64;
+        let mut committed: Option<Vec<Option<usize>>> = None;
+
+        for epoch in self.config.epoch.epochs() {
+            engine.load_epoch(epoch.start.index(), epoch.hours);
+            let mut ep = EpochOutcome {
+                index: epoch.index,
+                start: epoch.start,
+                hours: epoch.hours,
+                carbon_g: 0.0,
+                decision_carbon_g: 0.0,
+                energy_j: 0.0,
+                mean_latency_ms: 0.0,
+                placed_apps: 0,
+                moves: 0,
+                migration_carbon_g: 0.0,
+            };
+            let mut latency_weighted = 0.0f64;
+            let mut latency_weight = 0usize;
+            let mut offset = 0usize;
+            let mut first_segment = true;
+            while offset < epoch.hours {
+                let window_start = epoch.start.plus(offset);
+                let window_hours = epoch.hours - offset;
+                // Decide against the forecast over the *remaining* window —
+                // the freshest view the placer can have mid-epoch.
+                let (servers, server_site, _, apps) =
+                    self.build_epoch_inputs(window_start, window_hours, &service, mean_population);
+                if apps.is_empty() || servers.is_empty() {
+                    break;
+                }
+                let app_count = apps.len();
+                let problem = {
+                    let p = PlacementProblem::new(servers, apps, window_hours as f64)
+                        .with_latency_model(self.latency_model.clone());
+                    match committed.take() {
+                        Some(previous) => p.with_state(PlacementState::new(
+                            previous,
+                            vec![per_app_migration; app_count],
+                        )),
+                        None => p,
+                    }
+                };
+                let decision = placer
+                    .place(&problem)
+                    .expect("CDN placement has feasible options");
+                if decision.exact {
+                    exact_decisions += 1;
+                }
+
+                // Serve under this decision until the drift trigger fires
+                // or the epoch ends.
+                engine.set_assignment(&decision.assignment, &server_site, |app, server| {
+                    problem.latency_ms(app, server)
+                });
+                let (segment_hours, _fired) = engine.serve_hours(
+                    offset,
+                    epoch.hours,
+                    self.config.drift_threshold,
+                    self.config.drift_cooldown_hours,
+                );
+
+                // Price the segment the decision actually served: decision
+                // carbon at the forecast mean over the segment, realized
+                // carbon at the actual mean — an oracle forecast makes the
+                // two identical, exactly like the epoch-boundary engine.
+                let (seg_servers, seg_server_site, seg_actual, seg_apps) =
+                    self.build_epoch_inputs(window_start, segment_hours, &service, mean_population);
+                let mut pricing =
+                    PlacementProblem::new(seg_servers, seg_apps, segment_hours as f64)
+                        .with_latency_model(self.latency_model.clone());
+                let seg_decision_g = pricing
+                    .total_carbon_g(&decision.assignment)
+                    .expect("committed assignment stays feasible")
+                    + decision.migration_carbon_g;
+                for (server, actual) in pricing.servers.iter_mut().zip(&seg_actual) {
+                    server.carbon_intensity = *actual;
+                }
+                let seg_realized_g = pricing
+                    .total_carbon_g(&decision.assignment)
+                    .expect("committed assignment stays feasible")
+                    + decision.migration_carbon_g;
+                let seg_energy_j = pricing
+                    .total_energy_j(&decision.assignment)
+                    .expect("committed assignment stays feasible");
+
+                let placed = decision.assignment.iter().flatten().count();
+                ep.carbon_g += seg_realized_g;
+                ep.decision_carbon_g += seg_decision_g;
+                ep.energy_j += seg_energy_j;
+                ep.moves += decision.moves;
+                ep.migration_carbon_g += decision.migration_carbon_g;
+                latency_weighted += decision.mean_latency_ms * placed as f64;
+                latency_weight += placed;
+                if first_segment {
+                    ep.placed_apps = placed;
+                    first_segment = false;
+                }
+                moves_total += decision.moves;
+                migration_total += decision.migration_carbon_g;
+
+                let month = window_start.month();
+                for assignment in decision.assignment.iter().flatten() {
+                    let site = seg_server_site[*assignment];
+                    placements_per_site[month][site] += 1;
+                    assigned_intensity.push(pricing.servers[*assignment].carbon_intensity);
+                }
+                committed = Some(decision.assignment);
+                offset += segment_hours;
+            }
+            if latency_weight > 0 {
+                ep.mean_latency_ms = latency_weighted / latency_weight as f64;
+            }
+            outcome.accumulate(&PolicyOutcome {
+                carbon_g: ep.carbon_g,
+                energy_j: ep.energy_j,
+                mean_latency_ms: ep.mean_latency_ms,
+                placed_apps: ep.placed_apps,
+            });
+            decision_carbon_total += ep.decision_carbon_g;
+            epochs.push(ep);
+        }
+
+        CdnResult {
+            policy: placer.policy.name(),
+            outcome,
+            decision_carbon_g: decision_carbon_total,
+            monthly: Self::monthly_from_epochs(&epochs),
+            epochs,
+            placements_per_site,
+            assigned_intensity,
+            site_names: self.sites.iter().map(|(n, _, _, _)| n.clone()).collect(),
+            solver_pivots: placer.milp_solver.accumulated_pivots() - pivots_before,
+            exact_decisions,
+            moves: moves_total,
+            migration_carbon_g: migration_total,
+            serving: Some(engine.finish()),
         }
     }
 
@@ -1021,6 +1315,75 @@ mod tests {
             );
         }
         assert_eq!(result.outcome.carbon_g, result.decision_carbon_g);
+    }
+
+    #[test]
+    fn event_level_serving_leaves_the_aggregate_numbers_untouched() {
+        // EventLevel layers serving metrics on top of the identical
+        // placement sequence: every carbon/energy/latency figure must match
+        // the Aggregate run bit for bit, and only the serving field differs.
+        let base = small_config(ZoneArea::Europe).with_site_limit(15);
+        let aggregate = CdnSimulator::new(base.clone()).run(PlacementPolicy::CarbonAware);
+        let events = CdnSimulator::new(base.with_serving(ServingMode::EventLevel))
+            .run(PlacementPolicy::CarbonAware);
+        assert!(aggregate.serving.is_none());
+        assert_eq!(aggregate.outcome, events.outcome);
+        assert_eq!(aggregate.monthly, events.monthly);
+        assert_eq!(aggregate.epochs, events.epochs);
+        assert_eq!(aggregate.assigned_intensity, events.assigned_intensity);
+        let serving = events.serving.expect("EventLevel reports metrics");
+        assert_eq!(serving.hours, carbonedge_grid::HOURS_PER_YEAR);
+        assert!(serving.requests_total > 0);
+        // 15 rps × 3600 is an exact integer per hour, so the stream total
+        // equals the aggregate demand model's yearly request count exactly.
+        let expected = 15u64 * 3600 * carbonedge_grid::HOURS_PER_YEAR as u64 * 15;
+        assert_eq!(serving.requests_total, expected);
+    }
+
+    #[test]
+    fn online_replace_fires_and_keeps_accounting_consistent() {
+        // A hair trigger fires on the diurnal swing alone; the online engine
+        // must re-place mid-epoch while keeping per-epoch sums equal to the
+        // yearly aggregate and (under the oracle) decision == realized.
+        let config = small_config(ZoneArea::Europe)
+            .with_site_limit(10)
+            .with_serving(ServingMode::OnlineReplace)
+            .with_drift(0.05, 24);
+        let result = CdnSimulator::new(config).run(PlacementPolicy::CarbonAware);
+        let serving = result.serving.expect("OnlineReplace reports metrics");
+        assert!(
+            serving.online_replacements > 0,
+            "a 5% threshold must fire against a 35% diurnal swing"
+        );
+        assert_eq!(serving.hours, carbonedge_grid::HOURS_PER_YEAR);
+        let epoch_total: f64 = result.epochs.iter().map(|e| e.carbon_g).sum();
+        assert_eq!(epoch_total, result.outcome.carbon_g);
+        for epoch in &result.epochs {
+            assert_eq!(
+                epoch.carbon_g, epoch.decision_carbon_g,
+                "oracle segment pricing, epoch {}",
+                epoch.index
+            );
+        }
+        assert_eq!(result.outcome.carbon_g, result.decision_carbon_g);
+    }
+
+    #[test]
+    fn online_replace_with_infinite_threshold_matches_epoch_boundaries() {
+        // A trigger that never fires degenerates to one segment per epoch —
+        // the same decisions as the epoch-boundary engine.
+        let base = small_config(ZoneArea::Europe).with_site_limit(12);
+        let epochal = CdnSimulator::new(base.clone().with_serving(ServingMode::EventLevel))
+            .run(PlacementPolicy::CarbonAware);
+        let online = CdnSimulator::new(
+            base.with_serving(ServingMode::OnlineReplace)
+                .with_drift(f64::INFINITY, 24),
+        )
+        .run(PlacementPolicy::CarbonAware);
+        assert_eq!(online.serving.expect("metrics").online_replacements, 0);
+        assert_eq!(epochal.outcome.carbon_g, online.outcome.carbon_g);
+        assert_eq!(epochal.outcome.energy_j, online.outcome.energy_j);
+        assert_eq!(epochal.moves, online.moves);
     }
 
     #[test]

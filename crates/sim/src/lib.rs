@@ -13,17 +13,22 @@
 //! * [`hetero`] — the device-heterogeneity and policy comparison experiment
 //!   (Figure 15);
 //! * [`tradeoff`] — the carbon–energy α-sweep (Figure 16);
+//! * [`serving`] — the batched event-level serving engine (per-hour request
+//!   streams, site queues, tail-latency metrics, the online re-placement
+//!   trigger);
 //! * [`metrics`] — shared result types (per-policy totals, savings,
 //!   latency overheads).
 
 pub mod cdn;
 pub mod hetero;
 pub mod metrics;
+pub mod serving;
 pub mod testbed;
 pub mod tradeoff;
 
 pub use cdn::{CdnConfig, CdnResult, CdnScenario, CdnShared, CdnSimulator, EpochOutcome};
 pub use hetero::{HeterogeneityConfig, HeterogeneityResult};
 pub use metrics::{PolicyOutcome, Savings};
+pub use serving::{ServingMetrics, ServingMode};
 pub use testbed::{TestbedConfig, TestbedResult, TestbedWorkload};
 pub use tradeoff::{TradeoffPoint, TradeoffSweep};

@@ -122,6 +122,7 @@ impl SweepExecutor {
             site_count: simulator.site_count(),
             moves: result.moves,
             migration_carbon_g: result.migration_carbon_g,
+            serving: result.serving,
         }
     }
 

@@ -7,9 +7,9 @@
 //!
 //! * [`SweepSpec`] — the declarative scenario matrix: each axis (policy,
 //!   area, demand/capacity scenario, latency limit, site count, workload,
-//!   seed, forecaster, epoch schedule, migration-cost level) is a list of
-//!   values, and the grid is their cartesian product, enumerated
-//!   deterministically with stable per-cell seeds;
+//!   seed, forecaster, epoch schedule, migration-cost level, serving mode)
+//!   is a list of values, and the grid is their cartesian product,
+//!   enumerated deterministically with stable per-cell seeds;
 //! * [`SweepExecutor`] — a worker-pool executor that evaluates cells in
 //!   parallel while sharing zone catalogs and per-seed carbon traces across
 //!   cells (via `carbonedge_sim::CdnShared`), producing results that are
@@ -19,8 +19,9 @@
 //!   forecast-regret table (realized carbon versus the oracle replay per
 //!   policy × forecaster × epoch), and a churn-vs-savings table (moves,
 //!   migration carbon and net savings per policy × epoch × migration
-//!   level), all with deterministic text renderings used by the
-//!   golden-output tests.
+//!   level), and a serving table (tail latency, drops and utilization next
+//!   to carbon savings per policy × serving mode), all with deterministic
+//!   text renderings used by the golden-output tests.
 //!
 //! # Example
 //!
@@ -45,6 +46,7 @@ pub mod spec;
 
 pub use executor::{take_jobs_flag, SweepExecutor};
 pub use report::{
-    CellResult, ChurnRow, MarginalRow, RegretRow, SavingsRow, SweepReport, BASELINE_POLICY,
+    CellResult, ChurnRow, MarginalRow, RegretRow, SavingsRow, ServingRow, SweepReport,
+    BASELINE_POLICY,
 };
 pub use spec::{ScenarioKey, SweepAxis, SweepCell, SweepSpec, WorkloadSpec};

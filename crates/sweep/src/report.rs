@@ -4,6 +4,7 @@
 use crate::spec::{area_name, ScenarioKey, SweepAxis, SweepCell, SweepSpec};
 use carbonedge_grid::ForecasterKind;
 use carbonedge_sim::metrics::{PolicyOutcome, Savings};
+use carbonedge_sim::ServingMetrics;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -32,6 +33,9 @@ pub struct CellResult {
     /// Migration carbon charged for those moves, grams (included in
     /// `outcome.carbon_g`).
     pub migration_carbon_g: f64,
+    /// Event-level serving metrics (tail latency, drops, utilization);
+    /// `None` for aggregate-mode cells, which never materialize requests.
+    pub serving: Option<ServingMetrics>,
 }
 
 /// One row of the per-scenario savings table: a non-baseline policy compared
@@ -101,6 +105,37 @@ pub struct ChurnRow {
     /// Mean realized carbon (migration included), grams.
     pub mean_carbon_g: f64,
     /// Mean carbon savings versus the Latency-aware baseline, percent.
+    pub mean_saving_percent: f64,
+}
+
+/// One row of the serving table: a (policy, serving mode) pair averaged
+/// over every event-level cell — what carbon-aware placement costs in tail
+/// latency and drops once requests are actually materialized and queued.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Policy display name.
+    pub policy: String,
+    /// Serving-mode display label.
+    pub serving: String,
+    /// Number of event-level cells averaged.
+    pub cells: usize,
+    /// Mean median request latency, ms.
+    pub mean_p50_ms: f64,
+    /// Mean 95th-percentile request latency, ms.
+    pub mean_p95_ms: f64,
+    /// Mean 99th-percentile request latency, ms.
+    pub mean_p99_ms: f64,
+    /// Mean dropped-request share, percent of arrivals.
+    pub mean_drop_percent: f64,
+    /// Mean fleet utilization (0..1).
+    pub mean_utilization: f64,
+    /// Mean drift-triggered online re-placements over the year.
+    pub mean_replacements: f64,
+    /// Mean realized carbon, grams.
+    pub mean_carbon_g: f64,
+    /// Mean carbon savings versus the Latency-aware baseline of the same
+    /// scenario coordinate, percent (0 for baseline rows and for cells
+    /// without a baseline partner).
     pub mean_saving_percent: f64,
 }
 
@@ -203,6 +238,7 @@ impl SweepReport {
             SweepAxis::Forecaster => cell.forecaster.label(),
             SweepAxis::Epoch => cell.epoch.name().to_string(),
             SweepAxis::Migration => cell.migration.label().to_string(),
+            SweepAxis::Serving => cell.serving.label().to_string(),
         }
     }
 
@@ -231,6 +267,7 @@ impl SweepReport {
             SweepAxis::Forecaster => self.spec.forecasters.len(),
             SweepAxis::Epoch => self.spec.epochs.len(),
             SweepAxis::Migration => self.spec.migrations.len(),
+            SweepAxis::Serving => self.spec.servings.len(),
         };
         len > 1
     }
@@ -431,6 +468,131 @@ impl SweepReport {
                 row.mean_moves,
                 row.mean_migration_carbon_g / 1000.0,
                 row.mean_carbon_g / 1000.0,
+                row.mean_saving_percent,
+            );
+        }
+        out
+    }
+
+    /// Serving aggregation: every cell that materialized requests (serving
+    /// mode `events` or `events-online`), grouped by (policy, serving mode)
+    /// in first-occurrence order.  Reading across a policy's rows shows what
+    /// the online drift trigger buys over fixed epoch boundaries; reading
+    /// down a serving mode shows the tail-latency and drop price of
+    /// carbon-aware placement next to its carbon savings.
+    pub fn serving_rows(&self) -> Vec<ServingRow> {
+        let mut baseline_by_key: HashMap<ScenarioKey, f64> = HashMap::new();
+        for cell in &self.cells {
+            if cell.cell.policy.name() == BASELINE_POLICY {
+                baseline_by_key
+                    .entry(cell.cell.scenario_key())
+                    .or_insert(cell.outcome.carbon_g);
+            }
+        }
+        type Pair = (String, String);
+        type Sums = (usize, [f64; 6], f64, (usize, f64));
+        let mut order: Vec<Pair> = Vec::new();
+        let mut sums: HashMap<Pair, Sums> = HashMap::new();
+        for cell in &self.cells {
+            let Some(metrics) = &cell.serving else {
+                continue;
+            };
+            let key = (
+                cell.cell.policy.name(),
+                cell.cell.serving.label().to_string(),
+            );
+            let entry = sums.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                (0, [0.0; 6], 0.0, (0, 0.0))
+            });
+            entry.0 += 1;
+            entry.1[0] += metrics.p50_ms;
+            entry.1[1] += metrics.p95_ms;
+            entry.1[2] += metrics.p99_ms;
+            entry.1[3] += metrics.drop_percent();
+            entry.1[4] += metrics.mean_utilization;
+            entry.1[5] += metrics.online_replacements as f64;
+            entry.2 += cell.outcome.carbon_g;
+            if cell.cell.policy.name() != BASELINE_POLICY {
+                if let Some(baseline) = baseline_by_key.get(&cell.cell.scenario_key()) {
+                    if *baseline > 0.0 {
+                        entry.3 .0 += 1;
+                        entry.3 .1 += (1.0 - cell.outcome.carbon_g / baseline) * 100.0;
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|key| {
+                let (n, metrics, carbon, (pairs, saving)) = sums[&key];
+                ServingRow {
+                    policy: key.0,
+                    serving: key.1,
+                    cells: n,
+                    mean_p50_ms: metrics[0] / n as f64,
+                    mean_p95_ms: metrics[1] / n as f64,
+                    mean_p99_ms: metrics[2] / n as f64,
+                    mean_drop_percent: metrics[3] / n as f64,
+                    mean_utilization: metrics[4] / n as f64,
+                    mean_replacements: metrics[5] / n as f64,
+                    mean_carbon_g: carbon / n as f64,
+                    mean_saving_percent: if pairs > 0 {
+                        saving / pairs as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the serving table (tail latency, drop rate and utilization
+    /// next to carbon savings per policy × serving mode).  Deterministic
+    /// like [`Self::render`], so it is golden-testable.
+    pub fn render_serving(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving `{}`: tail latency and drops vs carbon savings",
+            self.spec.name,
+        );
+        let rows = self.serving_rows();
+        if rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n(no serving rows: add `events` or `events-online` to the serving \
+                 axis so cells materialize request streams)"
+            );
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "\n{:<18} {:<14} {:>7} {:>9} {:>9} {:>9} {:>8} {:>7} {:>8} {:>9}",
+            "policy",
+            "serving",
+            "cells",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "drop %",
+            "util %",
+            "replans",
+            "saving %"
+        );
+        for row in &rows {
+            let _ = writeln!(
+                out,
+                "{:<18} {:<14} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>8.3} {:>7.1} {:>8.1} {:>9.3}",
+                row.policy,
+                row.serving,
+                row.cells,
+                row.mean_p50_ms,
+                row.mean_p95_ms,
+                row.mean_p99_ms,
+                row.mean_drop_percent,
+                row.mean_utilization * 100.0,
+                row.mean_replacements,
                 row.mean_saving_percent,
             );
         }
@@ -745,6 +907,47 @@ mod tests {
         assert_eq!(text, report.render_migration());
         assert!(text.contains("mig-free") && text.contains("mig-paper"));
         assert!(text.contains("saving %"));
+    }
+
+    #[test]
+    fn serving_table_groups_by_policy_and_mode() {
+        use carbonedge_sim::ServingMode;
+        let spec = SweepSpec::new("serving-test")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_latency_limits(vec![30.0])
+            .with_site_limit(Some(20))
+            .with_demand(4, 1)
+            .with_servings(vec![ServingMode::Aggregate, ServingMode::EventLevel]);
+        let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
+        let rows = report.serving_rows();
+        // Aggregate cells carry no serving metrics, so only the EventLevel
+        // mode produces rows: 2 policies x 1 event-level mode.
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.serving, "events");
+            assert_eq!(row.cells, 1);
+            assert!(row.mean_p50_ms > 0.0);
+            assert!(row.mean_p99_ms >= row.mean_p50_ms);
+            assert!(row.mean_utilization > 0.0);
+            assert_eq!(row.mean_replacements, 0.0);
+        }
+        let baseline = rows.iter().find(|r| r.policy == BASELINE_POLICY).unwrap();
+        let carbon = rows.iter().find(|r| r.policy == "CarbonEdge").unwrap();
+        assert_eq!(baseline.mean_saving_percent, 0.0);
+        assert!(carbon.mean_saving_percent > 0.0);
+        let text = report.render_serving();
+        assert_eq!(text, report.render_serving());
+        assert!(text.contains("events") && text.contains("saving %"));
+    }
+
+    #[test]
+    fn serving_table_without_event_cells_renders_an_explicit_note() {
+        let spec = SweepSpec::new("agg-only")
+            .with_areas(vec![ZoneArea::Europe])
+            .with_site_limit(Some(8));
+        let report = SweepExecutor::new().with_jobs(1).run(&spec).unwrap();
+        assert!(report.serving_rows().is_empty());
+        assert!(report.render_serving().contains("no serving rows"));
     }
 
     #[test]

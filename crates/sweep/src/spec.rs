@@ -5,6 +5,7 @@ use carbonedge_core::{MigrationCostLevel, PlacementPolicy};
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sim::cdn::{CdnConfig, CdnScenario};
+use carbonedge_sim::ServingMode;
 use carbonedge_workload::{DeviceKind, ModelKind};
 
 /// One workload point on the workload axis: the served model, the device the
@@ -99,11 +100,13 @@ pub enum SweepAxis {
     Epoch,
     /// Per-move migration-cost calibration.
     Migration,
+    /// Serving engine mode (aggregate vs event-level vs online re-place).
+    Serving,
 }
 
 impl SweepAxis {
     /// All axes in the canonical enumeration order.
-    pub const ALL: [SweepAxis; 10] = [
+    pub const ALL: [SweepAxis; 11] = [
         SweepAxis::Area,
         SweepAxis::Scenario,
         SweepAxis::LatencyLimit,
@@ -113,6 +116,7 @@ impl SweepAxis {
         SweepAxis::Forecaster,
         SweepAxis::Epoch,
         SweepAxis::Migration,
+        SweepAxis::Serving,
         SweepAxis::Policy,
     ];
 
@@ -129,6 +133,7 @@ impl SweepAxis {
             SweepAxis::Forecaster => "forecaster",
             SweepAxis::Epoch => "epoch",
             SweepAxis::Migration => "migration cost",
+            SweepAxis::Serving => "serving mode",
         }
     }
 }
@@ -168,6 +173,8 @@ pub struct SweepCell {
     pub epoch: EpochSchedule,
     /// Per-move migration-cost calibration.
     pub migration: MigrationCostLevel,
+    /// Serving engine mode.
+    pub serving: ServingMode,
     /// Applications per site per epoch (spec-wide deployment shape, not an
     /// axis — constant across cells, so it is excluded from `ScenarioKey`).
     pub apps_per_site: usize,
@@ -203,6 +210,8 @@ pub struct ScenarioKey {
     pub epoch: EpochSchedule,
     /// Per-move migration-cost calibration.
     pub migration: MigrationCostLevel,
+    /// Serving engine mode.
+    pub serving: ServingMode,
 }
 
 impl SweepCell {
@@ -221,6 +230,7 @@ impl SweepCell {
         config.forecaster = self.forecaster;
         config.epoch = self.epoch;
         config.migration = self.migration;
+        config.serving = self.serving;
         config.apps_per_site = self.apps_per_site;
         config.servers_per_site = self.servers_per_site;
         config
@@ -238,6 +248,7 @@ impl SweepCell {
             forecaster: self.forecaster,
             epoch: self.epoch,
             migration: self.migration,
+            serving: self.serving,
         }
     }
 
@@ -246,7 +257,7 @@ impl SweepCell {
     /// (e.g. 10.0 and 10.4) never collapse to the same label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}ms/{}/{}/s{}/{}/{}/{}",
+            "{}/{}/{}ms/{}/{}/s{}/{}/{}/{}/{}",
             area_name(self.area),
             self.scenario.name(),
             self.latency_limit_ms,
@@ -259,6 +270,7 @@ impl SweepCell {
             self.forecaster.label(),
             self.epoch.name(),
             self.migration.label(),
+            self.serving.label(),
         )
     }
 }
@@ -342,6 +354,9 @@ pub struct SweepSpec {
     pub epochs: Vec<EpochSchedule>,
     /// Migration-cost axis (per-move churn penalty calibration).
     pub migrations: Vec<MigrationCostLevel>,
+    /// Serving-mode axis (aggregate pricing vs event-level serving vs the
+    /// online drift-triggered re-placement engine).
+    pub servings: Vec<ServingMode>,
     /// Applications arriving per site per epoch — a scalar deployment shape
     /// shared by every cell, not an axis.  Together with
     /// `servers_per_site` it sets the utilization pressure of the grid;
@@ -370,6 +385,7 @@ impl SweepSpec {
             forecasters: vec![ForecasterKind::Oracle],
             epochs: vec![EpochSchedule::Monthly],
             migrations: vec![MigrationCostLevel::Free],
+            servings: vec![ServingMode::Aggregate],
             apps_per_site: 1,
             servers_per_site: 4,
         }
@@ -455,6 +471,12 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the serving-mode axis.
+    pub fn with_servings(mut self, servings: Vec<ServingMode>) -> Self {
+        self.servings = servings;
+        self
+    }
+
     /// Sets the deployment shape shared by every cell: applications
     /// arriving per site per epoch and servers per site.  The defaults
     /// (1 app, 4 servers) are the paper's lightly-loaded CDN; `(4, 1)`
@@ -484,6 +506,7 @@ impl SweepSpec {
             * self.forecasters.len()
             * self.epochs.len()
             * self.migrations.len()
+            * self.servings.len()
     }
 
     /// Number of axes with more than one value (the grid's dimensionality).
@@ -499,6 +522,7 @@ impl SweepSpec {
             self.forecasters.len(),
             self.epochs.len(),
             self.migrations.len(),
+            self.servings.len(),
         ]
         .iter()
         .filter(|n| **n > 1)
@@ -508,7 +532,7 @@ impl SweepSpec {
     /// Checks that every axis has at least one value and that values are
     /// usable (finite positive latency limits, non-empty workload names).
     pub fn validate(&self) -> Result<(), String> {
-        let axes: [(&str, usize); 10] = [
+        let axes: [(&str, usize); 11] = [
             ("policies", self.policies.len()),
             ("areas", self.areas.len()),
             ("scenarios", self.scenarios.len()),
@@ -519,6 +543,7 @@ impl SweepSpec {
             ("forecasters", self.forecasters.len()),
             ("epochs", self.epochs.len()),
             ("migrations", self.migrations.len()),
+            ("servings", self.servings.len()),
         ];
         for (name, len) in axes {
             if len == 0 {
@@ -580,6 +605,7 @@ impl SweepSpec {
         Self::reject_duplicates("forecasters", self.forecasters.iter())?;
         Self::reject_duplicates("epochs", self.epochs.iter())?;
         Self::reject_duplicates("migrations", self.migrations.iter())?;
+        Self::reject_duplicates("servings", self.servings.iter())?;
         Ok(())
     }
 
@@ -598,9 +624,9 @@ impl SweepSpec {
 
     /// Enumerates the full grid in canonical order (area, scenario, latency
     /// limit, site limit, workload, seed, forecaster, epoch, migration,
-    /// policy — policy innermost so that a scenario's policy variants are
-    /// adjacent).  Ordering and per-cell seeds depend only on the spec,
-    /// never on execution.
+    /// serving, policy — policy innermost so that a scenario's policy
+    /// variants are adjacent).  Ordering and per-cell seeds depend only on
+    /// the spec, never on execution.
     pub fn cells(&self) -> Vec<SweepCell> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for area in &self.areas {
@@ -612,34 +638,37 @@ impl SweepSpec {
                                 for forecaster in &self.forecasters {
                                     for epoch in &self.epochs {
                                         for migration in &self.migrations {
-                                            for policy in &self.policies {
-                                                let index = cells.len();
-                                                // Chained (not XOR-combined)
-                                                // mixing: an XOR of two
-                                                // splitmix outputs cancels
-                                                // whenever index == seed,
-                                                // which would correlate those
-                                                // cells' seeds.
-                                                let cell_seed = splitmix64(
-                                                    splitmix64(self.base_seed ^ index as u64)
-                                                        ^ *seed,
-                                                );
-                                                cells.push(SweepCell {
-                                                    index,
-                                                    policy: *policy,
-                                                    area: *area,
-                                                    scenario: *scenario,
-                                                    latency_limit_ms: *latency,
-                                                    site_limit: *site_limit,
-                                                    workload: workload.clone(),
-                                                    seed: *seed,
-                                                    forecaster: *forecaster,
-                                                    epoch: *epoch,
-                                                    migration: *migration,
-                                                    apps_per_site: self.apps_per_site,
-                                                    servers_per_site: self.servers_per_site,
-                                                    cell_seed,
-                                                });
+                                            for serving in &self.servings {
+                                                for policy in &self.policies {
+                                                    let index = cells.len();
+                                                    // Chained (not XOR-combined)
+                                                    // mixing: an XOR of two
+                                                    // splitmix outputs cancels
+                                                    // whenever index == seed,
+                                                    // which would correlate
+                                                    // those cells' seeds.
+                                                    let cell_seed = splitmix64(
+                                                        splitmix64(self.base_seed ^ index as u64)
+                                                            ^ *seed,
+                                                    );
+                                                    cells.push(SweepCell {
+                                                        index,
+                                                        policy: *policy,
+                                                        area: *area,
+                                                        scenario: *scenario,
+                                                        latency_limit_ms: *latency,
+                                                        site_limit: *site_limit,
+                                                        workload: workload.clone(),
+                                                        seed: *seed,
+                                                        forecaster: *forecaster,
+                                                        epoch: *epoch,
+                                                        migration: *migration,
+                                                        serving: *serving,
+                                                        apps_per_site: self.apps_per_site,
+                                                        servers_per_site: self.servers_per_site,
+                                                        cell_seed,
+                                                    });
+                                                }
                                             }
                                         }
                                     }
@@ -786,7 +815,7 @@ mod tests {
             .unwrap();
         let config = heavy_daily.config();
         assert_eq!(config.migration, MigrationCostLevel::Heavy);
-        assert!(heavy_daily.label().ends_with("/daily/mig-heavy"));
+        assert!(heavy_daily.label().ends_with("/daily/mig-heavy/agg"));
         // Distinct levels keep distinct scenario keys.
         let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.scenario_key()).collect();
         assert_eq!(keys.len(), 6, "one key per non-policy coordinate");
@@ -802,6 +831,41 @@ mod tests {
             .is_err());
         assert!(SweepSpec::new("t")
             .with_migrations(vec![])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn serving_axis_widens_the_grid_and_reaches_the_config() {
+        let spec = SweepSpec::new("t").with_servings(ServingMode::ALL.to_vec());
+        assert_eq!(spec.cell_count(), 2 * 3);
+        assert_eq!(spec.axis_count(), 2);
+        assert!(spec.validate().is_ok());
+        let cells = spec.cells();
+        // Policy stays innermost: adjacent cells share a scenario key.
+        assert_eq!(cells[0].scenario_key(), cells[1].scenario_key());
+        let online = cells
+            .iter()
+            .find(|c| c.serving == ServingMode::OnlineReplace)
+            .unwrap();
+        let config = online.config();
+        assert_eq!(config.serving, ServingMode::OnlineReplace);
+        assert!(online.label().ends_with("/mig-free/events-online"));
+        // Distinct modes keep distinct scenario keys.
+        let keys: std::collections::HashSet<_> = cells.iter().map(|c| c.scenario_key()).collect();
+        assert_eq!(keys.len(), 3, "one key per non-policy coordinate");
+        // The default reproduces the aggregate legacy configuration.
+        assert_eq!(
+            SweepSpec::new("t").cells()[0].config().serving,
+            ServingMode::Aggregate
+        );
+        // Duplicates and empties are rejected like every other axis.
+        assert!(SweepSpec::new("t")
+            .with_servings(vec![ServingMode::EventLevel, ServingMode::EventLevel])
+            .validate()
+            .is_err());
+        assert!(SweepSpec::new("t")
+            .with_servings(vec![])
             .validate()
             .is_err());
     }

@@ -11,12 +11,18 @@
 //! * application descriptions with resource demands, request rates and
 //!   latency SLOs ([`app`]),
 //! * arrival processes and demand models used by the CDN-scale experiments
-//!   ([`generator`]).
+//!   ([`generator`]),
+//! * deterministic per-(app, site) request streams for the event-level
+//!   serving engine ([`stream`]).
 
 pub mod app;
 pub mod generator;
 pub mod profiles;
+pub mod stream;
 
 pub use app::{AppId, Application, ResourceDemand, ResourceKind, RESOURCE_KINDS};
-pub use generator::{ArrivalProcess, DemandModel, WorkloadGenerator};
+pub use generator::{
+    sample_standard_normal, splitmix64, ArrivalProcess, DemandModel, WorkloadGenerator,
+};
 pub use profiles::{DeviceKind, ModelKind, WorkloadProfile};
+pub use stream::{RequestStream, StreamScratch};

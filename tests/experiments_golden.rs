@@ -28,6 +28,10 @@ fn migration_golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/migration_quick.txt")
 }
 
+fn serving_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden/serving_quick.txt")
+}
+
 fn numbers_close(actual: f64, expected: f64) -> bool {
     let diff = (actual - expected).abs();
     diff <= ABS_TOL || diff <= REL_TOL * expected.abs()
@@ -128,6 +132,12 @@ fn quick_migration_churn_matches_golden_snapshot() {
         &actual,
         &migration_golden_path(),
     );
+}
+
+#[test]
+fn quick_serving_table_matches_golden_snapshot() {
+    let actual = carbonedge_bench::summary::serving_summary(2);
+    assert_matches_golden("quick serving table", &actual, &serving_golden_path());
 }
 
 #[test]
