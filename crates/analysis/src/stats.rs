@@ -10,7 +10,7 @@ impl Cdf {
     /// Builds a CDF from a sample (non-finite values are dropped).
     pub fn new(mut values: Vec<f64>) -> Self {
         values.retain(|v| v.is_finite());
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         Self { sorted: values }
     }
 

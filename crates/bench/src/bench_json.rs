@@ -320,7 +320,7 @@ fn migration_replan_entry(samples: usize) -> String {
 /// measurement is skipped rather than snapshotted as a misleading
 /// "parallel" figure.
 pub fn sweep_bench_json(quick: bool) -> String {
-    let detected_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let detected_cpus = rayon::current_num_threads();
     let mut modes = vec![("jobs_1", 1usize)];
     if detected_cpus > 1 {
         modes.push(("jobs_auto", 0usize));
@@ -486,7 +486,7 @@ mod tests {
         let json = sweep_bench_json(true);
         assert!(json.contains("\"detected_cpus\""));
         assert!(json.contains("\"jobs_1\""));
-        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cpus = rayon::current_num_threads();
         assert_eq!(
             json.contains("\"jobs_auto\""),
             cpus > 1,

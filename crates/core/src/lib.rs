@@ -52,7 +52,8 @@ pub use algorithm::{IncrementalPlacer, PlacementDecision, PlacementError, Placem
 pub use diff::AssignmentDiff;
 pub use policy::PlacementPolicy;
 pub use problem::{
-    MigrationCost, MigrationCostLevel, PlacementProblem, PlacementState, ServerSnapshot,
+    MigrationCost, MigrationCostLevel, PairLatencyCache, PlacementProblem, PlacementState,
+    ServerSnapshot,
 };
 
 /// Convenient re-exports of the types needed to drive a placement.

@@ -8,6 +8,7 @@ use carbonedge_grid::ZoneId;
 use carbonedge_net::LatencyModel;
 use carbonedge_workload::{Application, DeviceKind, ModelKind, ResourceDemand, WorkloadProfile};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A snapshot of one edge server at placement time: everything the placement
 /// service needs to know about it (Table 2 inputs `C_j^k`, `Ī_j`, `B_j`,
@@ -248,6 +249,65 @@ impl PlacementState {
     }
 }
 
+/// Precomputed pair round-trip latencies for problems whose applications
+/// and servers originate from a small set of distinct locations (e.g. edge
+/// sites hosting several servers each): `rtt_ms[app_class × server_class]`
+/// holds the matrix, and the class vectors map each application/server to
+/// its location class.
+///
+/// The cached values must be produced by the *same*
+/// [`LatencyModel::round_trip_ms`] call the uncached
+/// [`PlacementProblem::latency_ms`] would make, so every downstream
+/// comparison (latency feasibility, policy costs, mean latency) is
+/// bit-identical with and without the cache — the property the sweep's
+/// cached-versus-cold differential test pins.
+#[derive(Debug, Clone)]
+pub struct PairLatencyCache {
+    app_class: Vec<u32>,
+    server_class: Vec<u32>,
+    rtt_ms: Vec<f64>,
+    server_classes: usize,
+}
+
+impl PairLatencyCache {
+    /// Creates a cache; panics if the matrix shape is inconsistent with the
+    /// class vectors.
+    pub fn new(
+        app_class: Vec<u32>,
+        server_class: Vec<u32>,
+        rtt_ms: Vec<f64>,
+        server_classes: usize,
+    ) -> Self {
+        let app_classes = app_class.iter().map(|c| *c as usize + 1).max().unwrap_or(0);
+        assert!(
+            server_class.iter().all(|c| (*c as usize) < server_classes),
+            "server class out of range"
+        );
+        assert!(
+            rtt_ms.len() >= app_classes * server_classes,
+            "latency matrix too small for the class vectors"
+        );
+        Self {
+            app_class,
+            server_class,
+            rtt_ms,
+            server_classes,
+        }
+    }
+
+    /// The cached round-trip latency of an `(app, server)` pair, ms.
+    #[inline]
+    pub fn rtt_ms(&self, app: usize, server: usize) -> f64 {
+        self.rtt_ms[self.app_class[app] as usize * self.server_classes
+            + self.server_class[server] as usize]
+    }
+
+    /// Whether the cache covers the given problem shape.
+    pub fn covers(&self, apps: usize, servers: usize) -> bool {
+        self.app_class.len() == apps && self.server_class.len() == servers
+    }
+}
+
 /// One instance of the incremental placement problem: a batch of arriving
 /// applications, the current server states, and the epoch length over which
 /// operational energy is accounted.
@@ -267,6 +327,9 @@ pub struct PlacementProblem {
     /// Incumbent assignment and migration costs from the previous epoch;
     /// `None` for a stateless (first-decision) problem.
     pub state: Option<PlacementState>,
+    /// Optional precomputed pair latencies (see [`PairLatencyCache`]);
+    /// `None` computes every lookup from the latency model.
+    pub latency_cache: Option<Arc<PairLatencyCache>>,
 }
 
 impl PlacementProblem {
@@ -278,12 +341,23 @@ impl PlacementProblem {
             epoch_hours: epoch_hours.max(1e-6),
             latency_model: LatencyModel::default(),
             state: None,
+            latency_cache: None,
         }
     }
 
     /// Overrides the latency model.
     pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
         self.latency_model = model;
+        self
+    }
+
+    /// Attaches a precomputed pair-latency cache. The cache must have been
+    /// built from this problem's latency model and app/server locations; a
+    /// cache whose shape does not cover the problem is ignored.
+    pub fn with_latency_cache(mut self, cache: Arc<PairLatencyCache>) -> Self {
+        if cache.covers(self.apps.len(), self.servers.len()) {
+            self.latency_cache = Some(cache);
+        }
         self
     }
 
@@ -304,6 +378,9 @@ impl PlacementProblem {
 
     /// Round-trip latency `L_ij` between application `i` and server `j`, ms.
     pub fn latency_ms(&self, app: usize, server: usize) -> f64 {
+        if let Some(cache) = &self.latency_cache {
+            return cache.rtt_ms(app, server);
+        }
         self.latency_model
             .round_trip_ms(self.apps[app].origin, self.servers[server].location)
     }

@@ -64,12 +64,7 @@ impl EdgeSiteCatalog {
         // Adjust to exactly PAPER_SITE_COUNT: add to (or remove from) the
         // largest cities round-robin.
         let mut order: Vec<usize> = (0..zones.len()).collect();
-        order.sort_by(|a, b| {
-            zones[*b]
-                .population_m
-                .partial_cmp(&zones[*a].population_m)
-                .unwrap()
-        });
+        order.sort_by(|a, b| zones[*b].population_m.total_cmp(&zones[*a].population_m));
         let mut cursor = 0usize;
         while total < PAPER_SITE_COUNT {
             allocations[order[cursor % order.len()]] += 1;

@@ -330,8 +330,7 @@ impl ZoneCatalog {
         self.records.iter().min_by(|a, b| {
             a.location
                 .distance_km(&location)
-                .partial_cmp(&b.location.distance_km(&location))
-                .unwrap()
+                .total_cmp(&b.location.distance_km(&location))
         })
     }
 }

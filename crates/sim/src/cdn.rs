@@ -34,8 +34,8 @@
 use crate::metrics::{PolicyOutcome, Savings};
 use crate::serving::{ServingEngine, ServingMetrics, ServingMode};
 use carbonedge_core::{
-    IncrementalPlacer, MigrationCostLevel, PlacementPolicy, PlacementProblem, PlacementState,
-    ServerSnapshot,
+    IncrementalPlacer, MigrationCostLevel, PairLatencyCache, PlacementPolicy, PlacementProblem,
+    PlacementState, ServerSnapshot,
 };
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_datasets::{EdgeSiteCatalog, ZoneCatalog};
@@ -46,7 +46,7 @@ use carbonedge_workload::{
 };
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Demand/capacity scenarios of Figure 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -305,12 +305,80 @@ pub struct CdnShared {
     /// requests for *different* seeds generate in parallel while concurrent
     /// requests for the *same* seed generate exactly once.
     traces_by_seed: Mutex<HashMap<u64, TraceSlot>>,
+    /// Per-scenario preparation slots, same lookup/init discipline as
+    /// `traces_by_seed`: the mutex is held only to find the slot, the
+    /// (expensive) prep build happens inside the scenario's own `OnceLock`.
+    preps: Mutex<HashMap<PrepKey, PrepSlot>>,
 }
 
 /// A year of traces for every zone, shared across simulators.
 type SharedTraces = Arc<Vec<CarbonTrace>>;
 /// A lazily initialized per-seed cache slot.
 type TraceSlot = Arc<OnceLock<SharedTraces>>;
+/// A lazily initialized per-scenario prep slot.
+type PrepSlot = Arc<OnceLock<Arc<ScenarioPrep>>>;
+
+/// The configuration fields a [`ScenarioPrep`] depends on: everything that
+/// shapes the deployment, the traces, the epoch schedule, or the forecast —
+/// but **not** the policy, migration costs, serving mode, arrival
+/// modulation or drift trigger, which only steer how the shared inputs are
+/// consumed.  Sweep cells differing in those consumer axes therefore share
+/// one prep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrepKey {
+    area: ZoneArea,
+    scenario: CdnScenario,
+    latency_bits: u64,
+    rate_bits: u64,
+    apps_per_site: usize,
+    servers_per_site: usize,
+    device: DeviceKind,
+    model: ModelKind,
+    site_limit: Option<usize>,
+    seed: u64,
+    epoch: EpochSchedule,
+    forecaster: ForecasterKind,
+}
+
+impl PrepKey {
+    fn of(config: &CdnConfig) -> Self {
+        Self {
+            area: config.area,
+            scenario: config.scenario,
+            latency_bits: config.latency_limit_ms.to_bits(),
+            rate_bits: config.request_rate_rps.to_bits(),
+            apps_per_site: config.apps_per_site,
+            servers_per_site: config.servers_per_site,
+            device: config.device,
+            model: config.model,
+            site_limit: config.site_limit,
+            seed: config.seed,
+            epoch: config.epoch,
+            forecaster: config.forecaster,
+        }
+    }
+}
+
+/// Scenario-level preparation computed once per [`PrepKey`] and consumed by
+/// every policy/migration/serving variant of the scenario: the per-epoch
+/// per-site decision (forecast) and accounting (actual) mean intensities,
+/// the mean metro population the demand/capacity scenarios normalize by,
+/// and the site-to-site round-trip latency matrix over the epoch-invariant
+/// deployment shape.
+///
+/// Every cached value is produced by exactly the statement sequence the
+/// cold path executes (epochs in schedule order, sites in catalog order,
+/// one intensity scan per distinct zone per window), so a prepped run is
+/// bit-identical to a cold run — the invariant pinned by the sim crate's
+/// shared-vs-standalone test and the sweep crate's `sweep_delta`
+/// differential.
+pub struct ScenarioPrep {
+    mean_population: f64,
+    /// `[epoch.index][site]` → (decision mean, actual mean) intensity.
+    epoch_site_means: Vec<Vec<(f64, f64)>>,
+    /// Pair round-trip latencies with app/server classes = site indices.
+    latency: Arc<PairLatencyCache>,
+}
 
 impl CdnShared {
     /// Builds the shared catalogs (traces are generated lazily per seed).
@@ -321,6 +389,7 @@ impl CdnShared {
             catalog,
             site_catalog,
             traces_by_seed: Mutex::new(HashMap::new()),
+            preps: Mutex::new(HashMap::new()),
         }
     }
 
@@ -330,9 +399,17 @@ impl CdnShared {
     }
 
     /// The traces for a seed, generating and caching them on first use.
+    ///
+    /// Both caches are monotone insert-only maps of lazily initialized
+    /// slots, so a lock poisoned by a panicking sweep worker is still
+    /// structurally sound — recover the guard instead of cascading the
+    /// panic into every other worker.
     pub fn traces(&self, seed: u64) -> Arc<Vec<CarbonTrace>> {
         let slot = {
-            let mut cache = self.traces_by_seed.lock().expect("trace cache poisoned");
+            let mut cache = self
+                .traces_by_seed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             Arc::clone(cache.entry(seed).or_default())
         };
         Arc::clone(slot.get_or_init(|| Arc::new(self.catalog.generate_traces(seed))))
@@ -342,14 +419,42 @@ impl CdnShared {
     pub fn cached_seed_count(&self) -> usize {
         self.traces_by_seed
             .lock()
-            .expect("trace cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .filter(|slot| slot.get().is_some())
             .count()
     }
 
-    /// Builds a simulator for a configuration on the shared catalogs.
+    /// Number of distinct scenarios whose preparation is cached (built).
+    pub fn cached_prep_count(&self) -> usize {
+        self.preps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Builds a simulator for a configuration on the shared catalogs, with
+    /// the scenario preparation attached: epoch intensity means, demand
+    /// aggregates and the pair-latency matrix are computed once per
+    /// [`PrepKey`] and reused by every policy/migration/serving variant.
     pub fn simulator(&self, config: CdnConfig) -> CdnSimulator {
+        let mut sim = self.cold_simulator(config);
+        let slot = {
+            let mut cache = self.preps.lock().unwrap_or_else(PoisonError::into_inner);
+            Arc::clone(cache.entry(PrepKey::of(&sim.config)).or_default())
+        };
+        sim.prep = Some(Arc::clone(slot.get_or_init(|| Arc::new(sim.build_prep()))));
+        sim
+    }
+
+    /// Builds a simulator **without** the scenario preparation: every run
+    /// re-derives its epoch inputs from scratch.  This is the differential
+    /// oracle the prepped path is tested against (`tests/sweep_delta.rs`
+    /// and the shared-vs-standalone sim test); it is also what
+    /// [`CdnSimulator::new`] returns.
+    pub fn cold_simulator(&self, config: CdnConfig) -> CdnSimulator {
         let traces = self.traces(config.seed);
         let mut sites: Vec<_> = self
             .site_catalog
@@ -366,6 +471,7 @@ impl CdnShared {
             traces,
             sites,
             latency_model: LatencyModel::deterministic(),
+            prep: None,
         }
     }
 }
@@ -389,14 +495,19 @@ pub struct CdnSimulator {
         f64,
     )>,
     latency_model: LatencyModel,
+    /// Scenario preparation attached by [`CdnShared::simulator`]; `None`
+    /// for standalone/cold simulators, which re-derive every epoch's
+    /// inputs from scratch.
+    prep: Option<Arc<ScenarioPrep>>,
 }
 
 impl CdnSimulator {
-    /// Builds a standalone simulator for a configuration.  Sweeps running
-    /// many configurations should build one [`CdnShared`] and call
-    /// [`CdnShared::simulator`] instead, which reuses catalogs and traces.
+    /// Builds a standalone simulator for a configuration, running on the
+    /// cold (from-scratch) path.  Sweeps running many configurations should
+    /// build one [`CdnShared`] and call [`CdnShared::simulator`] instead,
+    /// which reuses catalogs, traces and the scenario preparation.
     pub fn new(config: CdnConfig) -> Self {
-        CdnShared::new().simulator(config)
+        CdnShared::new().cold_simulator(config)
     }
 
     /// Number of simulated edge sites.
@@ -485,26 +596,57 @@ impl CdnSimulator {
         service: &CarbonIntensityService,
         mean_population: f64,
     ) -> (Vec<ServerSnapshot>, Vec<usize>, Vec<f64>, Vec<Application>) {
-        // Server snapshots: capacity per site according to the scenario,
-        // intensity = the *forecast* mean for the site's zone over the
-        // window (the decision intensity Ī of Section 4.2).  The actual
-        // window mean is kept aside for accounting.
+        let site_means = self.site_means_for_window(window_start, window_hours, service);
+        self.assemble_epoch_inputs(mean_population, &site_means)
+    }
+
+    /// The per-site (decision, actual) mean intensities for one window:
+    /// decision = the *forecast* mean for the site's zone over the window
+    /// (the decision intensity Ī of Section 4.2), actual = the trace's true
+    /// window mean, kept aside for accounting.  Both depend only on
+    /// (zone, window); sites sharing a zone reuse them instead of
+    /// re-scanning the trace window per site.  The prep cache stores these
+    /// vectors per epoch, produced by this exact routine, so prepped and
+    /// cold runs see identical bits.
+    fn site_means_for_window(
+        &self,
+        window_start: carbonedge_grid::HourOfYear,
+        window_hours: usize,
+        service: &CarbonIntensityService,
+    ) -> Vec<(f64, f64)> {
+        let mut zone_means: HashMap<carbonedge_grid::ZoneId, (f64, f64)> = HashMap::new();
+        self.sites
+            .iter()
+            .map(|(_, _, zone, _)| {
+                *zone_means.entry(*zone).or_insert_with(|| {
+                    (
+                        service.forecast_mean_over(*zone, window_start, window_hours),
+                        self.traces[zone.index()]
+                            .window_mean(window_start, window_hours)
+                            .max(0.0),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Materializes the placement inputs from per-site window means:
+    /// server snapshots (capacity per site according to the scenario,
+    /// priced at the decision mean), the server→site map, the per-server
+    /// actual mean for accounting, and the arriving applications (demand
+    /// per site according to the scenario).
+    #[allow(clippy::type_complexity)]
+    fn assemble_epoch_inputs(
+        &self,
+        mean_population: f64,
+        site_means: &[(f64, f64)],
+    ) -> (Vec<ServerSnapshot>, Vec<usize>, Vec<f64>, Vec<Application>) {
         let mut servers = Vec::new();
         let mut server_site = Vec::new();
         let mut actual_by_server = Vec::new();
-        // Both means depend only on (zone, window); sites sharing a zone
-        // reuse them instead of re-scanning the trace window per site.
-        let mut zone_means: HashMap<carbonedge_grid::ZoneId, (f64, f64)> = HashMap::new();
         for (site_idx, (_, loc, zone, pop)) in self.sites.iter().enumerate() {
             let count = self.capacity_multiplier(*pop, mean_population);
-            let (decided, actual) = *zone_means.entry(*zone).or_insert_with(|| {
-                (
-                    service.forecast_mean_over(*zone, window_start, window_hours),
-                    self.traces[zone.index()]
-                        .window_mean(window_start, window_hours)
-                        .max(0.0),
-                )
-            });
+            let (decided, actual) = site_means[site_idx];
             for _ in 0..count {
                 servers.push(
                     ServerSnapshot::new(servers.len(), site_idx, *zone, self.config.device, *loc)
@@ -514,7 +656,6 @@ impl CdnSimulator {
                 actual_by_server.push(actual);
             }
         }
-        // Applications: demand per site according to the scenario.
         let mut apps = Vec::new();
         for (_, loc, _, pop) in &self.sites {
             let count = self.demand_for_site(*pop, mean_population);
@@ -530,6 +671,62 @@ impl CdnSimulator {
             }
         }
         (servers, server_site, actual_by_server, apps)
+    }
+
+    /// Mean metro population across the simulated sites — the normalizer of
+    /// the population-proportional demand/capacity scenarios.
+    fn mean_population(&self) -> f64 {
+        self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64
+    }
+
+    /// Builds the scenario preparation for this simulator's configuration:
+    /// replays the cold path's exact intensity-scan sequence over every
+    /// epoch of the schedule, and precomputes the site-to-site round-trip
+    /// latency matrix over the epoch-invariant deployment shape (app and
+    /// server location classes are site indices).
+    fn build_prep(&self) -> ScenarioPrep {
+        let mean_population = self.mean_population();
+        let service = CarbonIntensityService::shared(Arc::clone(&self.traces))
+            .with_forecaster(self.config.forecaster.build(), 1);
+        let epoch_site_means = self
+            .config
+            .epoch
+            .epochs()
+            .into_iter()
+            .map(|epoch| self.site_means_for_window(epoch.start, epoch.hours, &service))
+            .collect();
+
+        let sites = self.sites.len();
+        let mut rtt_ms = vec![0.0f64; sites * sites];
+        for (i, (_, a, _, _)) in self.sites.iter().enumerate() {
+            for (j, (_, b, _, _)) in self.sites.iter().enumerate() {
+                // The same pure call `PlacementProblem::latency_ms` would
+                // make: identical coordinates, identical bits.
+                rtt_ms[i * sites + j] = self.latency_model.round_trip_ms(*a, *b);
+            }
+        }
+        let mut server_class = Vec::new();
+        let mut app_class = Vec::new();
+        for (site_idx, (_, _, _, pop)) in self.sites.iter().enumerate() {
+            for _ in 0..self.capacity_multiplier(*pop, mean_population) {
+                server_class.push(site_idx as u32);
+            }
+        }
+        for (site_idx, (_, _, _, pop)) in self.sites.iter().enumerate() {
+            for _ in 0..self.demand_for_site(*pop, mean_population) {
+                app_class.push(site_idx as u32);
+            }
+        }
+        ScenarioPrep {
+            mean_population,
+            epoch_site_means,
+            latency: Arc::new(PairLatencyCache::new(
+                app_class,
+                server_class,
+                rtt_ms,
+                sites,
+            )),
+        }
     }
 
     /// Builds the event-level serving engine for this deployment: one
@@ -577,8 +774,10 @@ impl CdnSimulator {
     /// epoch through the batched serving loop (the placement and carbon
     /// numbers are identical — serving metrics ride on top).
     fn run_epochal(&self, placer: &IncrementalPlacer) -> CdnResult {
-        let mean_population =
-            self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
+        let mean_population = match &self.prep {
+            Some(prep) => prep.mean_population,
+            None => self.mean_population(),
+        };
         let service = CarbonIntensityService::shared(Arc::clone(&self.traces))
             .with_forecaster(self.config.forecaster.build(), 1);
         let per_app_migration = self
@@ -606,8 +805,19 @@ impl CdnSimulator {
 
         for epoch in self.config.epoch.epochs() {
             let month = epoch.start.month();
-            let (servers, server_site, actual_by_server, apps) =
-                self.build_epoch_inputs(epoch.start, epoch.hours, &service, mean_population);
+            // A prepped simulator reads the epoch's per-site means straight
+            // from the scenario cache; the cold path re-derives them from
+            // the forecaster and trace (the differential oracle).
+            let (servers, server_site, actual_by_server, apps) = match self
+                .prep
+                .as_ref()
+                .and_then(|p| p.epoch_site_means.get(epoch.index))
+            {
+                Some(site_means) => self.assemble_epoch_inputs(mean_population, site_means),
+                None => {
+                    self.build_epoch_inputs(epoch.start, epoch.hours, &service, mean_population)
+                }
+            };
             if apps.is_empty() || servers.is_empty() {
                 epochs.push(EpochOutcome {
                     index: epoch.index,
@@ -626,6 +836,9 @@ impl CdnSimulator {
             let app_count = apps.len();
             let mut problem = PlacementProblem::new(servers, apps, epoch.hours as f64)
                 .with_latency_model(self.latency_model.clone());
+            if let Some(prep) = &self.prep {
+                problem = problem.with_latency_cache(Arc::clone(&prep.latency));
+            }
             // Delta re-placement: every epoch after the first is solved
             // against the previous epoch's committed assignment, so the
             // placer weighs each move's forecast savings against its
@@ -727,8 +940,13 @@ impl CdnSimulator {
     /// actually served), so an oracle forecast still realizes exactly what
     /// it promised.
     fn run_online(&self, placer: &IncrementalPlacer) -> CdnResult {
-        let mean_population =
-            self.sites.iter().map(|(_, _, _, p)| *p).sum::<f64>() / self.sites.len().max(1) as f64;
+        // Online windows are cut by the drift trigger, so their intensity
+        // means cannot be precomputed — only the epoch-invariant parts of
+        // the prep (mean population, the pair-latency matrix) apply here.
+        let mean_population = match &self.prep {
+            Some(prep) => prep.mean_population,
+            None => self.mean_population(),
+        };
         let service = CarbonIntensityService::shared(Arc::clone(&self.traces))
             .with_forecaster(self.config.forecaster.build(), 1);
         let per_app_migration = self
@@ -778,8 +996,11 @@ impl CdnSimulator {
                 }
                 let app_count = apps.len();
                 let problem = {
-                    let p = PlacementProblem::new(servers, apps, window_hours as f64)
+                    let mut p = PlacementProblem::new(servers, apps, window_hours as f64)
                         .with_latency_model(self.latency_model.clone());
+                    if let Some(prep) = &self.prep {
+                        p = p.with_latency_cache(Arc::clone(&prep.latency));
+                    }
                     match committed.take() {
                         Some(previous) => p.with_state(PlacementState::new(
                             previous,
@@ -816,6 +1037,9 @@ impl CdnSimulator {
                 let mut pricing =
                     PlacementProblem::new(seg_servers, seg_apps, segment_hours as f64)
                         .with_latency_model(self.latency_model.clone());
+                if let Some(prep) = &self.prep {
+                    pricing = pricing.with_latency_cache(Arc::clone(&prep.latency));
+                }
                 let seg_decision_g = pricing
                     .total_carbon_g(&decision.assignment)
                     .expect("committed assignment stays feasible")
@@ -1093,6 +1317,43 @@ mod tests {
         );
         shared.traces(2);
         assert_eq!(shared.cached_seed_count(), 2);
+    }
+
+    #[test]
+    fn shared_caches_survive_a_poisoned_lock() {
+        // A sweep worker panicking while holding a cache lock poisons it.
+        // Both caches are monotone insert-only maps of lazily initialized
+        // slots, so the data is still structurally sound — the accessors
+        // must recover instead of cascading the panic into every other
+        // worker and aborting the whole sweep.
+        let shared = CdnShared::new();
+        let _ = shared.traces(1);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.traces_by_seed.lock().unwrap();
+            panic!("worker dies while holding the trace-cache lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(
+            shared.traces_by_seed.lock().is_err(),
+            "lock must be poisoned"
+        );
+
+        assert_eq!(shared.cached_seed_count(), 1);
+        let again = shared.traces(1);
+        assert!(!again.is_empty());
+        let _ = shared.traces(2);
+        assert_eq!(shared.cached_seed_count(), 2);
+
+        // Same recovery discipline for the scenario-prep cache.
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.preps.lock().unwrap();
+            panic!("worker dies while holding the prep-cache lock");
+        }));
+        assert!(poisoned.is_err());
+        let config = CdnConfig::new(ZoneArea::Europe).with_site_limit(3);
+        let sim = shared.simulator(config);
+        assert!(sim.prep.is_some());
+        assert_eq!(shared.cached_prep_count(), 1);
     }
 
     #[test]

@@ -456,7 +456,23 @@ impl ServingEngine {
 }
 
 fn hist_add(hist: &mut [f64], ms: f64, weight: f64) {
-    let bin = ((ms / BIN_MS) as usize).min(hist.len() - 1);
+    // Latencies are sums of propagation, queueing and penalty terms — all
+    // finite and non-negative by construction.
+    debug_assert!(
+        ms.is_finite() && ms >= 0.0,
+        "latency sample must be finite and non-negative, got {ms}"
+    );
+    // Clamp explicitly instead of relying on the float→usize cast: a
+    // negative or NaN value casts to bin 0 silently (understating the
+    // tail), and +∞ saturates only by accident of the cast's semantics.
+    let bin = if ms.is_finite() && ms > 0.0 {
+        ((ms / BIN_MS) as usize).min(hist.len() - 1)
+    } else if ms == f64::INFINITY {
+        hist.len() - 1
+    } else {
+        // NaN, negative, or zero: the first bin is the only honest slot.
+        0
+    };
     hist[bin] += weight;
 }
 
@@ -493,6 +509,34 @@ mod tests {
     use super::*;
     use carbonedge_geo::Coordinates;
     use carbonedge_workload::ArrivalProcess;
+
+    #[test]
+    fn hist_add_clamps_pathological_latencies() {
+        let mut hist = vec![0.0f64; 8];
+        hist_add(&mut hist, 0.0, 1.0);
+        hist_add(&mut hist, BIN_MS * 2.5, 1.0);
+        hist_add(&mut hist, BIN_MS * 1e9, 1.0); // far past the last bin
+        assert_eq!(hist[0], 1.0);
+        assert_eq!(hist[2], 1.0);
+        assert_eq!(hist[7], 1.0);
+
+        // Non-finite and negative samples are an upstream bug: loudly
+        // rejected in debug builds, explicitly clamped in release so the
+        // percentiles never read memory-safety-adjacent garbage bins.
+        for (ms, bin) in [(f64::NAN, 0usize), (-3.0, 0), (f64::INFINITY, 7)] {
+            let outcome = std::panic::catch_unwind(|| {
+                let mut h = vec![0.0f64; 8];
+                hist_add(&mut h, ms, 1.0);
+                h
+            });
+            if cfg!(debug_assertions) {
+                assert!(outcome.is_err(), "debug build must assert on {ms}");
+            } else {
+                let h = outcome.unwrap();
+                assert_eq!(h[bin], 1.0, "sample {ms} must land in bin {bin}");
+            }
+        }
+    }
 
     fn two_site_engine(rate_rps: f64, servers: usize) -> ServingEngine {
         let locations = vec![Coordinates::new(48.0, 2.0), Coordinates::new(50.0, 8.0)];

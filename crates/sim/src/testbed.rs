@@ -383,7 +383,7 @@ mod tests {
             .iter()
             .map(|(name, series)| (name.clone(), series.iter().sum::<f64>()))
             .collect();
-        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        totals.sort_by(|a, b| b.1.total_cmp(&a.1));
         // Miami (the greenest Florida zone) must not be the top emitter.
         assert_ne!(totals[0].0, "Miami");
         // And the spread across zones must be visible.

@@ -155,22 +155,63 @@ impl Default for AssignmentSolver {
     }
 }
 
+/// Cached best/second-best marginal costs of one application, kept
+/// consistent with [`State::marginal`] (see there for the exactness
+/// argument).  `second_c` is `f64::INFINITY` when only one server is
+/// feasible, matching the cold scan's "no second candidate" regret.
+#[derive(Debug, Clone, Copy)]
+enum Top2 {
+    /// The cached entry may be stale; the next lookup rescans the row.
+    Dirty,
+    /// No feasible server remains for this application.
+    Infeasible,
+    /// `(best_j, best_c, second_c)` exactly as a fresh full scan would
+    /// compute them.
+    Cached(usize, f64, f64),
+}
+
 struct State<'p> {
     problem: &'p AssignmentProblem,
     assignment: Vec<Option<usize>>,
     used: Vec<Vec<f64>>,
     app_count_per_server: Vec<usize>,
+    /// `marginal[i * servers + j]`: cached marginal cost of placing app `i`
+    /// on server `j` in the *current* state (`NAN` = infeasible).  Placing
+    /// or unplacing an application changes `used`/`app_count` for exactly
+    /// one server, so every mutation refreshes exactly one column instead
+    /// of the cold path's full `apps × servers` rescan per round.  The
+    /// cached values are produced by the same `marginal_cost` arithmetic
+    /// the cold scan runs, so every comparison made against them is
+    /// bit-identical to an uncached solve.
+    marginal: Vec<f64>,
+    /// Per-app best/second cache over `marginal`, invalidated only when a
+    /// column update could disturb it.
+    top2: Vec<Top2>,
+    /// Scratch for [`Self::total_cost`], reused across calls.
+    opened_scratch: Vec<bool>,
 }
 
 impl<'p> State<'p> {
     fn new(problem: &'p AssignmentProblem) -> Self {
         let dims = problem.capacity.first().map(|c| c.len()).unwrap_or(0);
-        Self {
+        let apps = problem.num_apps();
+        let servers = problem.num_servers();
+        let mut state = Self {
             problem,
-            assignment: vec![None; problem.num_apps()],
-            used: vec![vec![0.0; dims]; problem.num_servers()],
-            app_count_per_server: vec![0; problem.num_servers()],
+            assignment: vec![None; apps],
+            used: vec![vec![0.0; dims]; servers],
+            app_count_per_server: vec![0; servers],
+            marginal: vec![f64::NAN; apps * servers],
+            top2: vec![Top2::Dirty; apps],
+            opened_scratch: vec![false; servers],
+        };
+        for i in 0..apps {
+            for j in 0..servers {
+                let c = state.marginal_cost(i, j).unwrap_or(f64::NAN);
+                state.marginal[i * servers + j] = c;
+            }
         }
+        state
     }
 
     fn server_is_open(&self, j: usize) -> bool {
@@ -191,6 +232,96 @@ impl<'p> State<'p> {
         Some(base + activation)
     }
 
+    /// Refreshes the cached marginal column of server `j` after its
+    /// capacity or open state changed, invalidating any top-2 entry the
+    /// change could disturb: the column was its best server, or the old or
+    /// new value reaches into the cached top-2 range.
+    fn refresh_column(&mut self, j: usize) {
+        let servers = self.problem.num_servers();
+        for i in 0..self.problem.num_apps() {
+            let old = self.marginal[i * servers + j];
+            let new = self.marginal_cost(i, j).unwrap_or(f64::NAN);
+            if old.to_bits() == new.to_bits() {
+                continue;
+            }
+            self.marginal[i * servers + j] = new;
+            match self.top2[i] {
+                Top2::Dirty => {}
+                Top2::Infeasible => {
+                    if !new.is_nan() {
+                        self.top2[i] = Top2::Dirty;
+                    }
+                }
+                Top2::Cached(best_j, _, second_c) => {
+                    // NaN comparisons are false, so an infeasible old/new
+                    // value never dirties through the value checks alone.
+                    if j == best_j || old <= second_c || new <= second_c {
+                        self.top2[i] = Top2::Dirty;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The best and second-best marginal costs of app `i`, exactly as the
+    /// cold per-round scan computes them: `best` keeps the first server
+    /// attaining the strict running minimum, `second` is the minimum over
+    /// the remaining values.  Returns `None` when no server is feasible.
+    fn top2(&mut self, i: usize) -> Option<(usize, f64, f64)> {
+        if let Top2::Dirty = self.top2[i] {
+            self.top2[i] = self.rescan_top2(i);
+        }
+        match self.top2[i] {
+            Top2::Cached(best_j, best_c, second_c) => Some((best_j, best_c, second_c)),
+            Top2::Infeasible => None,
+            Top2::Dirty => unreachable!("entry was just rescanned"),
+        }
+    }
+
+    fn rescan_top2(&self, i: usize) -> Top2 {
+        let servers = self.problem.num_servers();
+        let row = &self.marginal[i * servers..(i + 1) * servers];
+        let mut best: Option<(usize, f64)> = None;
+        let mut second: Option<f64> = None;
+        for (j, &c) in row.iter().enumerate() {
+            if c.is_nan() {
+                continue;
+            }
+            match best {
+                Some((_, bc)) if c >= bc => {
+                    if second.is_none_or(|s| c < s) {
+                        second = Some(c);
+                    }
+                }
+                _ => {
+                    if let Some((_, bc)) = best {
+                        second = Some(bc);
+                    }
+                    best = Some((j, c));
+                }
+            }
+        }
+        match best {
+            Some((bj, bc)) => Top2::Cached(bj, bc, second.unwrap_or(f64::INFINITY)),
+            None => Top2::Infeasible,
+        }
+    }
+
+    /// The cheapest feasible server for app `i` (first index on ties), read
+    /// from the cached marginal column — the same result a fresh
+    /// `marginal_cost` scan in ascending server order produces.
+    fn best_server(&self, i: usize) -> Option<(usize, f64)> {
+        let servers = self.problem.num_servers();
+        let row = &self.marginal[i * servers..(i + 1) * servers];
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &c) in row.iter().enumerate() {
+            if !c.is_nan() && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((j, c));
+            }
+        }
+        best
+    }
+
     fn place(&mut self, i: usize, j: usize) {
         debug_assert!(self.assignment[i].is_none());
         for (k, d) in self.problem.demand[i][j].iter().enumerate() {
@@ -198,6 +329,7 @@ impl<'p> State<'p> {
         }
         self.app_count_per_server[j] += 1;
         self.assignment[i] = Some(j);
+        self.refresh_column(j);
     }
 
     fn unplace(&mut self, i: usize) {
@@ -206,17 +338,18 @@ impl<'p> State<'p> {
                 self.used[j][k] -= d;
             }
             self.app_count_per_server[j] -= 1;
+            self.refresh_column(j);
         }
     }
 
-    fn total_cost(&self) -> f64 {
+    fn total_cost(&mut self) -> f64 {
         let mut total = 0.0;
-        let mut opened = vec![false; self.problem.num_servers()];
+        self.opened_scratch.fill(false);
         for (i, a) in self.assignment.iter().enumerate() {
             if let Some(j) = a {
                 total += self.problem.cost[i][*j].unwrap_or(0.0);
-                if !self.problem.open[*j] && !opened[*j] {
-                    opened[*j] = true;
+                if !self.problem.open[*j] && !self.opened_scratch[*j] {
+                    self.opened_scratch[*j] = true;
                     total += self.problem.activation_cost[*j];
                 }
             }
@@ -268,15 +401,7 @@ impl AssignmentSolver {
     /// Cheapest-feasible greedy in application order; O(apps · servers).
     fn greedy_construct_simple(&self, state: &mut State<'_>) {
         for i in 0..state.problem.num_apps() {
-            let mut best: Option<(usize, f64)> = None;
-            for j in 0..state.problem.num_servers() {
-                if let Some(c) = state.marginal_cost(i, j) {
-                    if best.is_none_or(|(_, bc)| c < bc) {
-                        best = Some((j, c));
-                    }
-                }
-            }
-            if let Some((j, _)) = best {
+            if let Some((j, _)) = state.best_server(i) {
                 state.place(i, j);
             }
         }
@@ -286,31 +411,21 @@ impl AssignmentSolver {
         let apps = state.problem.num_apps();
         let mut remaining: Vec<usize> = (0..apps).collect();
         while !remaining.is_empty() {
-            // For each remaining app compute best and second-best marginal
-            // cost; pick the app with the largest regret (difference).
+            // For each remaining app read the cached best and second-best
+            // marginal cost; pick the app with the largest regret
+            // (difference).  The cache holds exactly the values a fresh
+            // scan would compute, so the chosen (app, server) matches the
+            // uncached construction bit for bit.
             let mut chosen: Option<(usize, usize, f64)> = None; // (pos, server, regret)
             for (pos, &i) in remaining.iter().enumerate() {
-                let mut best: Option<(usize, f64)> = None;
-                let mut second: Option<f64> = None;
-                for j in 0..state.problem.num_servers() {
-                    if let Some(c) = state.marginal_cost(i, j) {
-                        match best {
-                            Some((_, bc)) if c >= bc => {
-                                if second.is_none_or(|s| c < s) {
-                                    second = Some(c);
-                                }
-                            }
-                            _ => {
-                                if let Some((_, bc)) = best {
-                                    second = Some(bc);
-                                }
-                                best = Some((j, c));
-                            }
-                        }
-                    }
-                }
-                let Some((bj, bc)) = best else { continue };
-                let regret = second.map_or(f64::INFINITY, |s| s - bc);
+                let Some((bj, bc, second)) = state.top2(i) else {
+                    continue;
+                };
+                let regret = if second.is_finite() {
+                    second - bc
+                } else {
+                    f64::INFINITY
+                };
                 let better = match &chosen {
                     None => true,
                     Some((_, _, r)) => regret > *r,
@@ -338,15 +453,8 @@ impl AssignmentSolver {
                 };
                 let before = state.total_cost();
                 state.unplace(i);
-                // Find the cheapest feasible server for i in the reduced state.
-                let mut best: Option<(usize, f64)> = None;
-                for j in 0..state.problem.num_servers() {
-                    if let Some(c) = state.marginal_cost(i, j) {
-                        if best.is_none_or(|(_, bc)| c < bc) {
-                            best = Some((j, c));
-                        }
-                    }
-                }
+                // The cheapest feasible server for i in the reduced state.
+                let best = state.best_server(i);
                 match best {
                     Some((j, _)) => {
                         state.place(i, j);
@@ -371,7 +479,7 @@ impl AssignmentSolver {
         }
     }
 
-    fn finish(&self, state: State<'_>) -> AssignmentSolution {
+    fn finish(&self, mut state: State<'_>) -> AssignmentSolution {
         let problem = state.problem;
         let assignment = state.assignment.clone();
         let cost = state.total_cost();

@@ -23,27 +23,36 @@ use std::time::Instant;
 /// missing or non-numeric value.  Shared by every binary that fronts a
 /// [`SweepExecutor`] so the flag behaves identically everywhere.
 pub fn take_jobs_flag(args: &mut Vec<String>) -> Result<usize, String> {
-    let mut jobs = 0usize;
+    let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--jobs" {
+        let value = if args[i] == "--jobs" {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| "--jobs requires a value".to_string())?;
-            jobs = value
-                .parse()
-                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+                .ok_or_else(|| "--jobs requires a value".to_string())?
+                .clone();
             args.drain(i..=i + 1);
+            value
         } else if let Some(value) = args[i].strip_prefix("--jobs=") {
-            jobs = value
-                .parse()
-                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            let value = value.to_string();
             args.remove(i);
+            value
         } else {
             i += 1;
+            continue;
+        };
+        // A repeated flag is ambiguous (which count did the caller mean?)
+        // — reject it instead of silently letting the last one win.
+        if jobs.is_some() {
+            return Err("--jobs given more than once".to_string());
         }
+        jobs = Some(
+            value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value `{value}`"))?,
+        );
     }
-    Ok(jobs)
+    Ok(jobs.unwrap_or(0))
 }
 
 /// Runs every cell of a [`SweepSpec`] and aggregates a [`SweepReport`].
@@ -86,7 +95,7 @@ impl SweepExecutor {
 
     /// The effective worker count for a grid of `cells` cells.
     pub fn effective_jobs(&self, cells: usize) -> usize {
-        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let auto = rayon::current_num_threads();
         let requested = if self.jobs == 0 { auto } else { self.jobs };
         requested.clamp(1, cells.max(1))
     }
@@ -96,8 +105,12 @@ impl SweepExecutor {
     /// re-stamped with each cell's policy, so its solver workspace — basis
     /// buffers, node arena — keeps its allocations across every cell the
     /// worker runs.  Any resident warm-start basis is discarded at the cell
-    /// boundary: which cell a worker served previously is a scheduling
-    /// accident, and results must stay bit-identical for any job count.
+    /// boundary: a neighbor cell's basis is a *cost-only* change away on
+    /// the exact path, but degenerate optima make the simplex's final
+    /// vertex depend on its starting basis (equal carbon, different
+    /// latency), so carrying it would break the bit-identical contract
+    /// `tests/sweep_delta.rs` pins against the cold per-cell oracle.
+    /// Epoch-to-epoch warm starts *within* the cell's run are unaffected.
     fn run_cell(
         &self,
         shared: &CdnShared,
@@ -137,11 +150,31 @@ impl SweepExecutor {
 
         let slots: Vec<Mutex<Option<CellResult>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
+        // Contiguous runs of cells sharing a `ScenarioKey` — the policy axis
+        // is innermost, so every policy variant of one scenario is adjacent.
+        // Workers claim whole groups, not single cells: one worker builds
+        // the scenario's [`ScenarioPrep`] and every neighbor cell reuses it
+        // from that worker's cache-warm state instead of rendezvousing on
+        // the `OnceLock` mid-build, and the schedule stays deterministic at
+        // the group level.  Solver state still never crosses a cell
+        // boundary (see [`Self::run_cell`]), so the report is bit-identical
+        // for any job count — pinned by `tests/sweep_delta.rs` against the
+        // cold per-cell oracle.
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut group_start = 0usize;
+        for i in 1..=cells.len() {
+            if i == cells.len() || cells[i].scenario_key() != cells[group_start].scenario_key() {
+                groups.push(group_start..i);
+                group_start = i;
+            }
+        }
         if jobs <= 1 {
             let mut placer = self.placer_template.clone();
-            for (cell, slot) in cells.iter().zip(slots.iter()) {
-                *slot.lock().expect("result slot poisoned") =
-                    Some(self.run_cell(&shared, cell, &mut placer));
+            for group in &groups {
+                for i in group.clone() {
+                    *slots[i].lock().expect("result slot poisoned") =
+                        Some(self.run_cell(&shared, &cells[i], &mut placer));
+                }
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -150,10 +183,12 @@ impl SweepExecutor {
                     scope.spawn(|| {
                         let mut placer = self.placer_template.clone();
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(cell) = cells.get(i) else { break };
-                            let result = self.run_cell(&shared, cell, &mut placer);
-                            *slots[i].lock().expect("result slot poisoned") = Some(result);
+                            let g = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(group) = groups.get(g) else { break };
+                            for i in group.clone() {
+                                let result = self.run_cell(&shared, &cells[i], &mut placer);
+                                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                            }
                         }
                     });
                 }
@@ -232,6 +267,32 @@ mod tests {
         assert!(take_jobs_flag(&mut vec!["--jobs".to_string()]).is_err());
         assert!(take_jobs_flag(&mut vec!["--jobs".to_string(), "abc".to_string()]).is_err());
         assert!(take_jobs_flag(&mut vec!["--jobs=nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_jobs_flags_are_rejected() {
+        let mut twice = vec![
+            "--jobs".to_string(),
+            "4".to_string(),
+            "fig1".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+        ];
+        assert_eq!(
+            take_jobs_flag(&mut twice),
+            Err("--jobs given more than once".to_string())
+        );
+
+        let mut mixed = vec![
+            "--jobs=1".to_string(),
+            "--jobs".to_string(),
+            "1".to_string(),
+        ];
+        assert!(take_jobs_flag(&mut mixed).is_err());
+
+        // A single flag still parses even when other arguments follow.
+        let mut single = vec!["--jobs=3".to_string(), "fig1".to_string()];
+        assert_eq!(take_jobs_flag(&mut single), Ok(3));
     }
 
     #[test]

@@ -122,10 +122,16 @@ impl RequestStream {
             return;
         }
         let remainders = &scratch.remainders;
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN share
+        // (infinite modulation weights divide to NaN) would make the Equal
+        // fallback an inconsistent comparator, which `sort_unstable_by` is
+        // allowed to reject.  Under the total order NaN remainders simply
+        // sort first and conservation still holds — the floor of a NaN
+        // share contributes zero, so the whole total flows through the
+        // leftover distribution.
         scratch.order.sort_unstable_by(|&a, &b| {
             remainders[b as usize]
-                .partial_cmp(&remainders[a as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&remainders[a as usize])
                 .then(a.cmp(&b))
         });
         for i in 0..leftover as usize {
@@ -214,6 +220,28 @@ mod tests {
         s.fill_hourly_counts(48, &mut again, &mut scratch);
         assert_eq!(reused, again);
         assert_eq!(reused, s.hourly_counts(48, 72));
+    }
+
+    #[test]
+    fn conservation_survives_nan_shares_from_infinite_weights() {
+        // Regression for the largest-remainder sort: an infinite modulation
+        // amplitude yields infinite hourly weights, whose shares divide to
+        // NaN (`total · ∞ / ∞`).  The old `partial_cmp(..).unwrap_or(Equal)`
+        // comparator was inconsistent under NaN; `total_cmp` keeps the sort
+        // well-defined and the per-hour counts still sum to the aggregate
+        // total exactly (NaN floors contribute zero, so the whole total is
+        // apportioned by the leftover pass).
+        let process = ArrivalProcess::Diurnal {
+            mean: 1.0,
+            amplitude: f64::INFINITY,
+            peak_hour: 19.0,
+        };
+        let s = RequestStream::new(0, 0, 15.0, process, 3);
+        for (start, hours) in [(0usize, 24usize), (100, 48), (8750, 10)] {
+            let counts = s.hourly_counts(start, hours);
+            let sum: u64 = counts.iter().sum();
+            assert_eq!(sum, s.aggregate_total(hours), "window ({start}, {hours})");
+        }
     }
 
     #[test]

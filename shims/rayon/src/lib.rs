@@ -25,6 +25,16 @@ pub mod prelude {
     };
 }
 
+/// The number of worker threads the pool uses by default — one per
+/// available CPU, with single-threaded fallback when the count cannot be
+/// determined.  Matches the upstream `rayon::current_num_threads` surface
+/// and is the workspace's single parallelism probe: the sweep executor and
+/// the bench harness call this instead of keeping their own copies of the
+/// `available_parallelism` dance.
+pub fn current_num_threads() -> usize {
+    pool::default_threads()
+}
+
 mod pool {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
