@@ -5,10 +5,11 @@
 
 use carbonedge_core::{IncrementalPlacer, PlacementPolicy, PlacementProblem, ServerSnapshot};
 use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
-use carbonedge_grid::HourOfYear;
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::{HourOfYear, ZoneId};
 use carbonedge_net::LatencyModel;
 use carbonedge_solver::ReferenceBranchBound;
-use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind, ResourceDemand};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn regional_problem(apps_per_site: usize) -> PlacementProblem {
@@ -39,6 +40,41 @@ fn regional_problem(apps_per_site: usize) -> PlacementProblem {
             ));
         }
     }
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+/// The SLO-sparse corridor instance of the `solver_scale` snapshot cases:
+/// one A2 server per site along the equator (150 km spacing), four ResNet50
+/// applications arriving per site, and a 10 ms round-trip SLO that admits at
+/// most the two neighbouring sites on either side.  Mirrors
+/// `bench_json::scale_problem` so the criterion trend lines and the JSON
+/// snapshot measure the same instances.
+fn scale_problem(n_sites: usize, apps_per_site: usize) -> PlacementProblem {
+    const SITE_SPACING_KM: f64 = 150.0;
+    const EARTH_KM_PER_DEG: f64 = 111.195;
+    let lon_step = SITE_SPACING_KM / EARTH_KM_PER_DEG;
+    let servers: Vec<ServerSnapshot> = (0..n_sites)
+        .map(|site| {
+            let loc = Coordinates::new(0.0, site as f64 * lon_step);
+            let intensity = 80.0 + ((site * 97) % 18) as f64 * 45.0;
+            ServerSnapshot::new(site, site, ZoneId(site), DeviceKind::A2, loc)
+                .with_carbon_intensity(intensity)
+                .with_available(ResourceDemand::new(1280.0, 6.0 * 350.0, 1000.0))
+        })
+        .collect();
+    let apps: Vec<Application> = (0..n_sites * apps_per_site)
+        .map(|i| {
+            let site = i / apps_per_site;
+            Application::new(
+                AppId(i),
+                ModelKind::ResNet50,
+                10.0,
+                10.0,
+                servers[site].location,
+                site,
+            )
+        })
+        .collect();
     PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
 }
 
@@ -76,5 +112,38 @@ fn bench_exact_vs_heuristic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact_vs_heuristic);
+fn bench_scale_corridor(c: &mut Criterion) {
+    let scale_exact =
+        IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(20_000);
+    let mut group = c.benchmark_group("solver_scale");
+    group.sample_size(10);
+    // Cold solves: discarding the warm start each iteration times the
+    // presolve + sparse-LU + branch-and-bound stack rather than the
+    // workspace's same-model memoization.
+    for (label, problem) in [
+        ("exact_60x15", scale_problem(15, 4)),
+        ("exact_200x50", scale_problem(50, 4)),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                scale_exact.milp_solver.discard_warm_start();
+                scale_exact.place(&problem).unwrap()
+            })
+        });
+    }
+    // The dense Big-M reference on the small corridor only: at 200x50 its
+    // dense tableau pays O(m^2) per pivot (~150 ms per solve), which is the
+    // comparison BENCH_solver.json snapshots at a reduced sample count.
+    let small = scale_problem(15, 4);
+    let reference = ReferenceBranchBound::with_node_limit(20_000);
+    group.bench_function("reference_60x15", |bench| {
+        bench.iter(|| {
+            let model = scale_exact.build_model(&small);
+            reference.solve(&model.model)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_heuristic, bench_scale_corridor);
 criterion_main!(benches);

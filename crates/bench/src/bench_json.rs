@@ -9,7 +9,12 @@
 //! retained **reference** exact path (dense Big-M tableau, cold-start
 //! branch-and-bound) and the assignment **heuristic**.  It also records the
 //! branch-and-bound node and simplex pivot counts of both exact solvers, so
-//! the perf trajectory tracks algorithmic work alongside wall time.
+//! the perf trajectory tracks algorithmic work alongside wall time.  The
+//! `solver_scale` cases stretch the same comparison to SLO-sparse corridor
+//! instances of up to 200 applications × 50 servers (thousands of MILP
+//! rows), where the sparse-LU cold path is measured against the dense
+//! reference with per-solve factorization statistics (refactorization
+//! count, peak eta-file length, LU fill-in ratio).
 //!
 //! The sweep snapshot measures cells/second of the quick scenario grid at
 //! `--jobs 1` and `--jobs 0` (one worker per CPU; the auto measurement is
@@ -30,12 +35,13 @@ use carbonedge_core::{
 };
 use carbonedge_datasets::zones::ZoneArea;
 use carbonedge_datasets::{MesoscaleRegion, StudyRegion, ZoneCatalog};
-use carbonedge_grid::HourOfYear;
+use carbonedge_geo::Coordinates;
+use carbonedge_grid::{HourOfYear, ZoneId};
 use carbonedge_net::LatencyModel;
 use carbonedge_sim::cdn::{CdnConfig, CdnSimulator};
 use carbonedge_sim::ServingMode;
 use carbonedge_solver::ReferenceBranchBound;
-use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind, ResourceDemand};
 use std::time::Instant;
 
 /// One measured placement instance.
@@ -102,6 +108,52 @@ fn regional_problem(apps_per_site: usize) -> PlacementProblem {
             ));
         }
     }
+    PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
+}
+
+/// Builds a corridor-scale instance for the `solver_scale` cases: one A2
+/// server per site, sites strung 150 km apart along the equator, and
+/// `apps_per_site` identical ResNet50 applications arriving at every site.
+///
+/// Under the deterministic latency model the round trip is
+/// `3 ms + 0.018 ms/km × distance`, so the 10 ms SLO admits only servers
+/// within ~390 km — the two neighbouring sites on either side.  The MILP
+/// therefore stays SLO-sparse (≤5 feasible servers per application) no
+/// matter how long the corridor grows, which is what lets the dense
+/// reference solver remain runnable at 200×50 while the instance still
+/// scales the constraint count into the thousands.  Memory sized for six
+/// model images per server keeps capacity genuinely binding: with four
+/// local applications per site, chasing a low-carbon neighbour competes
+/// with its own arrivals.
+fn scale_problem(n_sites: usize, apps_per_site: usize) -> PlacementProblem {
+    const SITE_SPACING_KM: f64 = 150.0;
+    const EARTH_KM_PER_DEG: f64 = 111.195;
+    const SLO_MS: f64 = 10.0;
+    let lon_step = SITE_SPACING_KM / EARTH_KM_PER_DEG;
+    let servers: Vec<ServerSnapshot> = (0..n_sites)
+        .map(|site| {
+            let loc = Coordinates::new(0.0, site as f64 * lon_step);
+            // Deterministic pseudo-random intensities spread over
+            // 80..845 g/kWh so neighbouring sites genuinely compete.
+            let intensity = 80.0 + ((site * 97) % 18) as f64 * 45.0;
+            ServerSnapshot::new(site, site, ZoneId(site), DeviceKind::A2, loc)
+                .with_carbon_intensity(intensity)
+                .with_available(ResourceDemand::new(1280.0, 6.0 * 350.0, 1000.0))
+        })
+        .collect();
+    let apps: Vec<Application> = (0..n_sites * apps_per_site)
+        .map(|i| {
+            let site = i / apps_per_site;
+            Application::new(
+                AppId(i),
+                ModelKind::ResNet50,
+                10.0,
+                SLO_MS,
+                servers[site].location,
+                site,
+            )
+        })
+        .collect();
     PlacementProblem::new(servers, apps, 1.0).with_latency_model(LatencyModel::deterministic())
 }
 
@@ -182,6 +234,9 @@ pub fn solver_bench_json(quick: bool) -> String {
                 "      \"bb_nodes\": {},\n",
                 "      \"simplex_pivots_cold\": {},\n",
                 "      \"simplex_pivots_warm\": {},\n",
+                "      \"refactorizations\": {},\n",
+                "      \"peak_eta_len\": {},\n",
+                "      \"fill_in_ratio\": {:.3},\n",
                 "      \"reference_bb_nodes\": {},\n",
                 "      \"reference_simplex_pivots\": {}\n",
                 "    }}"
@@ -196,9 +251,21 @@ pub fn solver_bench_json(quick: bool) -> String {
             revised_stats.nodes,
             revised_stats.pivots,
             revised_warm_stats.pivots,
+            revised_stats.factor.refactorizations,
+            revised_stats.factor.peak_eta_len,
+            revised_stats.factor.fill_in_ratio,
             reference_stats.nodes,
             reference_stats.pivots,
         ));
+    }
+
+    let scale_cases = [
+        ("solver_scale/exact_60x15", scale_problem(15, 4)),
+        ("solver_scale/exact_120x30", scale_problem(30, 4)),
+        ("solver_scale/exact_200x50", scale_problem(50, 4)),
+    ];
+    for (name, problem) in &scale_cases {
+        entries.push(scale_entry(name, problem, quick));
     }
 
     entries.push(epoch_replan_entry(samples));
@@ -215,6 +282,84 @@ pub fn solver_bench_json(quick: bool) -> String {
         ),
         samples,
         entries.join(",\n")
+    )
+}
+
+/// Measures one SLO-sparse corridor instance (see [`scale_problem`]) through
+/// the revised cold path — presolve + sparse-LU simplex + branch-and-bound —
+/// and the dense Big-M reference path on the identical MILP.
+///
+/// Every revised sample discards the warm start first, so the median times a
+/// genuine cold solve (the sparse-LU and presolve work these cases exist to
+/// measure) rather than the workspace's same-model memoization.  The dense
+/// reference pays O(m²) per pivot on the full unpresolved model, so it runs
+/// at a reduced sample count to keep the snapshot affordable.
+fn scale_entry(name: &str, problem: &PlacementProblem, quick: bool) -> String {
+    let revised_samples = if quick { 3 } else { 7 };
+    let reference_samples = if quick { 1 } else { 3 };
+    let (apps, servers) = problem.size();
+    let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(20_000);
+
+    let revised_ns = median_ns(revised_samples, || {
+        exact.milp_solver.discard_warm_start();
+        let _ = exact.place(problem).unwrap();
+    });
+    let placement_model = exact.build_model(problem);
+    let reference_solver = ReferenceBranchBound::with_node_limit(20_000);
+    let reference_ns = median_ns(reference_samples, || {
+        let model = exact.build_model(problem);
+        let _ = reference_solver.solve(&model.model);
+    });
+
+    // Algorithmic work and factorization observability of one cold solve on
+    // a fresh workspace, against the reference solver on the same model.
+    let cold_solver = exact.milp_solver.clone();
+    let revised_stats = cold_solver.solve(&placement_model.model);
+    let reference_stats = reference_solver.solve(&placement_model.model);
+    debug_assert!(
+        (revised_stats.objective - reference_stats.objective).abs()
+            <= 1e-6 * revised_stats.objective.abs().max(1.0),
+        "revised and reference solvers disagree on the scale model"
+    );
+
+    let speedup = reference_ns as f64 / revised_ns.max(1) as f64;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"apps\": {},\n",
+            "      \"servers\": {},\n",
+            "      \"milp_vars\": {},\n",
+            "      \"milp_rows\": {},\n",
+            "      \"exact_revised_ns_median\": {},\n",
+            "      \"exact_reference_ns_median\": {},\n",
+            "      \"reference_samples\": {},\n",
+            "      \"speedup_vs_reference\": {:.2},\n",
+            "      \"bb_nodes\": {},\n",
+            "      \"simplex_pivots_cold\": {},\n",
+            "      \"refactorizations\": {},\n",
+            "      \"peak_eta_len\": {},\n",
+            "      \"fill_in_ratio\": {:.3},\n",
+            "      \"reference_bb_nodes\": {},\n",
+            "      \"reference_simplex_pivots\": {}\n",
+            "    }}"
+        ),
+        name,
+        apps,
+        servers,
+        placement_model.model.num_vars(),
+        placement_model.model.num_constraints(),
+        revised_ns,
+        reference_ns,
+        reference_samples,
+        speedup,
+        revised_stats.nodes,
+        revised_stats.pivots,
+        revised_stats.factor.refactorizations,
+        revised_stats.factor.peak_eta_len,
+        revised_stats.factor.fill_in_ratio,
+        reference_stats.nodes,
+        reference_stats.pivots,
     )
 }
 
@@ -450,6 +595,13 @@ mod tests {
         assert!(json.contains("solver_ablation/exact_milp_5x5"));
         assert!(json.contains("\"speedup_vs_reference\""));
         assert!(json.contains("\"bb_nodes\""));
+        assert!(json.contains("solver_scale/exact_60x15"));
+        assert!(json.contains("solver_scale/exact_120x30"));
+        assert!(json.contains("solver_scale/exact_200x50"));
+        assert!(json.contains("\"refactorizations\""));
+        assert!(json.contains("\"peak_eta_len\""));
+        assert!(json.contains("\"fill_in_ratio\""));
+        assert!(json.contains("\"milp_rows\""));
         assert!(json.contains("epoch_replan/monthly_eu_3site_exact"));
         assert!(json.contains("migration_replan/monthly_eu_3site_exact_paper"));
         assert!(json.contains("\"moves\""));
@@ -497,6 +649,21 @@ mod tests {
             json.matches('}').count(),
             "unbalanced JSON braces"
         );
+    }
+
+    #[test]
+    fn scale_problem_keeps_slo_sparsity_bounded() {
+        let p = scale_problem(15, 4);
+        let (apps, servers) = p.size();
+        assert_eq!((apps, servers), (60, 15));
+        for i in 0..apps {
+            let feasible = (0..servers).filter(|&j| p.is_feasible_pair(i, j)).count();
+            assert!(
+                (3..=5).contains(&feasible),
+                "app {i} has {feasible} feasible servers; the corridor \
+                 spacing or SLO drifted"
+            );
+        }
     }
 
     #[test]

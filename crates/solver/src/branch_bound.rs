@@ -18,6 +18,7 @@
 //! reallocating.
 
 use crate::model::Model;
+use crate::presolve::{presolve, PresolveOutcome};
 use crate::simplex::{LpOutcome, Prepared, SimplexSolver, SimplexWorkspace};
 use std::collections::BinaryHeap;
 use std::sync::Mutex;
@@ -37,6 +38,21 @@ pub enum MilpOutcome {
     NodeLimit,
 }
 
+/// Basis-factorization statistics of one MILP solve — the sparse-LU
+/// observability surfaced alongside `pivots` in `BENCH_solver.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FactorStats {
+    /// Number of full basis refactorizations (the initial factorization of
+    /// a cold solve counts as one).
+    pub refactorizations: usize,
+    /// Peak length of the product-form eta file between refactorizations.
+    pub peak_eta_len: usize,
+    /// LU nonzeros over basis-matrix nonzeros at the last refactorization
+    /// (1.0 = no fill-in; 0.0 when no factorization ran, e.g. a pure
+    /// warm restart).
+    pub fill_in_ratio: f64,
+}
+
 /// Result of a MILP solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MilpSolution {
@@ -50,6 +66,8 @@ pub struct MilpSolution {
     pub nodes: usize,
     /// Total simplex pivots (primal and dual) across all nodes.
     pub pivots: usize,
+    /// Basis-factorization statistics of the solve.
+    pub factor: FactorStats,
 }
 
 impl MilpSolution {
@@ -123,6 +141,16 @@ pub struct MilpWorkspace {
     /// workspace via [`BranchBoundSolver::solve`] — the per-run warm-start
     /// work a caller (e.g. the epoch re-placement engine) can surface.
     accumulated_pivots: usize,
+    /// Memoized result of the previous search, returned verbatim (with
+    /// zero pivots, since no simplex work runs) when the next model is
+    /// bit-identical — matrix, right-hand sides, bounds *and* costs — and
+    /// the solver configuration is unchanged.  This is what makes a
+    /// same-model re-solve an exact fixed point even on degenerate models
+    /// with tied optimal vertices, where replaying the search from a
+    /// (numerically different) eta-file state could land on another tie.
+    last_solution: Option<MilpSolution>,
+    last_max_nodes: usize,
+    last_tolerance: f64,
 }
 
 impl MilpWorkspace {
@@ -138,6 +166,7 @@ impl MilpWorkspace {
     /// worker happened to serve before.
     pub fn discard_warm_start(&mut self) {
         self.loaded = false;
+        self.last_solution = None;
     }
 
     /// Applies a node's bound diffs (the chain of branching decisions up to
@@ -173,9 +202,20 @@ pub struct BranchBoundSolver {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub tolerance: f64,
+    /// Models with at least this many variables run the [`presolve`] pass
+    /// before the search; smaller models (the warm-restarted epoch and
+    /// migration re-solve streams) go straight to the simplex so their
+    /// resident-basis warm starts survive byte-for-byte.
+    pub presolve_min_vars: usize,
     /// Scratch arena reused across nodes and across successive solves.
     workspace: Mutex<MilpWorkspace>,
 }
+
+/// Default [`BranchBoundSolver::presolve_min_vars`]: comfortably above the
+/// exact-path placement models (`IncrementalPlacer` caps those at ~46
+/// variables) so only the large cold instances pay for — and profit from —
+/// the reductions.
+pub const PRESOLVE_MIN_VARS: usize = 256;
 
 impl Default for BranchBoundSolver {
     fn default() -> Self {
@@ -183,6 +223,7 @@ impl Default for BranchBoundSolver {
             lp: SimplexSolver::new(),
             max_nodes: 50_000,
             tolerance: 1e-6,
+            presolve_min_vars: PRESOLVE_MIN_VARS,
             workspace: Mutex::new(MilpWorkspace::new()),
         }
     }
@@ -195,6 +236,7 @@ impl Clone for BranchBoundSolver {
             lp: self.lp.clone(),
             max_nodes: self.max_nodes,
             tolerance: self.tolerance,
+            presolve_min_vars: self.presolve_min_vars,
             workspace: Mutex::new(MilpWorkspace::new()),
         }
     }
@@ -274,9 +316,46 @@ impl BranchBoundSolver {
     /// optimum — the repeated re-optimization pattern of a placement
     /// service re-solving as carbon intensities shift epoch to epoch.
     pub fn solve_with_workspace(&self, model: &Model, ws: &mut MilpWorkspace) -> MilpSolution {
+        if model.num_vars() < self.presolve_min_vars {
+            return self.search(model, ws);
+        }
+        match presolve(model) {
+            PresolveOutcome::Infeasible => MilpSolution {
+                outcome: MilpOutcome::Infeasible,
+                objective: f64::INFINITY,
+                values: vec![],
+                nodes: 0,
+                pivots: 0,
+                factor: FactorStats::default(),
+            },
+            PresolveOutcome::Reduced(pm) => {
+                let mut solution = self.search(&pm.model, ws);
+                if solution.has_solution() {
+                    solution.values = pm.postsolve(&solution.values);
+                    solution.objective = pm.full_objective(solution.objective);
+                }
+                solution
+            }
+        }
+    }
+
+    /// The branch-and-bound search itself, on a model that has already been
+    /// presolved (or is small enough to skip presolve).
+    fn search(&self, model: &Model, ws: &mut MilpWorkspace) -> MilpSolution {
         if ws.loaded && ws.prep.matches_structure(model) {
             if ws.prep.refresh_costs(model) {
                 ws.simplex.invalidate_duals();
+                ws.last_solution = None;
+            } else if ws.last_max_nodes == self.max_nodes && ws.last_tolerance == self.tolerance {
+                // Bit-identical model and configuration: the previous
+                // result is still the answer, and no simplex work is
+                // needed to reproduce it.
+                if let Some(cached) = &ws.last_solution {
+                    let mut solution = cached.clone();
+                    solution.pivots = 0;
+                    solution.factor = FactorStats::default();
+                    return solution;
+                }
             }
             // Undo the previous search's branching diffs so the root sees
             // natural bounds again.
@@ -287,7 +366,9 @@ impl BranchBoundSolver {
             ws.prep.load(model);
             ws.simplex.reset(&ws.prep);
             ws.loaded = true;
+            ws.last_solution = None;
         }
+        ws.simplex.reset_factor_stats();
         ws.nodes.clear();
         ws.open.clear();
         ws.touched.clear();
@@ -338,6 +419,12 @@ impl BranchBoundSolver {
                 _ => continue,
             }
             let obj = ws.simplex.objective(&ws.prep);
+            if open.node == 0 {
+                // Remember the root-optimal basis; the search re-installs
+                // it after exploring the tree so a repeated solve of the
+                // same model replays identically (see below).
+                ws.simplex.snapshot_basis();
+            }
             if have_incumbent && obj >= best_obj - self.tolerance {
                 continue;
             }
@@ -381,7 +468,28 @@ impl BranchBoundSolver {
             }
         }
 
-        if have_incumbent {
+        // Leave the workspace resting on the *root-optimal* basis rather
+        // than whichever node the search happened to process last: undo the
+        // remaining branching diffs and re-install the snapshot taken when
+        // the root was solved.  A repeated solve of the same model then
+        // warm-restarts from an already optimal basis (zero pivots, same
+        // vertex) and replays the search identically — the re-solve fixed
+        // point the warm-start contract promises even on degenerate models
+        // with tied optima.
+        if nodes > 1 {
+            for &v in &ws.touched {
+                ws.simplex.reset_var_bounds(&ws.prep, v as usize);
+            }
+            ws.touched.clear();
+            ws.simplex.restore_basis(&ws.prep);
+        }
+
+        let factor = FactorStats {
+            refactorizations: ws.simplex.refactor_count(),
+            peak_eta_len: ws.simplex.peak_eta_len(),
+            fill_in_ratio: ws.simplex.fill_in_ratio(),
+        };
+        let solution = if have_incumbent {
             MilpSolution {
                 outcome: if exhausted {
                     MilpOutcome::Optimal
@@ -392,6 +500,7 @@ impl BranchBoundSolver {
                 values: ws.incumbent.clone(),
                 nodes,
                 pivots,
+                factor,
             }
         } else {
             MilpSolution {
@@ -404,8 +513,13 @@ impl BranchBoundSolver {
                 values: vec![],
                 nodes,
                 pivots,
+                factor,
             }
-        }
+        };
+        ws.last_solution = Some(solution.clone());
+        ws.last_max_nodes = self.max_nodes;
+        ws.last_tolerance = self.tolerance;
+        solution
     }
 }
 

@@ -8,7 +8,16 @@
 //! * [`simplex`] — a bounded-variable **revised** simplex for the LP
 //!   relaxation: bounds live in the basis logic (nonbasic-at-lower/upper),
 //!   feasibility comes from a proper phase-1 instead of a Big-M penalty,
-//!   and a bounded dual simplex provides warm restarts after bound changes;
+//!   devex pricing picks entering columns, and a bounded dual simplex
+//!   provides warm restarts after bound changes;
+//! * [`factor`] — the sparse linear algebra under the simplex: a
+//!   Markowitz-ordered sparse LU factorization of the basis with
+//!   product-form eta updates per pivot and an adaptive refactorization
+//!   trigger, making FTRAN/BTRAN cost `O(nnz)` instead of `O(m^2)`;
+//! * [`presolve`] — model reductions applied before large solves (empty
+//!   and redundant rows, singleton-row bound tightening, fixed-variable
+//!   substitution, dominated binary columns in assignment rows) with a
+//!   postsolve mapping back to full-model solutions;
 //! * [`branch_bound`] — an exact branch-and-bound MILP solver over the
 //!   binary variables: best-first node selection from a bound-ordered
 //!   priority queue, compact parent-diff node records, and dual-simplex
@@ -28,12 +37,16 @@
 
 pub mod assignment;
 pub mod branch_bound;
+pub mod factor;
 pub mod model;
+pub mod presolve;
 pub mod reference;
 pub mod simplex;
 
 pub use assignment::{AssignmentProblem, AssignmentSolution, AssignmentSolver};
-pub use branch_bound::{BranchBoundSolver, MilpOutcome, MilpSolution, MilpWorkspace};
+pub use branch_bound::{BranchBoundSolver, FactorStats, MilpOutcome, MilpSolution, MilpWorkspace};
+pub use factor::BasisFactor;
 pub use model::{Comparison, Constraint, LinearExpr, Model, VarId, VarKind};
+pub use presolve::{presolve, PresolveOutcome, PresolvedModel};
 pub use reference::{DenseSimplexSolver, ReferenceBranchBound};
 pub use simplex::{LpOutcome, LpSolution, Prepared, SimplexSolver, SimplexWorkspace};

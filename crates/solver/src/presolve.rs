@@ -1,0 +1,826 @@
+//! Model reductions applied before large MILP solves.
+//!
+//! The placement MILP (`carbonedge-core::algorithm::build_model_from_costs`)
+//! carries a lot of structure a generic solver can discharge before the
+//! simplex ever runs: powered-on servers pin `y_s = 1` through singleton
+//! equality rows, which turns their linking rows `x - y <= 0` into the
+//! redundant `x <= 1`; latency-infeasible pairs never get variables, but
+//! capacity rows can still imply `x = 0` for demand that cannot fit; and
+//! within each assignment row `sum_s x_{a,s} = 1` a server whose column is
+//! pointwise no worse than another's (same or looser coefficients in every
+//! other row, no higher cost) *dominates* it, so the dominated binary can be
+//! fixed to zero.
+//!
+//! [`presolve`] runs those reductions to a fixed point:
+//!
+//! 1. substitute fixed variables into every row (tracking an objective
+//!    offset), validating rows that become empty;
+//! 2. drop rows made redundant by variable bounds, and detect rows made
+//!    infeasible by them;
+//! 3. tighten variable bounds from singleton rows and from per-row implied
+//!    activity bounds (rounding binary bounds to {0, 1});
+//! 4. fix empty columns at their cost-preferred bound;
+//! 5. fix dominated binary columns inside coefficient-1 assignment
+//!    equalities.
+//!
+//! The result is a [`PresolvedModel`]: the reduced [`Model`] plus the
+//! mapping needed to **postsolve** a reduced solution back to a full-length
+//! assignment and the full objective.  Reductions only ever remove
+//! provably-suboptimal or forced choices, so optimal objectives are
+//! preserved exactly; [`BranchBoundSolver`](crate::BranchBoundSolver) gates
+//! the pass by model size so that small warm-restarted re-solves skip it and
+//! keep their zero-pivot warm-start contracts.
+
+use crate::model::{Comparison, LinearExpr, Model, VarId, VarKind};
+
+/// Coefficients closer than this are treated as equal when comparing
+/// columns for dominance.
+const COEF_EPS: f64 = 1e-9;
+/// Feasibility slack when validating empty rows and bound crossings.
+const FEAS_EPS: f64 = 1e-7;
+/// A bound must improve by more than this to count as a tightening.
+const TIGHTEN_EPS: f64 = 1e-9;
+/// Maximum number of reduction sweeps before giving up on a fixed point.
+const MAX_PASSES: usize = 10;
+/// Assignment rows longer than this skip the quadratic dominance scan.
+const DOMINANCE_ROW_LIMIT: usize = 512;
+
+/// Result of [`presolve`].
+#[derive(Debug)]
+pub enum PresolveOutcome {
+    /// The model was reduced (possibly trivially) and can be solved.
+    Reduced(PresolvedModel),
+    /// The reductions proved the model infeasible.
+    Infeasible,
+}
+
+/// A reduced model together with the postsolve mapping back to the
+/// original variable space.
+#[derive(Debug)]
+pub struct PresolvedModel {
+    /// The reduced model over the surviving variables.
+    pub model: Model,
+    /// Objective contribution of the eliminated (fixed) variables.
+    pub objective_offset: f64,
+    /// Number of variables eliminated by the reductions.
+    pub fixed_count: usize,
+    /// Number of constraints dropped as empty or redundant.
+    pub dropped_rows: usize,
+    /// `kept[new_index] = old_index` for surviving variables.
+    kept: Vec<usize>,
+    /// `fixed[old_index] = Some(value)` for eliminated variables.
+    fixed: Vec<Option<f64>>,
+}
+
+impl PresolvedModel {
+    /// Maps a solution of the reduced model back to the full variable
+    /// space, filling in the values of eliminated variables.
+    pub fn postsolve(&self, reduced_values: &[f64]) -> Vec<f64> {
+        let mut full = vec![0.0; self.fixed.len()];
+        for (old, fix) in self.fixed.iter().enumerate() {
+            if let Some(v) = fix {
+                full[old] = *v;
+            }
+        }
+        for (new, &old) in self.kept.iter().enumerate() {
+            full[old] = reduced_values[new];
+        }
+        full
+    }
+
+    /// Full-model objective for a reduced-model objective value.
+    pub fn full_objective(&self, reduced_objective: f64) -> f64 {
+        reduced_objective + self.objective_offset
+    }
+}
+
+/// Working copy of one constraint during the reduction sweeps.
+struct Row {
+    terms: Vec<(usize, f64)>,
+    cmp: Comparison,
+    rhs: f64,
+    name: String,
+    active: bool,
+}
+
+/// Minimum and maximum activity of a row under the current bounds,
+/// tracking how many terms contribute an infinite endpoint so exclusion
+/// bounds stay well-defined.
+struct Activity {
+    min: f64,
+    max: f64,
+    min_inf: usize,
+    max_inf: usize,
+}
+
+fn activity(terms: &[(usize, f64)], lo: &[f64], hi: &[f64]) -> Activity {
+    let mut act = Activity {
+        min: 0.0,
+        max: 0.0,
+        min_inf: 0,
+        max_inf: 0,
+    };
+    for &(j, a) in terms {
+        let (toward_min, toward_max) = if a > 0.0 {
+            (a * lo[j], a * hi[j])
+        } else {
+            (a * hi[j], a * lo[j])
+        };
+        if toward_min.is_finite() {
+            act.min += toward_min;
+        } else {
+            act.min_inf += 1;
+        }
+        if toward_max.is_finite() {
+            act.max += toward_max;
+        } else {
+            act.max_inf += 1;
+        }
+    }
+    act
+}
+
+/// Runs the reduction sweeps on `model` and returns the reduced model with
+/// its postsolve mapping, or proof of infeasibility.
+pub fn presolve(model: &Model) -> PresolveOutcome {
+    let n = model.num_vars();
+    let mut lo = vec![0.0; n];
+    let mut hi = vec![0.0; n];
+    let mut is_bin = vec![false; n];
+    for (j, kind) in model.vars().iter().enumerate() {
+        let (l, h) = kind.bounds();
+        lo[j] = l;
+        hi[j] = h;
+        is_bin[j] = matches!(kind, VarKind::Binary);
+    }
+    let mut cost = vec![0.0; n];
+    for &(v, c) in &model.objective().terms {
+        cost[v.index()] += c;
+    }
+    let mut rows: Vec<Row> = model
+        .constraints()
+        .iter()
+        .map(|c| Row {
+            terms: c.expr.terms.iter().map(|&(v, a)| (v.index(), a)).collect(),
+            cmp: c.cmp,
+            rhs: c.rhs,
+            name: c.name.clone(),
+            active: true,
+        })
+        .collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut dropped_rows = 0usize;
+
+    for _pass in 0..MAX_PASSES {
+        let mut changed = false;
+
+        // 1. Substitute fixed variables, validate empty rows, tighten from
+        //    singleton rows, drop redundant rows, propagate implied bounds.
+        for row in rows.iter_mut() {
+            if !row.active {
+                continue;
+            }
+            let before = row.terms.len();
+            let mut shift = 0.0;
+            row.terms.retain(|&(j, a)| match fixed[j] {
+                Some(v) => {
+                    shift += a * v;
+                    false
+                }
+                None => true,
+            });
+            row.rhs -= shift;
+            if row.terms.len() != before {
+                changed = true;
+            }
+
+            if row.terms.is_empty() {
+                let ok = match row.cmp {
+                    Comparison::LessEq => 0.0 <= row.rhs + FEAS_EPS,
+                    Comparison::GreaterEq => 0.0 >= row.rhs - FEAS_EPS,
+                    Comparison::Equal => row.rhs.abs() <= FEAS_EPS,
+                };
+                if !ok {
+                    return PresolveOutcome::Infeasible;
+                }
+                row.active = false;
+                dropped_rows += 1;
+                changed = true;
+                continue;
+            }
+
+            if row.terms.len() == 1 {
+                let (j, a) = row.terms[0];
+                let bound = row.rhs / a;
+                let (mut new_lo, mut new_hi) = (lo[j], hi[j]);
+                match (row.cmp, a > 0.0) {
+                    (Comparison::LessEq, true) | (Comparison::GreaterEq, false) => {
+                        new_hi = new_hi.min(bound);
+                    }
+                    (Comparison::LessEq, false) | (Comparison::GreaterEq, true) => {
+                        new_lo = new_lo.max(bound);
+                    }
+                    (Comparison::Equal, _) => {
+                        new_lo = new_lo.max(bound);
+                        new_hi = new_hi.min(bound);
+                    }
+                }
+                if !tighten(j, new_lo, new_hi, &mut lo, &mut hi, &is_bin) {
+                    return PresolveOutcome::Infeasible;
+                }
+                row.active = false;
+                dropped_rows += 1;
+                changed = true;
+                continue;
+            }
+
+            let act = activity(&row.terms, &lo, &hi);
+            let min_known = act.min_inf == 0;
+            let max_known = act.max_inf == 0;
+            // Infeasible by activity?
+            match row.cmp {
+                Comparison::LessEq if min_known && act.min > row.rhs + FEAS_EPS => {
+                    return PresolveOutcome::Infeasible;
+                }
+                Comparison::GreaterEq if max_known && act.max < row.rhs - FEAS_EPS => {
+                    return PresolveOutcome::Infeasible;
+                }
+                Comparison::Equal
+                    if (min_known && act.min > row.rhs + FEAS_EPS)
+                        || (max_known && act.max < row.rhs - FEAS_EPS) =>
+                {
+                    return PresolveOutcome::Infeasible;
+                }
+                _ => {}
+            }
+            // Redundant by activity?
+            let redundant = match row.cmp {
+                Comparison::LessEq => max_known && act.max <= row.rhs + COEF_EPS,
+                Comparison::GreaterEq => min_known && act.min >= row.rhs - COEF_EPS,
+                Comparison::Equal => false,
+            };
+            if redundant {
+                row.active = false;
+                dropped_rows += 1;
+                changed = true;
+                continue;
+            }
+            // Implied per-variable bounds from the row's residual activity.
+            let tighten_upper = matches!(row.cmp, Comparison::LessEq | Comparison::Equal);
+            let tighten_lower = matches!(row.cmp, Comparison::GreaterEq | Comparison::Equal);
+            for &(j, a) in &row.terms {
+                let (toward_min, toward_max) = if a > 0.0 {
+                    (a * lo[j], a * hi[j])
+                } else {
+                    (a * hi[j], a * lo[j])
+                };
+                // Residual min activity over the other terms.
+                if tighten_upper {
+                    let excl_known =
+                        act.min_inf == 0 || (act.min_inf == 1 && !toward_min.is_finite());
+                    if excl_known {
+                        let resid = if toward_min.is_finite() {
+                            act.min - toward_min
+                        } else {
+                            act.min
+                        };
+                        let bound = (row.rhs - resid) / a;
+                        let (mut new_lo, mut new_hi) = (lo[j], hi[j]);
+                        if a > 0.0 {
+                            new_hi = new_hi.min(bound);
+                        } else {
+                            new_lo = new_lo.max(bound);
+                        }
+                        if improves(j, new_lo, new_hi, &lo, &hi) {
+                            if !tighten(j, new_lo, new_hi, &mut lo, &mut hi, &is_bin) {
+                                return PresolveOutcome::Infeasible;
+                            }
+                            changed = true;
+                        }
+                    }
+                }
+                // Residual max activity over the other terms.
+                if tighten_lower {
+                    let excl_known =
+                        act.max_inf == 0 || (act.max_inf == 1 && !toward_max.is_finite());
+                    if excl_known {
+                        let resid = if toward_max.is_finite() {
+                            act.max - toward_max
+                        } else {
+                            act.max
+                        };
+                        let bound = (row.rhs - resid) / a;
+                        let (mut new_lo, mut new_hi) = (lo[j], hi[j]);
+                        if a > 0.0 {
+                            new_lo = new_lo.max(bound);
+                        } else {
+                            new_hi = new_hi.min(bound);
+                        }
+                        if improves(j, new_lo, new_hi, &lo, &hi) {
+                            if !tighten(j, new_lo, new_hi, &mut lo, &mut hi, &is_bin) {
+                                return PresolveOutcome::Infeasible;
+                            }
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Fix variables whose bounds have closed.
+        for j in 0..n {
+            if fixed[j].is_none() && hi[j] - lo[j] <= TIGHTEN_EPS {
+                let v = if is_bin[j] {
+                    if lo[j] > 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.5 * (lo[j] + hi[j])
+                };
+                fixed[j] = Some(v);
+                changed = true;
+            }
+        }
+
+        // 3. Fix empty columns at their cost-preferred bound.
+        let mut col_use = vec![0usize; n];
+        for row in rows.iter().filter(|r| r.active) {
+            for &(j, _) in &row.terms {
+                col_use[j] += 1;
+            }
+        }
+        for j in 0..n {
+            if fixed[j].is_some() || col_use[j] > 0 {
+                continue;
+            }
+            let preferred = if cost[j] > 0.0 { lo[j] } else { hi[j] };
+            if preferred.is_finite() {
+                fixed[j] = Some(preferred);
+                changed = true;
+            }
+        }
+
+        // 4. Dominated binary columns inside coefficient-1 assignment
+        //    equalities.
+        if dominate_assignment_columns(&rows, &mut lo, &mut hi, &cost, &is_bin, &fixed) {
+            changed = true;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the reduced model over the surviving variables.
+    let mut reduced = Model::new();
+    let mut kept = Vec::new();
+    let mut new_id = vec![usize::MAX; n];
+    for j in 0..n {
+        if fixed[j].is_some() {
+            continue;
+        }
+        let id = if is_bin[j] {
+            reduced.add_binary()
+        } else {
+            reduced.add_continuous(lo[j], hi[j])
+        };
+        new_id[j] = id.index();
+        kept.push(j);
+    }
+    let mut objective_offset = 0.0;
+    for j in 0..n {
+        match fixed[j] {
+            Some(v) => objective_offset += cost[j] * v,
+            None => {
+                if cost[j] != 0.0 {
+                    reduced.set_objective_term(VarId(new_id[j]), cost[j]);
+                }
+            }
+        }
+    }
+    for row in rows.iter().filter(|r| r.active) {
+        let mut expr = LinearExpr::new();
+        let mut rhs = row.rhs;
+        for &(j, a) in &row.terms {
+            match fixed[j] {
+                Some(v) => rhs -= a * v,
+                None => {
+                    expr.add(VarId(new_id[j]), a);
+                }
+            }
+        }
+        if expr.terms.is_empty() {
+            let ok = match row.cmp {
+                Comparison::LessEq => 0.0 <= rhs + FEAS_EPS,
+                Comparison::GreaterEq => 0.0 >= rhs - FEAS_EPS,
+                Comparison::Equal => rhs.abs() <= FEAS_EPS,
+            };
+            if !ok {
+                return PresolveOutcome::Infeasible;
+            }
+            dropped_rows += 1;
+            continue;
+        }
+        reduced.add_constraint(expr, row.cmp, rhs, &row.name);
+    }
+
+    let fixed_count = fixed.iter().filter(|f| f.is_some()).count();
+    PresolveOutcome::Reduced(PresolvedModel {
+        model: reduced,
+        objective_offset,
+        fixed_count,
+        dropped_rows,
+        kept,
+        fixed,
+    })
+}
+
+/// Whether `(new_lo, new_hi)` is a strict improvement over variable `j`'s
+/// current bounds.
+fn improves(j: usize, new_lo: f64, new_hi: f64, lo: &[f64], hi: &[f64]) -> bool {
+    new_lo > lo[j] + TIGHTEN_EPS || new_hi < hi[j] - TIGHTEN_EPS
+}
+
+/// Applies tightened bounds to variable `j`, rounding binary bounds to
+/// {0, 1}.  Returns `false` if the bounds cross (infeasible).
+fn tighten(
+    j: usize,
+    new_lo: f64,
+    new_hi: f64,
+    lo: &mut [f64],
+    hi: &mut [f64],
+    is_bin: &[bool],
+) -> bool {
+    let mut l = lo[j].max(new_lo);
+    let mut h = hi[j].min(new_hi);
+    if is_bin[j] {
+        l = if l > FEAS_EPS { 1.0 } else { 0.0 };
+        h = if h < 1.0 - FEAS_EPS { 0.0 } else { 1.0 };
+    }
+    if l > h + FEAS_EPS {
+        return false;
+    }
+    lo[j] = l;
+    hi[j] = h.max(l);
+    true
+}
+
+/// Scans assignment rows (`sum x_j = 1`, all coefficients 1, all binary)
+/// for dominated columns and fixes them to zero via their upper bound.
+/// Column `u` dominates `v` when swapping a unit from `v` to `u` can never
+/// hurt: `cost_u <= cost_v` and in every other active row `u`'s coefficient
+/// is no worse than `v`'s for the row sense.  Exact ties break by index so
+/// only one side of a tie is eliminated.
+fn dominate_assignment_columns(
+    rows: &[Row],
+    lo: &mut [f64],
+    hi: &mut [f64],
+    cost: &[f64],
+    is_bin: &[bool],
+    fixed: &[Option<f64>],
+) -> bool {
+    let n = cost.len();
+    // Sparse columns over active rows, sorted by row index by construction.
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (r, row) in rows.iter().enumerate() {
+        if !row.active {
+            continue;
+        }
+        for &(j, a) in &row.terms {
+            cols[j].push((r, a));
+        }
+    }
+    let mut changed = false;
+    for (r, row) in rows.iter().enumerate() {
+        if !row.active || row.terms.len() < 2 || row.terms.len() > DOMINANCE_ROW_LIMIT {
+            continue;
+        }
+        if row.cmp != Comparison::Equal || (row.rhs - 1.0).abs() > COEF_EPS {
+            continue;
+        }
+        if !row
+            .terms
+            .iter()
+            .all(|&(j, a)| is_bin[j] && fixed[j].is_none() && (a - 1.0).abs() <= COEF_EPS)
+        {
+            continue;
+        }
+        let members = &row.terms;
+        for &(u, _) in members.iter() {
+            if lo[u] > FEAS_EPS || hi[u] < 1.0 - FEAS_EPS {
+                // `u` cannot freely take the unit; it cannot dominate.
+                continue;
+            }
+            for &(v, _) in members.iter() {
+                if u == v || lo[v] > FEAS_EPS || hi[v] < 1.0 - FEAS_EPS {
+                    continue;
+                }
+                let (better_cost, tied_cost) = (
+                    cost[u] < cost[v] - COEF_EPS,
+                    (cost[u] - cost[v]).abs() <= COEF_EPS,
+                );
+                if !better_cost && !tied_cost {
+                    continue;
+                }
+                if !column_dominates(r, &cols[u], &cols[v], rows) {
+                    continue;
+                }
+                // Strict cost win always eliminates `v`; exact ties only
+                // eliminate the higher index so the dominator survives.
+                if better_cost || u < v {
+                    hi[v] = 0.0;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Whether column `u` is pointwise no worse than column `v` in every
+/// active row other than `skip` (the shared assignment row).
+fn column_dominates(
+    skip: usize,
+    col_u: &[(usize, f64)],
+    col_v: &[(usize, f64)],
+    rows: &[Row],
+) -> bool {
+    let (mut iu, mut iv) = (0usize, 0usize);
+    loop {
+        let ru = col_u.get(iu).map(|&(r, _)| r);
+        let rv = col_v.get(iv).map(|&(r, _)| r);
+        let (r, au, av) = match (ru, rv) {
+            (None, None) => return true,
+            (Some(r), None) => {
+                iu += 1;
+                (r, col_u[iu - 1].1, 0.0)
+            }
+            (None, Some(r)) => {
+                iv += 1;
+                (r, 0.0, col_v[iv - 1].1)
+            }
+            (Some(a), Some(b)) => {
+                if a < b {
+                    iu += 1;
+                    (a, col_u[iu - 1].1, 0.0)
+                } else if b < a {
+                    iv += 1;
+                    (b, 0.0, col_v[iv - 1].1)
+                } else {
+                    iu += 1;
+                    iv += 1;
+                    (a, col_u[iu - 1].1, col_v[iv - 1].1)
+                }
+            }
+        };
+        if r == skip {
+            continue;
+        }
+        let ok = match rows[r].cmp {
+            Comparison::LessEq => au <= av + COEF_EPS,
+            Comparison::GreaterEq => au >= av - COEF_EPS,
+            Comparison::Equal => (au - av).abs() <= COEF_EPS,
+        };
+        if !ok {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::BranchBoundSolver;
+    use crate::reference::ReferenceBranchBound;
+
+    fn reduced(model: &Model) -> PresolvedModel {
+        match presolve(model) {
+            PresolveOutcome::Reduced(pm) => pm,
+            PresolveOutcome::Infeasible => panic!("expected a reduced model"),
+        }
+    }
+
+    #[test]
+    fn singleton_equality_fixes_the_variable_and_offsets_the_objective() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0);
+        let y = m.add_continuous(0.0, 10.0);
+        m.set_objective_term(x, 2.0);
+        m.set_objective_term(y, 1.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::Equal,
+            3.0,
+            "fix-x",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::GreaterEq,
+            5.0,
+            "cover",
+        );
+        let pm = reduced(&m);
+        // The cascade dissolves the whole model: x fixes to 3, the cover
+        // row rewrites to y >= 2 (a singleton, so it tightens y's bound and
+        // drops), and y — now an empty column with positive cost — fixes at
+        // its tightened lower bound.
+        assert_eq!(pm.model.num_vars(), 0);
+        assert_eq!(pm.fixed_count, 2);
+        assert!((pm.objective_offset - 8.0).abs() < 1e-9);
+        let full = pm.postsolve(&[]);
+        assert_eq!(full.len(), 2);
+        assert!((full[0] - 3.0).abs() < 1e-9);
+        assert!((full[1] - 2.0).abs() < 1e-9);
+        assert!((pm.full_objective(0.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped_and_empty_columns_fixed_at_cheap_bound() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0);
+        let z = m.add_continuous(0.0, 4.0);
+        m.set_objective_term(x, 1.0);
+        m.set_objective_term(z, -1.0);
+        // Redundant: max activity of x is 1 <= 5.
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::LessEq,
+            5.0,
+            "slack",
+        );
+        let pm = reduced(&m);
+        // Both columns fix: x has no active rows after the redundant row
+        // drops (cost 1 -> lower bound 0), z never had one (cost -1 ->
+        // upper bound 4).
+        assert_eq!(pm.model.num_vars(), 0);
+        assert_eq!(pm.fixed_count, 2);
+        assert!(pm.dropped_rows >= 1);
+        let full = pm.postsolve(&[]);
+        assert!((full[0] - 0.0).abs() < 1e-9);
+        assert!((full[1] - 4.0).abs() < 1e-9);
+        assert!((pm.full_objective(0.0) + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_bounds_are_reported_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::GreaterEq,
+            2.0,
+            "too-big",
+        );
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn empty_row_violation_is_reported_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(2.0, 2.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0),
+            Comparison::LessEq,
+            1.0,
+            "cap",
+        );
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn dominated_assignment_column_is_fixed_to_zero() {
+        // One app, three servers; server 1 is strictly cheaper than server 2
+        // with identical capacity usage, so x2 is dominated.  Server 0 is
+        // cheap but capacity-infeasible.
+        let mut m = Model::new();
+        let x0 = m.add_binary();
+        let x1 = m.add_binary();
+        let x2 = m.add_binary();
+        m.set_objective_term(x0, 1.0);
+        m.set_objective_term(x1, 2.0);
+        m.set_objective_term(x2, 3.0);
+        m.add_constraint(
+            LinearExpr::new().with(x0, 1.0).with(x1, 1.0).with(x2, 1.0),
+            Comparison::Equal,
+            1.0,
+            "assign",
+        );
+        // x0 consumes 5 units of a 4-unit server; x1/x2 consume 1 each.
+        m.add_constraint(
+            LinearExpr::new().with(x0, 5.0),
+            Comparison::LessEq,
+            4.0,
+            "cap0",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x1, 1.0),
+            Comparison::LessEq,
+            4.0,
+            "cap1",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x2, 1.0),
+            Comparison::LessEq,
+            4.0,
+            "cap2",
+        );
+        let pm = reduced(&m);
+        // x0 is forced to 0 by cap0 tightening; x2 is dominated by x1; the
+        // assignment then fixes x1 = 1 — the whole model dissolves.
+        assert_eq!(pm.model.num_vars(), 0);
+        let full = pm.postsolve(&[]);
+        assert_eq!(full, vec![0.0, 1.0, 0.0]);
+        assert!((pm.full_objective(0.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tied_dominance_keeps_exactly_one_column() {
+        let mut m = Model::new();
+        let x0 = m.add_binary();
+        let x1 = m.add_binary();
+        m.set_objective_term(x0, 2.0);
+        m.set_objective_term(x1, 2.0);
+        m.add_constraint(
+            LinearExpr::new().with(x0, 1.0).with(x1, 1.0),
+            Comparison::Equal,
+            1.0,
+            "assign",
+        );
+        let pm = reduced(&m);
+        let full = pm.postsolve(&vec![1.0; pm.model.num_vars()]);
+        let total: f64 = full.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "exactly one column survives: {full:?}"
+        );
+        assert!((m.objective_value(&full) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presolved_solve_matches_the_reference_oracle_on_a_placement_shape() {
+        // 3 apps x 3 servers with activation variables, linking rows, and a
+        // pinned-on server — the same structure the placement model builds.
+        let mut m = Model::new();
+        let mut x = Vec::new();
+        for _ in 0..9 {
+            x.push(m.add_binary());
+        }
+        let y: Vec<_> = (0..3).map(|_| m.add_binary()).collect();
+        let costs = [4.0, 2.0, 5.0, 1.0, 6.0, 3.0, 2.0, 2.0, 7.0];
+        for (i, &c) in costs.iter().enumerate() {
+            m.set_objective_term(x[i], c);
+        }
+        for (s, &ys) in y.iter().enumerate() {
+            m.set_objective_term(ys, 1.0 + s as f64);
+        }
+        for a in 0..3 {
+            let mut e = LinearExpr::new();
+            for s in 0..3 {
+                e.add(x[a * 3 + s], 1.0);
+            }
+            m.add_constraint(e, Comparison::Equal, 1.0, format!("assign[{a}]"));
+        }
+        for s in 0..3 {
+            let mut e = LinearExpr::new();
+            for a in 0..3 {
+                e.add(x[a * 3 + s], 1.0);
+            }
+            e.add(y[s], -3.0);
+            m.add_constraint(e, Comparison::LessEq, 0.0, format!("cap[{s}]"));
+            for a in 0..3 {
+                m.add_constraint(
+                    LinearExpr::new().with(x[a * 3 + s], 1.0).with(y[s], -1.0),
+                    Comparison::LessEq,
+                    0.0,
+                    format!("link[{a},{s}]"),
+                );
+            }
+        }
+        // Server 0 is pinned on.
+        m.add_constraint(
+            LinearExpr::new().with(y[0], 1.0),
+            Comparison::Equal,
+            1.0,
+            "on[0]",
+        );
+
+        let oracle = ReferenceBranchBound::new().solve(&m);
+        let pm = reduced(&m);
+        assert!(pm.fixed_count >= 1, "the pinned y[0] must be eliminated");
+        let sub = BranchBoundSolver::new().solve(&pm.model);
+        assert!(sub.has_solution());
+        let full = pm.postsolve(&sub.values);
+        assert!(
+            m.is_feasible(&full, 1e-6),
+            "postsolved point must be feasible"
+        );
+        let obj = pm.full_objective(sub.objective);
+        assert!(
+            (obj - oracle.objective).abs() < 1e-6,
+            "presolved objective {obj} != oracle {}",
+            oracle.objective
+        );
+    }
+}

@@ -462,6 +462,7 @@ impl ReferenceBranchBound {
                 values,
                 nodes,
                 pivots,
+                factor: Default::default(),
             },
             None => MilpSolution {
                 outcome: if exhausted {
@@ -473,6 +474,7 @@ impl ReferenceBranchBound {
                 values: vec![],
                 nodes,
                 pivots,
+                factor: Default::default(),
             },
         }
     }

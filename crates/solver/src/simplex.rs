@@ -11,9 +11,13 @@
 //! * reaches feasibility with a proper **phase-1** (artificial variables
 //!   priced at unit cost, then pinned to zero) instead of the numerically
 //!   fragile Big-M penalty,
-//! * maintains an explicit **basis inverse** that is updated in place per
-//!   pivot (periodically refactorized) rather than rebuilding a dense
-//!   tableau per solve, and
+//! * keeps the basis as a **sparse LU factorization** ([`crate::factor`]):
+//!   Markowitz-ordered refactorization plus product-form eta updates per
+//!   pivot, so FTRAN/BTRAN cost `O(nnz)` instead of the `O(m^2)` of the
+//!   dense basis inverse this solver used to carry,
+//! * prices entering columns with **devex** reference weights (falling
+//!   back to Bland's rule after long degenerate streaks, preserving the
+//!   anti-cycling guarantee), and
 //! * supports **warm restarts** via the bounded **dual simplex**: any
 //!   optimal basis stays dual feasible under pure bound changes (reduced
 //!   costs do not depend on bounds), which is exactly what branch-and-bound
@@ -23,6 +27,7 @@
 //! thousands of branch-and-bound nodes, successive placement calls — are
 //! allocation-free after the first.
 
+use crate::factor::BasisFactor;
 use crate::model::{Comparison, Model, VarKind};
 
 /// The status of an LP solve.
@@ -64,8 +69,9 @@ const FREE: u8 = 3;
 const EPS: f64 = 1e-9;
 /// Phase-1 objective threshold below which the problem counts as feasible.
 const FEAS_TOL: f64 = 1e-6;
-/// Basis-inverse refactorization cadence, in pivots.
-const REFACTOR_EVERY: usize = 128;
+/// Devex weight ceiling; past this the reference framework has drifted so
+/// far that the weights are reset to unity.
+const DEVEX_RESET: f64 = 1e12;
 
 /// Column-wise (CSC) form of a model plus its natural bounds and costs,
 /// built once per model and shared by every node of a branch-and-bound
@@ -265,10 +271,10 @@ impl Prepared {
     }
 }
 
-/// Reusable scratch state of the revised simplex: basis, basis inverse,
-/// effective bounds, values and pricing buffers.  One workspace serves an
-/// entire branch-and-bound search (and successive searches of same-shaped
-/// models) without reallocating.
+/// Reusable scratch state of the revised simplex: basis, sparse basis
+/// factorization, effective bounds, values and pricing buffers.  One
+/// workspace serves an entire branch-and-bound search (and successive
+/// searches of same-shaped models) without reallocating.
 #[derive(Debug, Clone, Default)]
 pub struct SimplexWorkspace {
     n: usize,
@@ -277,8 +283,9 @@ pub struct SimplexWorkspace {
     state: Vec<u8>,
     /// Basic column per row.
     basis: Vec<usize>,
-    /// Row-major `m x m` basis inverse.
-    binv: Vec<f64>,
+    /// Sparse LU factorization of the basis plus the eta file of pivots
+    /// applied since the last refactorization.
+    factor: BasisFactor,
     /// Current value per column.
     x: Vec<f64>,
     /// Effective lower bounds (node-specific overrides applied here).
@@ -295,7 +302,26 @@ pub struct SimplexWorkspace {
     d: Vec<f64>,
     w: Vec<f64>,
     rowbuf: Vec<f64>,
-    factor: Vec<f64>,
+    /// Slot-indexed BTRAN input scratch.
+    slotbuf: Vec<f64>,
+    /// Row `r` of the basis inverse (BTRAN of a unit vector), used by the
+    /// dual ratio test, devex weight updates and artificial pinning.
+    rho: Vec<f64>,
+    /// Devex reference weights per column.
+    devex: Vec<f64>,
+    /// Basis-matrix assembly scratch for refactorization (CSC by slot).
+    fac_ptr: Vec<usize>,
+    fac_row: Vec<usize>,
+    fac_val: Vec<f64>,
+    /// Basis snapshot ([`Self::snapshot_basis`]) — the root-optimal resting
+    /// state a branch-and-bound search re-installs after exploring its tree
+    /// so same-model re-solves are exact fixed points.
+    snap_state: Vec<u8>,
+    snap_basis: Vec<usize>,
+    snap_x: Vec<f64>,
+    snap_art_sign: Vec<f64>,
+    snap_art_active: Vec<bool>,
+    snap_valid: bool,
     /// Whether the current basis is dual feasible w.r.t. the real costs,
     /// i.e. usable for a warm (dual simplex) restart.
     dual_ready: bool,
@@ -305,8 +331,13 @@ pub struct SimplexWorkspace {
     /// Whether an artificial phase-1 is in flight (widens pricing to the
     /// artificial block).
     phase1_active: bool,
-    pivots_since_refactor: usize,
     solve_pivots: usize,
+    /// Refactorizations performed since [`Self::reset_factor_stats`].
+    refactor_count: usize,
+    /// Longest eta file seen since [`Self::reset_factor_stats`].
+    peak_eta: usize,
+    /// Fill-in ratio of the most recent factorization.
+    fill_ratio: f64,
 }
 
 enum LoopEnd {
@@ -339,8 +370,7 @@ impl SimplexWorkspace {
         self.state.resize(ncols, AT_LOWER);
         self.basis.clear();
         self.basis.resize(prep.m, 0);
-        self.binv.clear();
-        self.binv.resize(prep.m * prep.m, 0.0);
+        self.factor.reset_identity(prep.m);
         self.x.clear();
         self.x.resize(ncols, 0.0);
         self.lower.clear();
@@ -361,11 +391,81 @@ impl SimplexWorkspace {
         self.w.resize(prep.m, 0.0);
         self.rowbuf.clear();
         self.rowbuf.resize(prep.m, 0.0);
+        self.slotbuf.clear();
+        self.slotbuf.resize(prep.m, 0.0);
+        self.rho.clear();
+        self.rho.resize(prep.m, 0.0);
+        self.devex.clear();
+        self.devex.resize(ncols, 1.0);
         self.dual_ready = false;
         self.primal_ready = false;
         self.phase1_active = false;
-        self.pivots_since_refactor = 0;
+        self.snap_valid = false;
         self.solve_pivots = 0;
+        self.reset_factor_stats();
+    }
+
+    /// Records the resident basis — column states, basic set, values and
+    /// artificial block — for a later [`Self::restore_basis`].
+    pub fn snapshot_basis(&mut self) {
+        self.snap_state.clear();
+        self.snap_state.extend_from_slice(&self.state);
+        self.snap_basis.clear();
+        self.snap_basis.extend_from_slice(&self.basis);
+        self.snap_x.clear();
+        self.snap_x.extend_from_slice(&self.x);
+        self.snap_art_sign.clear();
+        self.snap_art_sign.extend_from_slice(&self.art_sign);
+        self.snap_art_active.clear();
+        self.snap_art_active.extend_from_slice(&self.art_active);
+        self.snap_valid = true;
+    }
+
+    /// Re-installs the basis recorded by [`Self::snapshot_basis`] and marks
+    /// the workspace warm-restart ready.  The caller must have restored the
+    /// bounds that were effective at snapshot time.  Returns `false` (and
+    /// leaves a clean slack basis behind) when there is no snapshot or the
+    /// snapshot basis no longer factorizes.
+    pub fn restore_basis(&mut self, prep: &Prepared) -> bool {
+        if !self.snap_valid {
+            return false;
+        }
+        self.state.copy_from_slice(&self.snap_state);
+        self.basis.copy_from_slice(&self.snap_basis);
+        self.x.copy_from_slice(&self.snap_x);
+        self.art_sign.copy_from_slice(&self.snap_art_sign);
+        self.art_active.copy_from_slice(&self.snap_art_active);
+        self.phase1_active = false;
+        if !self.refactorize(prep) {
+            return false;
+        }
+        self.dual_ready = true;
+        self.primal_ready = true;
+        true
+    }
+
+    /// Clears the per-solve factorization counters (refactorizations, peak
+    /// eta length); called by the MILP driver at the start of each search.
+    pub fn reset_factor_stats(&mut self) {
+        self.refactor_count = 0;
+        self.peak_eta = 0;
+        self.fill_ratio = self.factor.fill_ratio();
+    }
+
+    /// Refactorizations performed since the last [`Self::reset_factor_stats`].
+    pub fn refactor_count(&self) -> usize {
+        self.refactor_count
+    }
+
+    /// Longest eta file seen since the last [`Self::reset_factor_stats`].
+    pub fn peak_eta_len(&self) -> usize {
+        self.peak_eta
+    }
+
+    /// Fill-in ratio (LU nonzeros over basis nonzeros) of the most recent
+    /// factorization.
+    pub fn fill_in_ratio(&self) -> f64 {
+        self.fill_ratio
     }
 
     /// Restores a structural variable's natural bounds.  A nonbasic variable
@@ -459,32 +559,22 @@ impl SimplexWorkspace {
                 }
             }
         }
+        self.factor.ftran(&mut self.rowbuf, &mut self.slotbuf);
         for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            let mut v = 0.0;
-            for (k, &b) in row.iter().enumerate() {
-                v += b * self.rowbuf[k];
-            }
-            self.x[self.basis[i]] = v;
+            self.x[self.basis[i]] = self.slotbuf[i];
         }
     }
 
-    /// Recomputes `y = c_B B^-1` and the reduced costs of every priceable
-    /// column, with raw index loops over the CSC arrays (this runs once per
-    /// pivot and dominates the per-iteration cost).
+    /// Recomputes `y = c_B B^-1` (one BTRAN) and the reduced costs of every
+    /// priceable column, with raw index loops over the CSC arrays (this
+    /// runs once per pivot and dominates the per-iteration cost).
     fn compute_duals(&mut self, prep: &Prepared) {
         let m = self.m;
         let nm = prep.n + prep.m;
-        self.y[..m].fill(0.0);
         for i in 0..m {
-            let cb = self.cost[self.basis[i]];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (k, &b) in row.iter().enumerate() {
-                    self.y[k] += cb * b;
-                }
-            }
+            self.slotbuf[i] = self.cost[self.basis[i]];
         }
+        self.factor.btran(&mut self.slotbuf, &mut self.y);
         let limit = self.price_limit(prep);
         for j in 0..limit {
             if self.state[j] == BASIC {
@@ -504,123 +594,148 @@ impl SimplexWorkspace {
         }
     }
 
-    /// Computes `w = B^-1 A_j` into the workspace (row-major traversal so
-    /// each basis-inverse row stays cache resident).
+    /// Computes `w = B^-1 A_j` into the workspace via one sparse FTRAN.
     fn compute_w(&mut self, prep: &Prepared, j: usize) {
-        let m = self.m;
         let nm = prep.n + prep.m;
+        self.rowbuf.fill(0.0);
         if j < nm {
-            let lo = prep.col_ptr[j];
-            let hi = prep.col_ptr[j + 1];
-            for i in 0..m {
-                let row = &self.binv[i * m..(i + 1) * m];
-                let mut v = 0.0;
-                for k in lo..hi {
-                    v += row[prep.col_row[k]] * prep.col_val[k];
-                }
-                self.w[i] = v;
+            for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
+                self.rowbuf[prep.col_row[k]] = prep.col_val[k];
             }
         } else {
             let r = j - nm;
-            let a = self.art_sign[r];
-            for i in 0..m {
-                self.w[i] = self.binv[i * m + r] * a;
+            self.rowbuf[r] = self.art_sign[r];
+        }
+        self.factor.ftran(&mut self.rowbuf, &mut self.w);
+    }
+
+    /// Computes row `row` of the basis inverse into `rho` via one sparse
+    /// BTRAN of a unit vector (`rho^T = e_row^T B^-1`).
+    fn compute_rho(&mut self, row: usize) {
+        self.slotbuf.fill(0.0);
+        self.slotbuf[row] = 1.0;
+        self.factor.btran(&mut self.slotbuf, &mut self.rho);
+    }
+
+    /// Dot product of the resident `rho` row with column `j`.
+    fn rho_dot_col(&self, prep: &Prepared, j: usize) -> f64 {
+        let nm = prep.n + prep.m;
+        if j < nm {
+            let mut v = 0.0;
+            for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
+                v += self.rho[prep.col_row[k]] * prep.col_val[k];
             }
+            v
+        } else {
+            let r = j - nm;
+            self.rho[r] * self.art_sign[r]
         }
     }
 
-    /// Elementary basis-inverse update after pivoting on row `r` with the
-    /// current `w = B^-1 A_q` column.
-    fn pivot_binv(&mut self, r: usize) {
-        let m = self.m;
-        let piv = self.w[r];
-        let inv = 1.0 / piv;
-        for k in 0..m {
-            self.binv[r * m + k] *= inv;
-        }
-        for i in 0..m {
-            if i == r {
-                continue;
-            }
-            let f = self.w[i];
-            if f != 0.0 {
-                for k in 0..m {
-                    self.binv[i * m + k] -= f * self.binv[r * m + k];
-                }
-            }
-        }
-        self.pivots_since_refactor += 1;
+    /// Product-form basis update after pivoting on row `r` with the current
+    /// `w = B^-1 A_q` column: appends one eta vector to the factorization.
+    fn pivot_update(&mut self, r: usize) {
+        self.factor.update(r, &self.w);
+        self.peak_eta = self.peak_eta.max(self.factor.eta_count());
     }
 
-    /// Rebuilds the basis inverse from scratch (Gauss-Jordan with partial
-    /// pivoting) and refreshes the basic values.  Returns `false` when the
-    /// basis matrix is numerically singular.
+    /// Rebuilds the sparse basis factorization from scratch and refreshes
+    /// the basic values.  Returns `false` when the basis matrix is
+    /// numerically singular — in that case the workspace is reset to a
+    /// clean slack basis (still structurally valid, cold-start ready)
+    /// instead of being left with a half-rebuilt factorization.
     fn refactorize(&mut self, prep: &Prepared) -> bool {
         let m = self.m;
+        self.refactor_count += 1;
         if m == 0 {
-            self.pivots_since_refactor = 0;
             return true;
         }
-        // Augmented [B | I] in a 2m-wide scratch buffer.
-        let width = 2 * m;
-        self.factor.clear();
-        self.factor.resize(m * width, 0.0);
-        for (k, &b) in self.basis.iter().enumerate() {
+        // Assemble the basis matrix column-wise (slot-major CSC).
+        self.fac_ptr.clear();
+        self.fac_row.clear();
+        self.fac_val.clear();
+        self.fac_ptr.push(0);
+        for k in 0..m {
+            let b = self.basis[k];
             if b < prep.n + prep.m {
                 for (r, a) in prep.col(b) {
-                    self.factor[r * width + k] = a;
+                    self.fac_row.push(r);
+                    self.fac_val.push(a);
                 }
             } else {
                 let r = b - prep.n - prep.m;
-                self.factor[r * width + k] = self.art_sign[r];
+                self.fac_row.push(r);
+                self.fac_val.push(self.art_sign[r]);
             }
+            self.fac_ptr.push(self.fac_row.len());
         }
-        for i in 0..m {
-            self.factor[i * width + m + i] = 1.0;
+        let ok = self
+            .factor
+            .factorize(m, &self.fac_ptr, &self.fac_row, &self.fac_val);
+        if !ok {
+            // A singular basis can't be factored; restore the pristine
+            // slack basis so the workspace stays usable (the caller falls
+            // back to a cold start).
+            self.install_slack_basis(prep);
+            self.dual_ready = false;
+            self.primal_ready = false;
+            return false;
         }
-        for col in 0..m {
-            // Partial pivot.
-            let mut best = col;
-            let mut best_mag = self.factor[col * width + col].abs();
-            for row in col + 1..m {
-                let mag = self.factor[row * width + col].abs();
-                if mag > best_mag {
-                    best = row;
-                    best_mag = mag;
-                }
-            }
-            if best_mag < 1e-11 {
-                return false;
-            }
-            if best != col {
-                for k in 0..width {
-                    self.factor.swap(col * width + k, best * width + k);
-                }
-            }
-            let inv = 1.0 / self.factor[col * width + col];
-            for k in 0..width {
-                self.factor[col * width + k] *= inv;
-            }
-            for row in 0..m {
-                if row == col {
-                    continue;
-                }
-                let f = self.factor[row * width + col];
-                if f != 0.0 {
-                    for k in 0..width {
-                        self.factor[row * width + k] -= f * self.factor[col * width + k];
-                    }
-                }
-            }
-        }
-        for i in 0..m {
-            for k in 0..m {
-                self.binv[i * m + k] = self.factor[i * width + m + k];
-            }
-        }
-        self.pivots_since_refactor = 0;
+        self.fill_ratio = self.factor.fill_ratio();
         self.refresh_basics(prep);
         true
+    }
+
+    /// Installs the slack basis with nonbasic structurals rested on the
+    /// bound their cost prefers, artificials parked at zero and an identity
+    /// factorization.  Returns whether the resulting basis is dual feasible
+    /// (all reduced costs — which equal the raw costs at the slack basis —
+    /// point away from their rest bound).
+    fn install_slack_basis(&mut self, prep: &Prepared) -> bool {
+        let n = prep.n;
+        let m = prep.m;
+        self.phase1_active = false;
+        let mut dual_ok = true;
+        for j in 0..n {
+            let c = prep.cost[j];
+            let lower_finite = self.lower[j].is_finite();
+            let upper_finite = self.upper[j].is_finite();
+            if lower_finite && (c >= 0.0 || !upper_finite) {
+                self.state[j] = AT_LOWER;
+                self.x[j] = self.lower[j];
+                if c < 0.0 {
+                    dual_ok = false;
+                }
+            } else if upper_finite {
+                self.state[j] = AT_UPPER;
+                self.x[j] = self.upper[j];
+                if c > 0.0 {
+                    dual_ok = false;
+                }
+            } else {
+                self.state[j] = FREE;
+                self.x[j] = 0.0;
+                if c != 0.0 {
+                    dual_ok = false;
+                }
+            }
+        }
+        // Slack basis; identity factorization; artificials parked at zero.
+        for r in 0..m {
+            self.basis[r] = n + r;
+            self.state[n + r] = BASIC;
+            let a = n + m + r;
+            self.state[a] = AT_LOWER;
+            self.x[a] = 0.0;
+            self.lower[a] = 0.0;
+            self.upper[a] = 0.0;
+            self.art_active[r] = false;
+            self.art_sign[r] = 1.0;
+        }
+        self.factor.reset_identity(m);
+        self.devex.fill(1.0);
+        self.refresh_basics(prep);
+        dual_ok
     }
 }
 
@@ -663,6 +778,11 @@ impl SimplexSolver {
     /// `ws.last_pivots()` reports the pivots performed.
     pub fn solve_workspace(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LpOutcome {
         ws.solve_pivots = 0;
+        // Re-reference the devex weights per solve: pricing must be a
+        // deterministic function of (basis, costs), not of which solves the
+        // workspace served before, or warm restarts could land on a
+        // different degenerate-optimal vertex than a cold solve.
+        ws.devex.fill(1.0);
         for j in 0..prep.ncols() {
             if ws.lower[j] > ws.upper[j] + self.tolerance {
                 return LpOutcome::Infeasible;
@@ -749,59 +869,11 @@ impl SimplexSolver {
         }
     }
 
-    /// Installs the slack basis with nonbasic structurals rested on the
-    /// bound their cost prefers.  Returns whether the resulting basis is
-    /// dual feasible (all reduced costs — which equal the raw costs at the
-    /// slack basis — point away from their rest bound), i.e. whether the
-    /// much less degenerate dual-simplex cold start is available.
+    /// Installs the slack basis (see
+    /// [`SimplexWorkspace::install_slack_basis`]); returns whether the much
+    /// less degenerate dual-simplex cold start is available.
     fn init_slack_basis(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> bool {
-        let n = prep.n;
-        let m = prep.m;
-        ws.phase1_active = false;
-        let mut dual_ok = true;
-        for j in 0..n {
-            let c = prep.cost[j];
-            let lower_finite = ws.lower[j].is_finite();
-            let upper_finite = ws.upper[j].is_finite();
-            if lower_finite && (c >= 0.0 || !upper_finite) {
-                ws.state[j] = AT_LOWER;
-                ws.x[j] = ws.lower[j];
-                if c < 0.0 {
-                    dual_ok = false;
-                }
-            } else if upper_finite {
-                ws.state[j] = AT_UPPER;
-                ws.x[j] = ws.upper[j];
-                if c > 0.0 {
-                    dual_ok = false;
-                }
-            } else {
-                ws.state[j] = FREE;
-                ws.x[j] = 0.0;
-                if c != 0.0 {
-                    dual_ok = false;
-                }
-            }
-        }
-        // Slack basis; identity inverse; artificials parked at zero.
-        for r in 0..m {
-            ws.basis[r] = n + r;
-            ws.state[n + r] = BASIC;
-            let a = n + m + r;
-            ws.state[a] = AT_LOWER;
-            ws.x[a] = 0.0;
-            ws.lower[a] = 0.0;
-            ws.upper[a] = 0.0;
-            ws.art_active[r] = false;
-            ws.art_sign[r] = 1.0;
-        }
-        ws.binv.fill(0.0);
-        for i in 0..m {
-            ws.binv[i * m + i] = 1.0;
-        }
-        ws.pivots_since_refactor = 0;
-        ws.refresh_basics(prep);
-        dual_ok
+        ws.install_slack_basis(prep)
     }
 
     /// Phase-2: primal simplex under the real costs from a primal-feasible
@@ -869,11 +941,6 @@ impl SimplexSolver {
                 ws.x[a] = rem.abs();
                 ws.state[a] = BASIC;
                 ws.basis[r] = a;
-                // The basis column for this row is now `art_sign * e_r`, so
-                // the identity inverse must flip that diagonal entry too —
-                // leaving it at +1 for a negated artificial corrupts every
-                // dual and pivot direction of the phase-1.
-                ws.binv[r * m + r] = ws.art_sign[r];
                 ws.lower[a] = 0.0;
                 ws.upper[a] = f64::INFINITY;
                 ws.art_active[r] = true;
@@ -883,6 +950,18 @@ impl SimplexSolver {
         }
 
         if need_phase1 {
+            // The basis is now diagonal: slack columns at +1 and activated
+            // artificial columns at `art_sign` — a negated artificial MUST
+            // flip its factor diagonal, or every dual and pivot direction
+            // of the phase-1 is corrupted.
+            for r in 0..m {
+                ws.rowbuf[r] = if ws.basis[r] >= n + m {
+                    ws.art_sign[r]
+                } else {
+                    1.0
+                };
+            }
+            ws.factor.reset_diagonal(&ws.rowbuf);
             ws.phase1_active = true;
             let end = self.primal_loop(prep, ws);
             ws.phase1_active = false;
@@ -934,16 +1013,13 @@ impl SimplexSolver {
             if b < n + m {
                 continue;
             }
+            ws.compute_rho(row);
             let mut entering = None;
             for j in 0..n + m {
                 if ws.state[j] == BASIC {
                     continue;
                 }
-                let mut alpha = 0.0;
-                for (r, av) in prep.col(j) {
-                    alpha += ws.binv[row * m + r] * av;
-                }
-                if alpha.abs() > 1e-7 {
+                if ws.rho_dot_col(prep, j).abs() > 1e-7 {
                     entering = Some(j);
                     break;
                 }
@@ -955,7 +1031,7 @@ impl SimplexSolver {
                 ws.state[art] = AT_LOWER;
                 ws.basis[row] = j;
                 ws.state[j] = BASIC;
-                ws.pivot_binv(row);
+                ws.pivot_update(row);
             }
         }
         ws.refresh_basics(prep);
@@ -974,8 +1050,9 @@ impl SimplexSolver {
                 return LoopEnd::IterationLimit;
             }
             ws.compute_duals(prep);
-            // Entering column: Dantzig rule, Bland's rule after a long
-            // degenerate streak to guarantee termination.
+            // Entering column: devex pricing (largest d^2 / weight), with
+            // Bland's rule after a long degenerate streak to guarantee
+            // termination.
             let use_bland = degenerate > bland_after;
             let limit = ws.price_limit(prep);
             let mut entering: Option<(usize, f64)> = None;
@@ -1001,8 +1078,9 @@ impl SimplexSolver {
                         entering = Some((j, viol));
                         break;
                     }
-                    if entering.is_none_or(|(_, best)| viol > best) {
-                        entering = Some((j, viol));
+                    let score = viol * viol / ws.devex[j];
+                    if entering.is_none_or(|(_, best)| score > best) {
+                        entering = Some((j, score));
                     }
                 }
             }
@@ -1083,6 +1161,13 @@ impl SimplexSolver {
                     }
                 }
                 Some((row, target)) => {
+                    // Devex reference-weight update over the pivot row,
+                    // computed before the basis changes (one BTRAN + one
+                    // pass over the nonbasic columns, the same O(nnz) a
+                    // pricing pass costs).
+                    if !use_bland {
+                        self.update_devex(prep, ws, q, row);
+                    }
                     let lv = ws.basis[row];
                     ws.state[lv] = target;
                     ws.x[lv] = if target == AT_UPPER {
@@ -1092,14 +1177,47 @@ impl SimplexSolver {
                     };
                     ws.basis[row] = q;
                     ws.state[q] = BASIC;
-                    ws.pivot_binv(row);
+                    ws.pivot_update(row);
                 }
             }
             ws.solve_pivots += 1;
-            if ws.pivots_since_refactor >= REFACTOR_EVERY && !ws.refactorize(prep) {
+            if ws.factor.needs_refactor() && !ws.refactorize(prep) {
                 return LoopEnd::Numerical;
             }
         }
+    }
+
+    /// Forrest–Goldfarb devex weight update for a pivot entering `q` on row
+    /// `row`: every nonbasic column's weight is raised to
+    /// `(alpha_j / alpha_q)^2 * gamma_q` where `alpha` is the pivot row of
+    /// the tableau, and the leaving variable inherits `gamma_q / alpha_q^2`.
+    fn update_devex(&self, prep: &Prepared, ws: &mut SimplexWorkspace, q: usize, row: usize) {
+        let alpha_q = ws.w[row];
+        if alpha_q.abs() < EPS {
+            return;
+        }
+        let gamma_q = ws.devex[q].max(1.0);
+        if gamma_q > DEVEX_RESET {
+            ws.devex.fill(1.0);
+            return;
+        }
+        ws.compute_rho(row);
+        let limit = ws.price_limit(prep);
+        let inv_sq = 1.0 / (alpha_q * alpha_q);
+        for j in 0..limit {
+            if ws.state[j] == BASIC || j == q {
+                continue;
+            }
+            let alpha = ws.rho_dot_col(prep, j);
+            if alpha != 0.0 {
+                let cand = alpha * alpha * inv_sq * gamma_q;
+                if cand > ws.devex[j] {
+                    ws.devex[j] = cand;
+                }
+            }
+        }
+        let leaving = ws.basis[row];
+        ws.devex[leaving] = (gamma_q * inv_sq).max(1.0);
     }
 
     /// Bounded dual simplex: restores primal feasibility from a
@@ -1129,9 +1247,10 @@ impl SimplexSolver {
                 return DualEnd::Feasible;
             };
             ws.compute_duals(prep);
-            // Dual ratio test over the pivot row.
+            // Dual ratio test over the pivot row (one BTRAN of a unit
+            // vector yields the row, then sparse dots per column).
+            ws.compute_rho(row);
             let limit = ws.price_limit(prep);
-            let binv_row = row * m;
             let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
             for j in 0..limit {
                 let state = ws.state[j];
@@ -1144,15 +1263,7 @@ impl SimplexSolver {
                 if state != FREE && ws.upper[j] - ws.lower[j] <= 0.0 {
                     continue; // fixed columns must not re-enter
                 }
-                let mut alpha = 0.0;
-                if j < n + m {
-                    for k in prep.col_ptr[j]..prep.col_ptr[j + 1] {
-                        alpha += ws.binv[binv_row + prep.col_row[k]] * prep.col_val[k];
-                    }
-                } else {
-                    let r = j - n - m;
-                    alpha += ws.binv[binv_row + r] * ws.art_sign[r];
-                }
+                let alpha = ws.rho_dot_col(prep, j);
                 let eligible = if delta > 0.0 {
                     (state == AT_LOWER && alpha > 1e-7)
                         || (state == AT_UPPER && alpha < -1e-7)
@@ -1203,9 +1314,9 @@ impl SimplexSolver {
             }
             ws.basis[row] = q;
             ws.state[q] = BASIC;
-            ws.pivot_binv(row);
+            ws.pivot_update(row);
             ws.solve_pivots += 1;
-            if ws.pivots_since_refactor >= REFACTOR_EVERY && !ws.refactorize(prep) {
+            if ws.factor.needs_refactor() && !ws.refactorize(prep) {
                 return DualEnd::Numerical;
             }
         }
@@ -1626,5 +1737,55 @@ mod tests {
         m.add_binary();
         m.add_continuous(-1.0, 2.5);
         assert_eq!(natural_bounds(&m), vec![(0.0, 1.0), (-1.0, 2.5)]);
+    }
+
+    #[test]
+    fn failed_refactorization_resets_to_a_clean_slack_basis() {
+        // Regression: a singular basis handed to `refactorize` used to
+        // leave the workspace half-rebuilt.  It must instead fall back to
+        // the pristine slack basis and stay fully solvable.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 3.0);
+        let y = m.add_continuous(0.0, 2.0);
+        m.set_objective_term(x, -1.0);
+        m.set_objective_term(y, -2.0);
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, 1.0),
+            Comparison::LessEq,
+            4.0,
+            "cap",
+        );
+        m.add_constraint(
+            LinearExpr::new().with(x, 1.0).with(y, -1.0),
+            Comparison::LessEq,
+            3.0,
+            "skew",
+        );
+        let solver = SimplexSolver::new();
+        let prep = solver.prepare(&m);
+        let mut ws = SimplexWorkspace::new();
+        ws.reset(&prep);
+        assert_eq!(solver.solve_workspace(&prep, &mut ws), LpOutcome::Optimal);
+        let optimum = ws.objective(&prep);
+
+        // Corrupt the basis into a structurally singular one (the same
+        // column in every slot) and force a refactorization.
+        let dup = ws.basis[0];
+        for slot in ws.basis.iter_mut() {
+            *slot = dup;
+        }
+        assert!(!ws.refactorize(&prep), "singular basis must be rejected");
+        for (r, &b) in ws.basis.iter().enumerate() {
+            assert_eq!(b, prep.n + r, "slot {r} must hold its slack again");
+        }
+        assert!(!ws.dual_ready && !ws.primal_ready);
+
+        // The reset workspace must cold-start back to the same optimum.
+        assert_eq!(solver.solve_workspace(&prep, &mut ws), LpOutcome::Optimal);
+        assert!(
+            approx(ws.objective(&prep), optimum),
+            "obj {}",
+            ws.objective(&prep)
+        );
     }
 }

@@ -16,10 +16,11 @@ use carbonedge_geo::Coordinates;
 use carbonedge_grid::ZoneId;
 use carbonedge_net::LatencyModel;
 use carbonedge_solver::{
-    BranchBoundSolver, Comparison, DenseSimplexSolver, LinearExpr, LpOutcome, Model,
-    ReferenceBranchBound, SimplexSolver, VarKind,
+    presolve, BranchBoundSolver, Comparison, DenseSimplexSolver, LinearExpr, LpOutcome, Model,
+    PresolveOutcome, ReferenceBranchBound, SimplexSolver, VarKind,
 };
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -424,6 +425,235 @@ fn branch_and_bound_matches_reference_oracle_on_random_models() {
         solved >= 50,
         "generator should produce many solvable MILPs, got {solved}"
     );
+}
+
+/// Generates a *sparse* random model in the shape family the sparse-LU
+/// basis is built for: more variables and rows than [`random_model`], low
+/// per-row density, small-integer coefficients (so ratio-test ties and
+/// degenerate optima are common), and variables drawing their column
+/// pattern from a pool smaller than the variable count — guaranteeing
+/// duplicate columns, the structurally singular bases the factorization's
+/// rejection path and the eta-update stability guard must survive.
+fn sparse_random_model(rng: &mut StdRng) -> Model {
+    let n_vars = rng.gen_range(8..36);
+    let n_rows = rng.gen_range(3..18);
+    let pool_size = (n_vars / 2).max(2);
+    let coeffs = [-2.0, -1.0, 1.0, 2.0, 3.0];
+    // Column pattern pool: sparse rows hit with small integer coefficients.
+    let pool: Vec<Vec<(usize, f64)>> = (0..pool_size)
+        .map(|_| {
+            let mut pattern = Vec::new();
+            for r in 0..n_rows {
+                if rng.gen_bool(0.25) {
+                    pattern.push((r, coeffs[rng.gen_range(0..coeffs.len())]));
+                }
+            }
+            pattern
+        })
+        .collect();
+    let mut m = Model::new();
+    let mut row_exprs: Vec<LinearExpr> = vec![LinearExpr::new(); n_rows];
+    for _ in 0..n_vars {
+        let v = if rng.gen_bool(0.5) {
+            m.add_binary()
+        } else {
+            m.add_continuous(0.0, rng.gen_range(1..6) as f64)
+        };
+        if rng.gen_bool(0.8) {
+            m.set_objective_term(v, rng.gen_range(-8..9) as f64);
+        }
+        for &(r, a) in &pool[rng.gen_range(0..pool_size)] {
+            row_exprs[r].add(v, a);
+        }
+    }
+    for (r, expr) in row_exprs.into_iter().enumerate() {
+        if expr.terms.is_empty() {
+            continue;
+        }
+        let cmp = match rng.gen_range(0..4) {
+            0 => Comparison::GreaterEq,
+            1 => Comparison::Equal,
+            _ => Comparison::LessEq,
+        };
+        // Integer right-hand sides keep degenerate ties frequent.
+        m.add_constraint(expr, cmp, rng.gen_range(-2..8) as f64, format!("r{r}"));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property test: the sparse-LU revised simplex agrees with the dense
+    /// Big-M oracle on outcome and objective across the sparse model
+    /// family (duplicate columns, degenerate ties and all).
+    #[test]
+    fn sparse_lu_simplex_matches_dense_oracle(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let revised = SimplexSolver::new();
+        let oracle = DenseSimplexSolver::new();
+        for _ in 0..4 {
+            let model = sparse_random_model(&mut rng);
+            let a = revised.solve(&model);
+            let b = oracle.solve(&model);
+            // Same one-directional Big-M conflation as the dense-family
+            // differential: the oracle can mistake infeasible for
+            // unbounded, never the reverse.
+            let bigm_conflation =
+                a.outcome == LpOutcome::Infeasible && b.outcome == LpOutcome::Unbounded;
+            prop_assert!(
+                a.outcome == b.outcome || bigm_conflation,
+                "seed {}: revised {:?} vs oracle {:?}",
+                seed, a.outcome, b.outcome
+            );
+            if a.outcome == LpOutcome::Optimal {
+                let scale = b.objective.abs().max(1.0);
+                prop_assert!(
+                    (a.objective - b.objective).abs() <= 1e-5 * scale,
+                    "seed {}: revised {} vs oracle {}",
+                    seed, a.objective, b.objective
+                );
+                for c in model.constraints() {
+                    prop_assert!(
+                        c.is_satisfied(&a.values, 1e-5),
+                        "seed {}: constraint `{}` violated",
+                        seed, c.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property test: branch-and-bound **with the presolve pass forced on**
+    /// agrees with the cold reference oracle, and its postsolved incumbent
+    /// is feasible for the *original* model — exercising fixed-variable
+    /// substitution, bound tightening, dominated-column elimination and
+    /// the postsolve mapping on every case.
+    #[test]
+    fn presolved_branch_bound_matches_reference_oracle(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut presolved = BranchBoundSolver::new();
+        presolved.presolve_min_vars = 0;
+        let oracle = ReferenceBranchBound::new();
+        for _ in 0..2 {
+            let model = sparse_random_model(&mut rng);
+            let a = presolved.solve(&model);
+            let b = oracle.solve(&model);
+            prop_assert_eq!(a.outcome, b.outcome);
+            if a.has_solution() {
+                let scale = b.objective.abs().max(1.0);
+                prop_assert!(
+                    (a.objective - b.objective).abs() <= 1e-5 * scale,
+                    "seed {}: presolved {} vs oracle {}",
+                    seed, a.objective, b.objective
+                );
+                prop_assert!(
+                    model.is_feasible(&a.values, 1e-5),
+                    "seed {}: postsolved incumbent infeasible on the original model",
+                    seed
+                );
+            }
+        }
+    }
+
+    /// Property test: when presolve proves a model infeasible or reduces
+    /// it, the reduction itself is sound — solving the reduced model and
+    /// postsolving reproduces the reference optimum exactly.
+    #[test]
+    fn presolve_reductions_are_lossless(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = sparse_random_model(&mut rng);
+        let oracle = ReferenceBranchBound::new().solve(&model);
+        match presolve(&model) {
+            PresolveOutcome::Infeasible => {
+                prop_assert!(
+                    !oracle.has_solution(),
+                    "seed {}: presolve claimed infeasible but oracle found {}",
+                    seed, oracle.objective
+                );
+            }
+            PresolveOutcome::Reduced(pm) => {
+                let sub = BranchBoundSolver::new().solve(&pm.model);
+                prop_assert_eq!(sub.has_solution(), oracle.has_solution());
+                if sub.has_solution() {
+                    let obj = pm.full_objective(sub.objective);
+                    let scale = oracle.objective.abs().max(1.0);
+                    prop_assert!(
+                        (obj - oracle.objective).abs() <= 1e-5 * scale,
+                        "seed {}: postsolved {} vs oracle {}",
+                        seed, obj, oracle.objective
+                    );
+                    let full = pm.postsolve(&sub.values);
+                    prop_assert!(model.is_feasible(&full, 1e-5), "seed {}", seed);
+                }
+            }
+        }
+    }
+}
+
+/// Hand-built singular-basis and degenerate-optimum cases: exact duplicate
+/// columns (a structurally singular basis candidate the factorization must
+/// reject) and fully degenerate ratio-test ties, checked against the dense
+/// oracle.
+#[test]
+fn duplicate_columns_and_degenerate_ties_match_the_oracle() {
+    let revised = SimplexSolver::new();
+    let oracle = DenseSimplexSolver::new();
+
+    // Two identical columns competing for the basis.
+    let mut twins = Model::new();
+    let x1 = twins.add_continuous(0.0, 5.0);
+    let x2 = twins.add_continuous(0.0, 5.0);
+    let x3 = twins.add_continuous(0.0, 5.0);
+    twins.set_objective_term(x1, -1.0);
+    twins.set_objective_term(x2, -1.0);
+    twins.set_objective_term(x3, -2.0);
+    twins.add_constraint(
+        LinearExpr::new().with(x1, 1.0).with(x2, 1.0).with(x3, 1.0),
+        Comparison::LessEq,
+        4.0,
+        "capA",
+    );
+    twins.add_constraint(
+        LinearExpr::new().with(x1, 2.0).with(x2, 2.0).with(x3, 1.0),
+        Comparison::LessEq,
+        6.0,
+        "capB",
+    );
+
+    // A fully degenerate vertex: every ratio ties at zero.
+    let mut degen = Model::new();
+    let y1 = degen.add_continuous(0.0, 10.0);
+    let y2 = degen.add_continuous(0.0, 10.0);
+    degen.set_objective_term(y1, -1.0);
+    degen.set_objective_term(y2, -1.0);
+    for (i, coef) in [(0usize, 1.0), (1, 2.0), (2, 3.0)] {
+        degen.add_constraint(
+            LinearExpr::new().with(y1, coef).with(y2, -1.0),
+            Comparison::LessEq,
+            0.0,
+            format!("tie{i}"),
+        );
+    }
+    degen.add_constraint(
+        LinearExpr::new().with(y1, 1.0).with(y2, 1.0),
+        Comparison::LessEq,
+        3.0,
+        "cap",
+    );
+
+    for (name, model) in [("twins", twins), ("degenerate", degen)] {
+        let a = revised.solve(&model);
+        let b = oracle.solve(&model);
+        assert_eq!(a.outcome, b.outcome, "{name}");
+        assert_eq!(a.outcome, LpOutcome::Optimal, "{name}");
+        assert!(
+            (a.objective - b.objective).abs() <= 1e-6 * b.objective.abs().max(1.0),
+            "{name}: revised {} vs oracle {}",
+            a.objective,
+            b.objective
+        );
+    }
 }
 
 /// Warm-start-equals-cold-start: a single placer (whose solver workspace
