@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Mesoscale carbon analysis (Section 3 of the paper).
 //!
 //! This crate reproduces the empirical study that motivates CarbonEdge:

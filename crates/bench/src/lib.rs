@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Support library for the `experiments` driver binary: the sweep grids the
 //! binary runs, the deterministic summary used by the golden-output
 //! regression test, and the machine-readable `BENCH_*.json` perf snapshots

@@ -15,6 +15,18 @@ use carbonedge_grid::{EpochSchedule, ForecasterKind};
 use carbonedge_sim::ServingMode;
 use carbonedge_sweep::{SweepExecutor, SweepReport, SweepSpec};
 
+/// Times a sweep run and stamps the wall-clock seconds onto the report.
+/// The executor itself never reads the clock (its decision logic must stay
+/// timing-independent — see the `wall-clock` lint rule), so measurement
+/// lives here at the bench edge, next to the code that prints
+/// [`SweepReport::footer`].
+fn timed(run: impl FnOnce() -> SweepReport) -> SweepReport {
+    let started = std::time::Instant::now();
+    let mut report = run();
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    report
+}
+
 /// The grid `experiments --sweep` runs: both continents, three latency
 /// limits, all three demand/capacity scenarios, CarbonEdge versus the
 /// Latency-aware baseline.  `quick` caps the site catalog at 40 sites per
@@ -39,10 +51,12 @@ pub fn quick_summary(jobs: usize) -> String {
 
 /// Runs the `--sweep` grid with `jobs` workers.
 pub fn run_sweep(quick: bool, jobs: usize) -> SweepReport {
-    SweepExecutor::new()
-        .with_jobs(jobs)
-        .run(&sweep_spec(quick))
-        .expect("the built-in sweep grids are valid")
+    timed(|| {
+        SweepExecutor::new()
+            .with_jobs(jobs)
+            .run(&sweep_spec(quick))
+            .expect("the built-in sweep grids are valid")
+    })
 }
 
 /// The grid `experiments --forecast` runs: forecaster (oracle, persistence,
@@ -79,10 +93,12 @@ pub fn forecast_spec(quick: bool) -> SweepSpec {
 
 /// Runs the `--forecast` grid with `jobs` workers.
 pub fn run_forecast(quick: bool, jobs: usize) -> SweepReport {
-    SweepExecutor::new()
-        .with_jobs(jobs)
-        .run(&forecast_spec(quick))
-        .expect("the built-in forecast grids are valid")
+    timed(|| {
+        SweepExecutor::new()
+            .with_jobs(jobs)
+            .run(&forecast_spec(quick))
+            .expect("the built-in forecast grids are valid")
+    })
 }
 
 /// Runs the quick forecast grid and returns the deterministic regret table
@@ -122,10 +138,12 @@ pub fn migration_spec(quick: bool) -> SweepSpec {
 
 /// Runs the `--migration` grid with `jobs` workers.
 pub fn run_migration(quick: bool, jobs: usize) -> SweepReport {
-    SweepExecutor::new()
-        .with_jobs(jobs)
-        .run(&migration_spec(quick))
-        .expect("the built-in migration grids are valid")
+    timed(|| {
+        SweepExecutor::new()
+            .with_jobs(jobs)
+            .run(&migration_spec(quick))
+            .expect("the built-in migration grids are valid")
+    })
 }
 
 /// Runs the quick migration grid and returns the deterministic churn table
@@ -159,10 +177,12 @@ pub fn serving_spec(quick: bool) -> SweepSpec {
 
 /// Runs the `--serving` grid with `jobs` workers.
 pub fn run_serving(quick: bool, jobs: usize) -> SweepReport {
-    SweepExecutor::new()
-        .with_jobs(jobs)
-        .run(&serving_spec(quick))
-        .expect("the built-in serving grids are valid")
+    timed(|| {
+        SweepExecutor::new()
+            .with_jobs(jobs)
+            .run(&serving_spec(quick))
+            .expect("the built-in serving grids are valid")
+    })
 }
 
 /// Runs the quick serving grid and returns the deterministic serving table

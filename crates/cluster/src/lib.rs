@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Edge data-center substrate for CarbonEdge.
 //!
 //! The paper's prototype runs on Sinfonia, a Kubernetes-based orchestrator,

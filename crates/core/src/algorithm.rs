@@ -207,7 +207,7 @@ impl IncrementalPlacer {
     /// feasible pair, binary `y_j` per server, assignment / capacity /
     /// power-consistency / linking constraints — with the migration terms of
     /// the attached [`PlacementState`] folded into the pair costs (see
-    /// [`Self::fold_migration_costs`]).
+    /// `Self::fold_migration_costs`).
     pub fn build_model(&self, problem: &PlacementProblem) -> PlacementModel {
         let (mut pair_cost, activation_cost) = self.policy.costs(problem);
         self.fold_migration_costs(problem, &mut pair_cost);

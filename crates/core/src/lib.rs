@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! CarbonEdge: carbon-aware placement for mesoscale edge data centers.
 //!
 //! This crate implements the paper's primary contribution (Section 4): the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Calibrated synthetic datasets for CarbonEdge.
 //!
 //! The paper combines four proprietary data sources (Section 6.1.1): hourly

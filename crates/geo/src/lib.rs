@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Geographic primitives for CarbonEdge.
 //!
 //! This crate provides the small geographic substrate that the rest of the

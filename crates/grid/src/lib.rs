@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Electric-grid carbon-intensity substrate for CarbonEdge.
 //!
 //! The paper relies on hourly carbon-intensity traces from Electricity Maps

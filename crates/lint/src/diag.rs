@@ -1,0 +1,140 @@
+//! Diagnostics: what a rule reports and how it is printed.
+
+/// One finding: a rule firing at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes (stable across OSes,
+    /// suitable for golden output).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (kebab-case, e.g. `float-order`).
+    pub rule: &'static str,
+    /// What is wrong and what the fix is.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Diagnostic {
+    /// The human-readable single-finding rendering:
+    /// `path:line: [rule] message` plus an indented excerpt.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+
+    /// The machine-readable rendering: one JSON object.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"message\":{},\"excerpt\":{}}}",
+            json_string(&self.path),
+            self.line,
+            json_string(self.rule),
+            json_string(&self.message),
+            json_string(&self.excerpt),
+        )
+    }
+}
+
+/// Renders a full finding list in the requested format, ready to print.
+pub fn render(diags: &[Diagnostic], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Human => {
+            let mut out = String::new();
+            for d in diags {
+                out.push_str(&d.human());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{} finding{}\n",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            ));
+            out
+        }
+        OutputFormat::Json => {
+            let mut out = String::from("[");
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str("  ");
+                out.push_str(&d.json());
+            }
+            out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+            out
+        }
+    }
+}
+
+/// Output format selector for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// `path:line: [rule] message` with excerpts (the default).
+    Human,
+    /// A JSON array of finding objects.
+    Json,
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            path: "crates/sim/src/cdn.rs".into(),
+            line: 42,
+            rule: "float-order",
+            message: "use total_cmp".into(),
+            excerpt: "a.partial_cmp(&b)".into(),
+        }
+    }
+
+    #[test]
+    fn human_format_has_location_rule_and_excerpt() {
+        let h = sample().human();
+        assert!(h.starts_with("crates/sim/src/cdn.rs:42: [float-order] "));
+        assert!(h.contains("\n    a.partial_cmp(&b)"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_well_formed() {
+        let mut d = sample();
+        d.message = "say \"no\"\nplease".into();
+        let j = d.json();
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn render_counts_findings() {
+        let out = render(&[sample(), sample()], OutputFormat::Human);
+        assert!(out.ends_with("2 findings\n"));
+        let empty = render(&[], OutputFormat::Json);
+        assert_eq!(empty, "[]\n");
+    }
+}

@@ -1,0 +1,297 @@
+//! The lint engine: file walking, suppression handling, rule dispatch.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{mask, Comment};
+use crate::rules::{all_rules, rule_ids, FileContext, Rule};
+use std::path::{Path, PathBuf};
+
+/// Pseudo-rule id for malformed suppressions.  Not suppressible: an allow
+/// that cannot state its reason is exactly the kind of entry the mandatory
+/// reason exists to prevent.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// A parsed `// lint:allow(rule, ...): reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line of the comment; the allow covers this line and the next.
+    pub line: usize,
+    /// Rule ids it suppresses.
+    pub rules: Vec<String>,
+}
+
+/// Parses suppressions out of a file's comments.  A suppression must be the
+/// whole comment — the text begins with `lint:allow` — so prose that merely
+/// *mentions* the syntax (like these docs) never parses.  Malformed allows
+/// (missing reason, unknown rule, broken syntax) come back as [`BAD_ALLOW`]
+/// diagnostics instead of silently suppressing nothing.
+pub fn parse_allows(
+    path: &str,
+    comments: &[Comment],
+    original_lines: &[&str],
+) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let known = rule_ids();
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let mut diag = |line: usize, message: String| {
+        bad.push(Diagnostic {
+            path: path.to_string(),
+            line,
+            rule: BAD_ALLOW,
+            message,
+            excerpt: original_lines
+                .get(line.saturating_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+    };
+    for comment in comments {
+        if !comment.text.starts_with("lint:allow") {
+            continue;
+        }
+        let rest = comment.text["lint:allow".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            diag(
+                comment.line,
+                "malformed suppression: expected `lint:allow(rule, ...): reason`".to_string(),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            diag(
+                comment.line,
+                "malformed suppression: unclosed rule list in `lint:allow(...)`".to_string(),
+            );
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            diag(
+                comment.line,
+                "suppression allows no rules: name at least one rule id".to_string(),
+            );
+            continue;
+        }
+        let unknown: Vec<&String> = rules
+            .iter()
+            .filter(|r| !known.contains(&r.as_str()))
+            .collect();
+        if !unknown.is_empty() {
+            diag(
+                comment.line,
+                format!(
+                    "suppression names unknown rule(s) {}: known rules are {}",
+                    unknown
+                        .iter()
+                        .map(|r| format!("`{r}`"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    known.join(", ")
+                ),
+            );
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            diag(
+                comment.line,
+                "suppression without a reason: write `lint:allow(rule): <why this \
+                 site is exempt>` — the reason is the audit trail"
+                    .to_string(),
+            );
+            continue;
+        }
+        allows.push(Allow {
+            line: comment.line,
+            rules,
+        });
+    }
+    (allows, bad)
+}
+
+/// Lints one `.rs` source under a workspace-relative `path` with the full
+/// rule registry.  Suppressions are applied; malformed suppressions are
+/// findings themselves.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source_with(path, source, &all_rules())
+}
+
+/// [`lint_source`] against an explicit rule set (fixture tests use this to
+/// run a single rule).
+pub fn lint_source_with(path: &str, source: &str, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let masked = mask(source);
+    let masked_lines: Vec<&str> = masked.masked.lines().collect();
+    let original_lines: Vec<&str> = source.lines().collect();
+    let ctx = FileContext {
+        path,
+        original: source,
+        masked: &masked.masked,
+        masked_lines,
+        original_lines,
+        comments: &masked.comments,
+    };
+
+    let mut findings = Vec::new();
+    for rule in rules {
+        if rule.applies_to(path) {
+            rule.check(&ctx, &mut findings);
+        }
+    }
+
+    let (allows, mut bad) = parse_allows(path, &masked.comments, &ctx.original_lines);
+    findings.retain(|d| {
+        !allows.iter().any(|a| {
+            (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule)
+        })
+    });
+    findings.append(&mut bad);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Lints one manifest (`Cargo.toml`) under a workspace-relative `path`.
+pub fn lint_manifest(path: &str, contents: &str) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        rule.check_manifest(path, contents, &mut findings);
+    }
+    findings
+}
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints every `crates/**/*.rs` and `crates/**/Cargo.toml` under `root`,
+/// returning findings sorted by (path, line, rule).  The linter's own rule
+/// fixtures (`crates/lint/tests/fixtures/`) are deliberately-firing inputs
+/// and are skipped.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_files(&root.join("crates"), &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = relative_path(root, &file);
+        if rel.starts_with("crates/lint/tests/fixtures/") {
+            continue;
+        }
+        let contents = std::fs::read_to_string(&file)?;
+        if rel.ends_with(".rs") {
+            findings.extend(lint_source(&rel, &contents));
+        } else {
+            findings.extend(lint_manifest(&rel, &contents));
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Recursively collects `.rs` and `Cargo.toml` files, skipping `target`.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_files(&path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `file` relative to `root`, with forward slashes.
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_allow_with_reason_suppresses_same_line() {
+        let src = "fn f(a: f64, b: f64) {\n    a.partial_cmp(&b); // lint:allow(float-order): exercising the comparison API itself\n}\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses_next_line() {
+        let src = "// lint:allow(float-order): exercising the comparison API itself\nlet c = a.partial_cmp(&b);\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_a_finding() {
+        let src = "let c = a.partial_cmp(&b); // lint:allow(float-order)\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        let rules: Vec<&str> = findings.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&BAD_ALLOW), "{findings:?}");
+        assert!(
+            rules.contains(&"float-order"),
+            "a malformed allow must not suppress: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_a_finding() {
+        let src = "let x = 1; // lint:allow(no-such-rule): because\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, BAD_ALLOW);
+        assert!(findings[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn allow_covers_only_its_own_rule() {
+        let src = "// lint:allow(lock-poison): wrong rule named\nlet c = a.partial_cmp(&b);\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "float-order");
+    }
+
+    #[test]
+    fn multi_rule_allow_suppresses_both() {
+        let src = "// lint:allow(float-order, unsafe-free): fixture exercising both\nlet c = unsafe { a.partial_cmp(&b) };\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dirs() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal Rust lexer that separates *code* from *non-code*.
+//!
+//! Every rule in this linter is a textual pattern over source code, so the
+//! first thing the engine does to a file is **mask** it: comments, string
+//! literals and char literals are replaced with spaces (newlines are kept),
+//! producing a same-shape text in which a pattern match can only come from
+//! real code.  Without this, a doc comment quoting `.partial_cmp(` or a test
+//! asserting on the literal string `"HashMap"` would fire rules — including
+//! this crate's own sources, which are full of such strings.
+//!
+//! Comments are not discarded: they are collected per starting line so the
+//! engine can parse `// lint:allow(rule): reason` suppressions out of them.
+//!
+//! The lexer understands the token shapes that matter for masking:
+//!
+//! * `//` line comments and nested `/* ... */` block comments;
+//! * `"..."` strings with escapes, byte strings `b"..."`, and raw strings
+//!   `r"..."` / `r#"..."#` (any hash depth, with the `br` prefix too);
+//! * char literals `'x'`, `'\n'`, `'\u{1F600}'` — disambiguated from
+//!   lifetimes (`'a`, `'static`, `'_`), which are plain code.
+
+/// A comment extracted during masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// The comment text without its `//` / `/*` delimiters, trimmed.
+    pub text: String,
+}
+
+/// The result of masking one source file.
+#[derive(Debug, Clone)]
+pub struct MaskedSource {
+    /// The source with comment/string/char-literal *contents* blanked to
+    /// spaces.  Newlines are preserved, so line numbers in the masked text
+    /// agree with the original exactly.  String delimiters themselves are
+    /// blanked too — a masked line holds only code tokens.
+    pub masked: String,
+    /// All comments, in source order, for suppression parsing.
+    pub comments: Vec<Comment>,
+}
+
+/// Masks `source`: see the module docs.
+pub fn mask(source: &str) -> MaskedSource {
+    let chars: Vec<char> = source.chars().collect();
+    let mut masked = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a char as-is (code) and tracks lines.
+    macro_rules! keep {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+            }
+            masked.push($c);
+        }};
+    }
+    // Pushes the blanked form of a char and tracks lines.
+    macro_rules! blank {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                masked.push('\n');
+            } else {
+                masked.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            let trimmed = text.trim_start_matches('/').trim();
+            comments.push(Comment {
+                line: start_line,
+                text: trimmed.to_string(),
+            });
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    depth += 1;
+                    blank!(c);
+                    blank!('*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    depth -= 1;
+                    blank!(c);
+                    blank!('/');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    blank!(c);
+                    i += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: text.trim().to_string(),
+            });
+            continue;
+        }
+
+        // Raw / byte string prefixes: r", r#", br", b" (and their raw-hash
+        // forms).  `c` must not be part of an identifier (`shr"x"` is not a
+        // raw string) — check the previous char.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || c == 'b') {
+            let (skip, is_raw) = raw_string_prefix(&chars[i..]);
+            if skip > 0 {
+                // Blank the prefix and delimiter, then the body.
+                let hashes = if is_raw {
+                    chars[i..i + skip].iter().filter(|&&h| h == '#').count()
+                } else {
+                    0
+                };
+                for k in 0..skip {
+                    blank!(chars[i + k]);
+                }
+                i += skip;
+                if is_raw {
+                    i = blank_raw_string_body(&chars, i, hashes, &mut masked, &mut line);
+                } else {
+                    i = blank_escaped_string_body(&chars, i, &mut masked, &mut line);
+                }
+                continue;
+            }
+        }
+
+        // Ordinary string.
+        if c == '"' {
+            blank!(c);
+            i += 1;
+            i = blank_escaped_string_body(&chars, i, &mut masked, &mut line);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(len) = char_literal_len(&chars[i..]) {
+                for k in 0..len {
+                    blank!(chars[i + k]);
+                }
+                i += len;
+                continue;
+            }
+            // A lifetime: keep the quote and fall through.
+        }
+
+        keep!(c);
+        i += 1;
+    }
+
+    MaskedSource { masked, comments }
+}
+
+/// If `chars` starts a raw/byte string prefix (`r`, `r#...#`, `b`, `br#...`),
+/// returns `(prefix_len_including_opening_quote, is_raw)`; `(0, _)` otherwise.
+fn raw_string_prefix(chars: &[char]) -> (usize, bool) {
+    let mut j = 0;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        // `b"` is an escaped (non-raw) byte string; only count it here when
+        // there is a prefix at all (plain `"` is handled by the caller).
+        if j == 0 {
+            (0, false)
+        } else {
+            (j + 1, raw)
+        }
+    } else {
+        (0, false)
+    }
+}
+
+/// Blanks an escaped (non-raw) string body starting *after* the opening
+/// quote; returns the index just past the closing quote.
+fn blank_escaped_string_body(
+    chars: &[char],
+    mut i: usize,
+    masked: &mut String,
+    line: &mut usize,
+) -> usize {
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' && i + 1 < chars.len() {
+            for k in 0..2 {
+                blank_char(chars[i + k], masked, line);
+            }
+            i += 2;
+            continue;
+        }
+        blank_char(c, masked, line);
+        i += 1;
+        if c == '"' {
+            break;
+        }
+    }
+    i
+}
+
+/// Blanks a raw string body (terminated by `"` followed by `hashes` `#`s)
+/// starting *after* the opening delimiter; returns the index past the close.
+fn blank_raw_string_body(
+    chars: &[char],
+    mut i: usize,
+    hashes: usize,
+    masked: &mut String,
+    line: &mut usize,
+) -> usize {
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '"' && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+            for k in 0..=hashes {
+                blank_char(chars[i + k], masked, line);
+            }
+            return i + hashes + 1;
+        }
+        blank_char(c, masked, line);
+        i += 1;
+    }
+    i
+}
+
+fn blank_char(c: char, masked: &mut String, line: &mut usize) {
+    if c == '\n' {
+        *line += 1;
+        masked.push('\n');
+    } else {
+        masked.push(' ');
+    }
+}
+
+/// If `chars` (starting at a `'`) is a char literal, returns its length in
+/// chars; `None` for a lifetime.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    debug_assert_eq!(chars.first(), Some(&'\''));
+    match chars.get(1)? {
+        // Escape: consume to the closing quote ('\n', '\u{..}', '\'').
+        '\\' => {
+            let mut j = 2;
+            // Skip the escaped char (it may itself be a quote).
+            j += 1;
+            if chars.get(2) == Some(&'u') && chars.get(3) == Some(&'{') {
+                while chars.get(j).is_some_and(|&c| c != '}') {
+                    j += 1;
+                }
+                j += 1; // '}'
+            }
+            (chars.get(j) == Some(&'\'')).then_some(j + 1)
+        }
+        // `'a'` is a char literal; `'a` / `'static` / `'_` are lifetimes.
+        c if c.is_alphanumeric() || *c == '_' => (chars.get(2) == Some(&'\'')).then_some(3),
+        // Any other single char: `'+'`, `' '`, `'('` ...
+        _ => (chars.get(2) == Some(&'\'')).then_some(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let src = "let a = 1; // partial_cmp here\nlet b = 2;\n";
+        let m = mask(src);
+        assert!(!m.masked.contains("partial_cmp"));
+        assert!(m.masked.contains("let a = 1;"));
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].line, 1);
+        assert_eq!(m.comments[0].text, "partial_cmp here");
+    }
+
+    #[test]
+    fn nested_block_comments_mask_to_spaces() {
+        let src = "a /* outer /* inner */ still comment */ b\n";
+        let m = mask(src);
+        assert!(m.masked.starts_with("a "));
+        assert!(m.masked.trim_end().ends_with('b'));
+        assert!(!m.masked.contains("inner"));
+        assert_eq!(m.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_are_blanked_but_code_survives() {
+        let src = r#"let s = "HashMap::new()"; let t = map.len();"#;
+        let m = mask(src);
+        assert!(!m.masked.contains("HashMap"));
+        assert!(m.masked.contains("map.len()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_the_string() {
+        let src = r#"let s = "he said \"partial_cmp\""; code();"#;
+        let m = mask(src);
+        assert!(!m.masked.contains("partial_cmp"));
+        assert!(m.masked.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_of_any_hash_depth_are_blanked() {
+        let src = "let s = r#\"unsafe \" still in\"#; after();\nlet t = r\"x\"; tail();";
+        let m = mask(src);
+        assert!(!m.masked.contains("unsafe"));
+        assert!(m.masked.contains("after()"));
+        assert!(m.masked.contains("tail()"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_blanked() {
+        let src = "let s = b\"unsafe\"; let c = b'x'; done();";
+        let m = mask(src);
+        assert!(!m.masked.contains("unsafe"));
+        assert!(m.masked.contains("done()"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; 'y' }";
+        let m = mask(src);
+        assert!(m.masked.contains("<'a>"));
+        assert!(m.masked.contains("&'a str"));
+        assert!(!m.masked.contains("'x'"));
+        assert!(!m.masked.contains("'y'"));
+    }
+
+    #[test]
+    fn unicode_escapes_in_char_literals() {
+        let src = "let c = '\\u{1F600}'; rest();";
+        let m = mask(src);
+        assert!(!m.masked.contains("1F600"));
+        assert!(m.masked.contains("rest()"));
+    }
+
+    #[test]
+    fn newlines_and_line_numbers_are_preserved() {
+        let src = "line1\n/* spans\ntwo lines */\nline4 // tail\n";
+        let m = mask(src);
+        assert_eq!(m.masked.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].line, 2);
+        assert_eq!(m.comments[1].line, 4);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let src = "let var_r = 1; let s = var\"x\";";
+        // `var"x"` is not valid Rust but must not confuse the prefix scan
+        // into eating code.
+        let m = mask(src);
+        assert!(m.masked.contains("let var_r = 1;"));
+    }
+}

@@ -1,0 +1,54 @@
+//! `lock-poison`: no bare `.lock().unwrap()`.
+//!
+//! The bug class: a worker panicking while holding a shared-cache mutex
+//! poisons it, and every *other* worker's `.lock().unwrap()` then cascades
+//! the panic — one bad cell aborted whole sweeps until PR 7 hardened the
+//! `CdnShared` caches.  Library code must either recover
+//! (`.lock().unwrap_or_else(PoisonError::into_inner)` — correct whenever the
+//! protected data is structurally sound regardless of the panic, e.g.
+//! monotone insert-only caches) or state the invariant that makes
+//! propagation right (`.expect("<why a poisoned lock is unrecoverable
+//! here>")`).
+
+use super::{FileContext, Rule};
+use crate::diag::Diagnostic;
+
+pub struct LockPoison;
+
+impl Rule for LockPoison {
+    fn id(&self) -> &'static str {
+        "lock-poison"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no bare .lock().unwrap(): recover via PoisonError::into_inner or .expect an invariant"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.ends_with(".rs")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        // `.lock()` chains wrap across lines, so scan the whole masked text.
+        let masked = ctx.masked;
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(".lock()") {
+            let at = from + rel;
+            let rest = masked[at + ".lock()".len()..].trim_start();
+            if rest.starts_with(".unwrap()") {
+                out.push(
+                    ctx.diag(
+                        ctx.line_of(at),
+                        self.id(),
+                        "bare `.lock().unwrap()` cascades a poisoned mutex into every \
+                     caller — use `.unwrap_or_else(PoisonError::into_inner)` when the \
+                     data is sound across panics, or `.expect(\"<invariant>\")` when \
+                     propagation is the right call"
+                            .to_string(),
+                    ),
+                );
+            }
+            from = at + ".lock()".len();
+        }
+    }
+}

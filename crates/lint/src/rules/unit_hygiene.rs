@@ -1,0 +1,218 @@
+//! `unit-hygiene`: no additive arithmetic across unit suffixes.
+//!
+//! The bug class: carbon accounting is a chain of unit conversions — grams,
+//! kilograms, kilowatt-hours, milliseconds, hours — and Rust's type system
+//! sees them all as `f64`.  The workspace convention is unit-suffixed names
+//! (`carbon_g`, `energy_kwh`, `latency_ms`), which makes a missing
+//! conversion *visible*: `carbon_g + energy_kwh` is a type error to a human
+//! reader.  This rule turns that convention into a check: adding,
+//! subtracting or compound-assigning two operands whose names carry
+//! *different* unit suffixes fires.
+//!
+//! Multiplicative context is exempt — `carbon_g += energy_kwh * intensity`
+//! is how a conversion factor is applied, so an operand that is itself part
+//! of a `*`/`/` expression is not a bare mixed-unit operand.
+
+use super::{ident_starting_at, FileContext, Rule};
+use crate::diag::Diagnostic;
+
+pub struct UnitHygiene;
+
+/// Known unit suffixes, longest-match first (`_kwh` before `_g` would not
+/// matter, but `_kg` must beat `_g`).
+const SUFFIXES: &[&str] = &["_kwh", "_hours", "_kg", "_ms", "_g"];
+
+impl Rule for UnitHygiene {
+    fn id(&self) -> &'static str {
+        "unit-hygiene"
+    }
+
+    fn summary(&self) -> &'static str {
+        "additive arithmetic must not mix unit suffixes (_g/_kg/_kwh/_ms/_hours)"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.ends_with(".rs")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, line) in ctx.masked_lines.iter().enumerate() {
+            if let Some((left, right)) = mixed_unit_pair(line) {
+                out.push(ctx.diag(
+                    i + 1,
+                    self.id(),
+                    format!(
+                        "additive arithmetic mixes units: `{left}` vs `{right}` — \
+                         convert explicitly (a `*`/`/` conversion factor) before \
+                         adding, or rename one side to its true unit"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The unit suffix of an identifier, if it carries one.
+fn unit_of(ident: &str) -> Option<&'static str> {
+    SUFFIXES
+        .iter()
+        .find(|s| ident.ends_with(**s) && ident.len() > s.len())
+        .copied()
+}
+
+/// Finds the first `a_unit1 <+|-|+=|-=> b_unit2` pair on a line where the
+/// units differ and neither operand sits in a multiplicative subexpression.
+fn mixed_unit_pair(line: &str) -> Option<(String, String)> {
+    let bytes = line.as_bytes();
+    let mut idx = 0;
+    while idx < bytes.len() {
+        let c = bytes[idx] as char;
+        if c != '+' && c != '-' {
+            idx += 1;
+            continue;
+        }
+        // Skip `->`, `+=`/`-=` keep, `--`/`++` don't exist in Rust.
+        if c == '-' && bytes.get(idx + 1) == Some(&b'>') {
+            idx += 2;
+            continue;
+        }
+        // `+` / `-` / `+=` / `-=`; comparison operators never reach here
+        // because their first char is not `+`/`-`.
+        let op_end = if bytes.get(idx + 1) == Some(&b'=') {
+            idx + 2
+        } else {
+            idx + 1
+        };
+
+        if let (Some(left), Some(right)) = (
+            additive_operand_before(line, idx),
+            additive_operand_after(line, op_end),
+        ) {
+            if let (Some(lu), Some(ru)) = (unit_of(&left), unit_of(&right)) {
+                if lu != ru {
+                    return Some((left, right));
+                }
+            }
+        }
+        idx = op_end;
+    }
+    None
+}
+
+/// The operand name ending just before the operator at `op_at`, unless it is
+/// part of a multiplicative subexpression (`.. * x_g +`) — then `None`.
+fn additive_operand_before(line: &str, op_at: usize) -> Option<String> {
+    let head = line[..op_at].trim_end();
+    // Last path segment: `self.carbon_g` -> `carbon_g`.
+    let name = super::ident_ending_at(head, head.len())?;
+    let before_name = head[..head.len() - name.len()].trim_end();
+    // `a * b_g + c` — the left operand is a product, already a conversion.
+    // Strip a leading `self.` / `x.` path to look further left.
+    let stripped = before_name.strip_suffix('.').map(str::trim_end);
+    let ctx = stripped
+        .map(|s| {
+            let owner = super::ident_ending_at(s, s.len()).unwrap_or("");
+            s[..s.len() - owner.len()].trim_end()
+        })
+        .unwrap_or(before_name);
+    if ctx.ends_with('*') || ctx.ends_with('/') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// The operand name starting just after the operator, unless it opens a
+/// multiplicative subexpression (`+ x_kwh * f`) — then `None`.
+fn additive_operand_after(line: &str, op_end: usize) -> Option<String> {
+    let mut at = op_end;
+    let bytes = line.as_bytes();
+    while at < bytes.len() && (bytes[at] as char).is_whitespace() {
+        at += 1;
+    }
+    // Skip reference/deref sigils and leading path (`self.`, `other.`).
+    while at < bytes.len() && matches!(bytes[at] as char, '&' | '*') {
+        at += 1;
+    }
+    let mut name = ident_starting_at(line, at)?;
+    let mut end = at + name.len();
+    while line[end..].starts_with('.') {
+        let Some(next) = ident_starting_at(line, end + 1) else {
+            break;
+        };
+        name = next;
+        end = end + 1 + next.len();
+    }
+    let tail = line[end..].trim_start();
+    if tail.starts_with('(') {
+        // A call: take the suffix from the function name but skip its
+        // argument list before checking for a multiplicative tail.
+        let close = matching_paren(line, end + (line[end..].find('(').unwrap_or(0)));
+        let tail = close.map(|c| line[c + 1..].trim_start()).unwrap_or("");
+        if tail.starts_with('*') || tail.starts_with('/') {
+            return None;
+        }
+        return Some(name.to_string());
+    }
+    if tail.starts_with('*') || tail.starts_with('/') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Byte index of the `)` matching the `(` at `open`.
+fn matching_paren(line: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in line[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_units_fire_and_same_units_pass() {
+        assert!(mixed_unit_pair("let x = carbon_g + energy_kwh;").is_some());
+        assert!(mixed_unit_pair("let x = a_ms - b_hours;").is_some());
+        assert!(mixed_unit_pair("total_g += downtime_g;").is_none());
+        assert!(mixed_unit_pair("let x = a_ms - b_ms;").is_none());
+    }
+
+    #[test]
+    fn conversion_products_are_exempt() {
+        assert!(mixed_unit_pair("self.carbon_g += energy_kwh * intensity;").is_none());
+        assert!(mixed_unit_pair("g += rate * energy_kwh + base_g;").is_none());
+        assert!(mixed_unit_pair("x_g + f(y_kwh) * k;").is_none());
+    }
+
+    #[test]
+    fn paths_resolve_to_their_final_segment() {
+        assert!(mixed_unit_pair("self.carbon_g += other.energy_kwh;").is_some());
+        assert!(mixed_unit_pair("a.carbon_g - b.carbon_g;").is_none());
+    }
+
+    #[test]
+    fn suffixes_are_longest_match() {
+        assert_eq!(unit_of("mass_kg"), Some("_kg"));
+        assert_eq!(unit_of("carbon_g"), Some("_g"));
+        assert_eq!(unit_of("plain"), None);
+        assert_eq!(unit_of("_g"), None, "a bare suffix is not a unit name");
+    }
+
+    #[test]
+    fn unsuffixed_operands_never_fire() {
+        assert!(mixed_unit_pair("let base = self.access_delay_ms + propagation;").is_none());
+        assert!(mixed_unit_pair("x + y").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! `unsafe-free`: the workspace is 100% safe Rust — lock that in.
+//!
+//! The workspace has zero `unsafe` blocks today, and nothing in it (a
+//! simulator, a solver, report renderers) justifies one.  This rule makes
+//! the property structural: any `unsafe` token is a finding, and every crate
+//! root must carry `#![forbid(unsafe_code)]` so the compiler enforces the
+//! same thing even when the linter is not running (belt and braces with the
+//! `[workspace.lints]` table in the root manifest).
+
+use super::{token_positions, FileContext, Rule};
+use crate::diag::Diagnostic;
+
+pub struct UnsafeFree;
+
+impl Rule for UnsafeFree {
+    fn id(&self) -> &'static str {
+        "unsafe-free"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unsafe code anywhere; every crate root must #![forbid(unsafe_code)]"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.ends_with(".rs")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, line) in ctx.masked_lines.iter().enumerate() {
+            if !token_positions(line, "unsafe").is_empty() {
+                out.push(ctx.diag(
+                    i + 1,
+                    self.id(),
+                    "`unsafe` in a workspace that is contractually 100% safe Rust".to_string(),
+                ));
+            }
+        }
+        if is_crate_root(ctx.path) && !forbids_unsafe(ctx.masked) {
+            out.push(
+                ctx.diag(
+                    1,
+                    self.id(),
+                    "crate root is missing `#![forbid(unsafe_code)]` — the compiler \
+                 must enforce the safe-Rust contract even without the linter"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Whether a path is a crate root (`crates/<name>/src/lib.rs`).
+fn is_crate_root(path: &str) -> bool {
+    let mut parts = path.split('/');
+    matches!(
+        (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next()
+        ),
+        (Some("crates"), Some(_), Some("src"), Some("lib.rs"), None)
+    )
+}
+
+/// Whether the masked source carries the crate-level forbid attribute
+/// (whitespace-tolerant).
+fn forbids_unsafe(masked: &str) -> bool {
+    let squashed: String = masked.chars().filter(|c| !c.is_whitespace()).collect();
+    squashed.contains("#![forbid(unsafe_code)]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_roots_are_lib_rs_directly_under_src() {
+        assert!(is_crate_root("crates/sim/src/lib.rs"));
+        assert!(!is_crate_root("crates/sim/src/cdn.rs"));
+        assert!(!is_crate_root("crates/sim/src/nested/lib.rs"));
+        assert!(!is_crate_root("shims/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn forbid_attribute_detection_tolerates_spacing() {
+        assert!(forbids_unsafe("#![forbid(unsafe_code)]\npub mod x;"));
+        assert!(forbids_unsafe("#![forbid( unsafe_code )]"));
+        assert!(!forbids_unsafe("#![deny(unsafe_code)]"));
+        assert!(!forbids_unsafe("pub mod x;"));
+    }
+}

@@ -1,0 +1,64 @@
+//! `wall-clock`: no wall-clock or CPU-topology reads in decision logic.
+//!
+//! The bug class: the repo's core promise is bit-identical results across
+//! job counts, warm/cold solver paths, and prepped/cold sweeps.  Anything in
+//! `sim`/`solver`/`sweep` that reads `Instant::now`, `SystemTime` or
+//! `available_parallelism` has, by construction, an input that differs run
+//! to run — a time-based tolerance, a load-dependent heuristic, a
+//! CPU-count-dependent grid — and the determinism contract dies quietly.
+//! Timing and topology belong to the observer crates (`bench`, the
+//! `experiments` binary), which stamp measurements *onto* results after the
+//! deterministic engine produced them.
+
+use super::{token_positions, FileContext, Rule};
+use crate::diag::Diagnostic;
+
+pub struct WallClock;
+
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "wall-clock reads make decision logic timing-dependent — measure in \
+         `bench`/`experiments` and stamp results after the run",
+    ),
+    (
+        "SystemTime",
+        "wall-clock reads make decision logic timing-dependent — measure in \
+         `bench`/`experiments` and stamp results after the run",
+    ),
+    (
+        "available_parallelism",
+        "CPU-topology reads make results machine-dependent — take a worker \
+         count as an input (`--jobs`) and collect by index",
+    ),
+];
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn summary(&self) -> &'static str {
+        "sim/solver/sweep must not read Instant/SystemTime/available_parallelism"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.starts_with("crates/sim/src/")
+            || path.starts_with("crates/solver/src/")
+            || path.starts_with("crates/sweep/src/")
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, line) in ctx.masked_lines.iter().enumerate() {
+            for (token, why) in FORBIDDEN {
+                if !token_positions(line, token).is_empty() {
+                    out.push(ctx.diag(
+                        i + 1,
+                        self.id(),
+                        format!("`{token}` in decision logic: {why}"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: total_cmp gives a total order — NaN-safe and deterministic.
+pub fn best(xs: &[f64]) -> Option<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v.first().copied()
+}

@@ -1,0 +1,6 @@
+// Fixture: partial_cmp on floats — NaN panics or silent misordering.
+pub fn best(xs: &[f64]) -> Option<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.first().copied()
+}

@@ -1,0 +1,6 @@
+// Fixture: recover the still-sound data from a poisoned lock.
+use std::sync::{Mutex, PoisonError};
+
+pub fn read(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().unwrap_or_else(PoisonError::into_inner)
+}

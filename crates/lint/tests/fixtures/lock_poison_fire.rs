@@ -1,0 +1,7 @@
+// Fixture: a bare .lock().unwrap() cascades a poisoned mutex into every
+// caller.
+use std::sync::Mutex;
+
+pub fn read(counter: &Mutex<u64>) -> u64 {
+    *counter.lock().unwrap()
+}

@@ -1,0 +1,4 @@
+// Fixture: integer-width casts carry no fractional loss and never fire.
+pub fn index_width(count: usize) -> u32 {
+    count as u32
+}

@@ -1,0 +1,4 @@
+// Fixture: a float-to-int `as` cast truncates toward zero silently.
+pub fn budget_units(carbon_g: f64) -> u64 {
+    carbon_g as u64
+}

@@ -1,0 +1,14 @@
+// Fixture: a BTreeMap iterates in key order — rendering is deterministic.
+use std::collections::BTreeMap;
+
+pub fn render(rows: &[(String, f64)]) -> String {
+    let mut totals: BTreeMap<String, f64> = BTreeMap::new();
+    for (zone, carbon) in rows {
+        *totals.entry(zone.clone()).or_insert(0.0) += carbon;
+    }
+    let mut out = String::new();
+    for (zone, carbon) in &totals {
+        out.push_str(&format!("{zone}: {carbon:.1}\n"));
+    }
+    out
+}

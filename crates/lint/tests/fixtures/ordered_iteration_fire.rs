@@ -1,0 +1,15 @@
+// Fixture: iterating a HashMap into rendered output leaks randomized
+// hash order into the report text.
+use std::collections::HashMap;
+
+pub fn render(rows: &[(String, f64)]) -> String {
+    let mut totals: HashMap<String, f64> = HashMap::new();
+    for (zone, carbon) in rows {
+        *totals.entry(zone.clone()).or_insert(0.0) += carbon;
+    }
+    let mut out = String::new();
+    for (zone, carbon) in &totals {
+        out.push_str(&format!("{zone}: {carbon:.1}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// Fixture: crates name dependencies; only the root manifest decides
+// whether they resolve to a registry crate or an offline stand-in.
+use std::collections::BTreeMap;
+
+pub fn zones() -> BTreeMap<&'static str, f64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,4 @@
+// Fixture: reaching around the workspace seam to shim sources pins the
+// crate to the offline stand-in forever.
+#[path = "../../../shims/rand/src/lib.rs"]
+mod rand_shim;

@@ -1,0 +1,5 @@
+// Fixture: a conversion factor makes the units line up — the
+// multiplicative context exempts the sum.
+pub fn total(carbon_g: f64, energy_kwh: f64, intensity_g_per_kwh: f64) -> f64 {
+    carbon_g + energy_kwh * intensity_g_per_kwh
+}

@@ -1,0 +1,4 @@
+// Fixture: adding grams to kilowatt-hours is a unit error no type checks.
+pub fn total(carbon_g: f64, energy_kwh: f64) -> f64 {
+    carbon_g + energy_kwh
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+// Fixture: a crate root that carries the compiler-level guarantee.
+pub fn peek(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

@@ -1,0 +1,5 @@
+// Fixture: an unsafe block, in a crate root that also forgot the
+// forbid(unsafe_code) attribute — both findings fire.
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

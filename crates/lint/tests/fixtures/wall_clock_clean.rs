@@ -1,0 +1,9 @@
+// Fixture: decision logic takes timing as data; a measuring caller at the
+// bench edge stamps it after the run.
+pub struct RunStats {
+    pub wall_seconds: f64,
+}
+
+pub fn stamp(stats: &mut RunStats, wall_seconds: f64) {
+    stats.wall_seconds = wall_seconds;
+}

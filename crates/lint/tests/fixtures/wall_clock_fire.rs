@@ -1,0 +1,7 @@
+// Fixture: a clock read inside decision logic makes results
+// timing-dependent.
+pub fn elapsed_guess() -> f64 {
+    let started = std::time::Instant::now();
+    std::hint::black_box(());
+    started.elapsed().as_secs_f64()
+}

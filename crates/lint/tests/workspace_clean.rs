@@ -1,0 +1,40 @@
+//! The self-check: the workspace this linter ships in must lint clean.
+//!
+//! This is the same walk CI's `lint-invariants` job performs
+//! (`cargo run -p carbonedge-lint -- --workspace -D all`), run as a plain
+//! test so `cargo test` alone catches a regression — a reintroduced
+//! wall-clock read, a bare lock unwrap, a crate missing
+//! `#![forbid(unsafe_code)]`, or a suppression that lost its reason.
+
+use carbonedge_lint::{find_workspace_root, lint_workspace, render, OutputFormat};
+use std::path::Path;
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("a [workspace] manifest above crates/lint");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; fix or `lint:allow` (with a reason) each of:\n{}",
+        render(&findings, OutputFormat::Human)
+    );
+}
+
+#[test]
+fn the_workspace_walk_covers_every_crate() {
+    // Guard against the walker silently skipping crates: collecting zero
+    // findings is only meaningful if the walk actually visited the tree.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+    for member in [
+        "geo", "grid", "net", "datasets", "workload", "solver", "core", "cluster", "analysis",
+        "sim", "sweep", "bench", "lint",
+    ] {
+        assert!(
+            root.join("crates").join(member).join("Cargo.toml").exists(),
+            "expected workspace member crates/{member} is missing — update this list \
+             and the linter's coverage expectations together"
+        );
+    }
+}

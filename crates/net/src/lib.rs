@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Network latency substrate for CarbonEdge.
 //!
 //! The paper uses WonderNetwork round-trip ping traces between 246 cities to

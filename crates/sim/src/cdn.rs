@@ -359,7 +359,7 @@ impl PrepKey {
     }
 }
 
-/// Scenario-level preparation computed once per [`PrepKey`] and consumed by
+/// Scenario-level preparation computed once per `PrepKey` and consumed by
 /// every policy/migration/serving variant of the scenario: the per-epoch
 /// per-site decision (forecast) and accounting (actual) mean intensities,
 /// the mean metro population the demand/capacity scenarios normalize by,
@@ -438,7 +438,7 @@ impl CdnShared {
     /// Builds a simulator for a configuration on the shared catalogs, with
     /// the scenario preparation attached: epoch intensity means, demand
     /// aggregates and the pair-latency matrix are computed once per
-    /// [`PrepKey`] and reused by every policy/migration/serving variant.
+    /// `PrepKey` and reused by every policy/migration/serving variant.
     pub fn simulator(&self, config: CdnConfig) -> CdnSimulator {
         let mut sim = self.cold_simulator(config);
         let slot = {
@@ -535,6 +535,7 @@ impl CdnSimulator {
             CdnScenario::PopulationCapacity => ((population / mean_population)
                 * self.config.servers_per_site as f64)
                 .round()
+                // lint:allow(lossy-cast): rounded and clamped to >= 1.0 above, so the cast is exact
                 .max(1.0) as usize,
             _ => self.config.servers_per_site,
         }
@@ -545,6 +546,7 @@ impl CdnSimulator {
             CdnScenario::PopulationDemand => ((population / mean_population)
                 * self.config.apps_per_site as f64)
                 .round()
+                // lint:allow(lossy-cast): rounded and clamped to >= 0.0 above, so the cast is exact
                 .max(0.0) as usize,
             _ => self.config.apps_per_site,
         }
@@ -568,7 +570,7 @@ impl CdnSimulator {
     /// intensity from the hourly trace, plus the migration carbon of any
     /// moves off the previous epoch's committed assignment (which is
     /// threaded into each re-solve as a
-    /// [`PlacementState`](carbonedge_core::PlacementState)).  Successive
+    /// [`PlacementState`]).  Successive
     /// epochs build structurally identical placement problems — migration
     /// terms are folded into the costs, never into the constraint matrix —
     /// so a placer on the exact path warm-restarts each re-solve from the
@@ -1329,6 +1331,7 @@ mod tests {
         let shared = CdnShared::new();
         let _ = shared.traces(1);
         let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint:allow(lock-poison): this test poisons the lock on purpose to exercise recovery
             let _guard = shared.traces_by_seed.lock().unwrap();
             panic!("worker dies while holding the trace-cache lock");
         }));
@@ -1346,6 +1349,7 @@ mod tests {
 
         // Same recovery discipline for the scenario-prep cache.
         let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // lint:allow(lock-poison): this test poisons the lock on purpose to exercise recovery
             let _guard = shared.preps.lock().unwrap();
             panic!("worker dies while holding the prep-cache lock");
         }));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace-driven simulation of CarbonEdge deployments (Section 5.2 / 6).
 //!
 //! The paper evaluates CarbonEdge on a real regional testbed (Section 6.2)

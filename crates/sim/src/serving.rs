@@ -2,7 +2,7 @@
 //!
 //! The aggregate CDN model prices hour-aggregated demand; this module
 //! re-simulates the same year at request granularity.  For every hour each
-//! application's [`RequestStream`](carbonedge_workload::RequestStream)
+//! application's [`RequestStream`]
 //! materializes a request *batch* into reusable structure-of-arrays buffers
 //! (no per-request allocations), the batches are routed through per-site
 //! queues with admission control and latency-aware spill to the nearest

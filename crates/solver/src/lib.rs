@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Optimization substrate for CarbonEdge.
 //!
 //! The paper solves its carbon-aware placement MILP with Google OR-Tools
@@ -14,7 +15,7 @@
 //!   Markowitz-ordered sparse LU factorization of the basis with
 //!   product-form eta updates per pivot and an adaptive refactorization
 //!   trigger, making FTRAN/BTRAN cost `O(nnz)` instead of `O(m^2)`;
-//! * [`presolve`] — model reductions applied before large solves (empty
+//! * [`mod@presolve`] — model reductions applied before large solves (empty
 //!   and redundant rows, singleton-row bound tightening, fixed-variable
 //!   substitution, dominated binary columns in assignment rows) with a
 //!   postsolve mapping back to full-model solutions;
@@ -26,7 +27,7 @@
 //!   problem (a generalized assignment problem with server-activation
 //!   costs): greedy construction with regret ordering plus local search,
 //!   and an exhaustive exact solver for tiny instances used to validate it;
-//! * [`reference`] — the pre-rewrite dense Big-M tableau simplex and
+//! * [`mod@reference`] — the pre-rewrite dense Big-M tableau simplex and
 //!   cold-start branch-and-bound, retained **only** as differential-test
 //!   oracles and as the "before" side of `BENCH_solver.json`.
 //!

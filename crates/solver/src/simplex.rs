@@ -498,7 +498,7 @@ impl SimplexWorkspace {
     }
 
     /// Invalidates the dual-feasibility marker (the objective changed); a
-    /// primal restart may still be possible via [`Self::primal_ready`].
+    /// primal restart may still be possible via `Self::primal_ready`.
     pub fn invalidate_duals(&mut self) {
         self.dual_ready = false;
     }

@@ -15,7 +15,6 @@ use carbonedge_core::{IncrementalPlacer, PlacementPolicy};
 use carbonedge_sim::cdn::CdnShared;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Parses a `--jobs N` / `--jobs=N` flag out of a CLI argument list,
 /// removing the consumed tokens.  Returns the parsed count (`0` when the
@@ -146,7 +145,6 @@ impl SweepExecutor {
         let cells = spec.cells();
         let jobs = self.effective_jobs(cells.len());
         let shared = CdnShared::new();
-        let started = Instant::now();
 
         let slots: Vec<Mutex<Option<CellResult>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
@@ -203,12 +201,10 @@ impl SweepExecutor {
                     .expect("every cell produces a result")
             })
             .collect();
-        Ok(SweepReport::new(
-            spec.clone(),
-            results,
-            jobs,
-            started.elapsed().as_secs_f64(),
-        ))
+        // Deliberately no clock read here: the executor stays wall-clock
+        // free (enforced by carbonedge-lint's `wall-clock` rule) and callers
+        // that want timing stamp `report.wall_seconds` around this call.
+        Ok(SweepReport::new(spec.clone(), results, jobs))
     }
 }
 

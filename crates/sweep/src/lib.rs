@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Declarative scenario-matrix sweeps for CarbonEdge.
 //!
 //! The paper's headline results are grids: placement policies crossed with

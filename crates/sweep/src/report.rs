@@ -164,19 +164,23 @@ pub struct SweepReport {
     pub cells: Vec<CellResult>,
     /// Worker threads used.
     pub jobs: usize,
-    /// Wall-clock seconds of the run (not part of the deterministic
-    /// rendering — it varies run to run).
+    /// Wall-clock seconds of the run.  The executor never reads the clock —
+    /// decision logic stays timing-independent — so this is `0.0` until a
+    /// measuring caller (`bench::summary`) stamps it after the run.  It is
+    /// not part of the deterministic rendering; only [`Self::footer`] shows
+    /// it.
     pub wall_seconds: f64,
 }
 
 impl SweepReport {
-    /// Assembles a report (used by the executor).
-    pub fn new(spec: SweepSpec, cells: Vec<CellResult>, jobs: usize, wall_seconds: f64) -> Self {
+    /// Assembles a report (used by the executor).  `wall_seconds` starts at
+    /// zero; callers that time the run stamp it afterwards.
+    pub fn new(spec: SweepSpec, cells: Vec<CellResult>, jobs: usize) -> Self {
         Self {
             spec,
             cells,
             jobs,
-            wall_seconds,
+            wall_seconds: 0.0,
         }
     }
 
@@ -813,7 +817,7 @@ mod tests {
         let report = SweepExecutor::new().with_jobs(2).run(&spec).unwrap();
         // Labels exclude the policy axis, so the four cells (2 limits x 2
         // policies) must produce exactly one label per latency limit.
-        let labels: std::collections::HashSet<String> =
+        let labels: std::collections::BTreeSet<String> =
             report.cells.iter().map(|c| c.cell.label()).collect();
         assert_eq!(labels.len(), 2, "labels collapsed or split: {labels:?}");
         assert!(labels.iter().any(|l| l.contains("/10ms/")));

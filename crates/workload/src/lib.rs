@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Edge workloads for CarbonEdge.
 //!
 //! The paper evaluates two compute-intensive edge workloads: a CPU-based

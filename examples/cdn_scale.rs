@@ -20,9 +20,13 @@ fn main() {
         .with_site_limit(if full { None } else { Some(100) });
 
     println!("CDN-scale year-long simulation (area x latency-limit grid)\n");
-    let report = SweepExecutor::new()
+    // The executor never reads the clock (decision logic stays
+    // timing-independent); callers that want the footer's timing stamp it.
+    let started = std::time::Instant::now();
+    let mut report = SweepExecutor::new()
         .run(&spec)
         .expect("cdn-scale grid is valid");
+    report.wall_seconds = started.elapsed().as_secs_f64();
     print!("{}", report.render());
     eprintln!("\n{}", report.footer());
 

@@ -43,10 +43,14 @@ fn main() {
         spec.cell_count(),
         spec.axis_count()
     );
-    let report = SweepExecutor::new()
+    // The executor never reads the clock (decision logic stays
+    // timing-independent); callers that want the footer's timing stamp it.
+    let started = std::time::Instant::now();
+    let mut report = SweepExecutor::new()
         .with_jobs(jobs)
         .run(&spec)
         .expect("demo grid is valid");
+    report.wall_seconds = started.elapsed().as_secs_f64();
     print!("{}", report.render());
     eprintln!("\n{}", report.footer());
 }
