@@ -114,7 +114,7 @@ fn bench_exact_vs_heuristic(c: &mut Criterion) {
 
 fn bench_scale_corridor(c: &mut Criterion) {
     let scale_exact =
-        IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(20_000);
+        IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(100_000);
     let mut group = c.benchmark_group("solver_scale");
     group.sample_size(10);
     // Cold solves: discarding the warm start each iteration times the
@@ -123,11 +123,30 @@ fn bench_scale_corridor(c: &mut Criterion) {
     for (label, problem) in [
         ("exact_60x15", scale_problem(15, 4)),
         ("exact_200x50", scale_problem(50, 4)),
+        ("exact_400x100", scale_problem(100, 4)),
     ] {
         group.bench_function(label, |bench| {
             bench.iter(|| {
                 scale_exact.milp_solver.discard_warm_start();
                 scale_exact.place(&problem).unwrap()
+            })
+        });
+    }
+    // Decomposition versus forced-monolithic on the identical corridor
+    // instances: the race the Dantzig-Wolfe path has to win.  The automatic
+    // path (above) picks decomposition at these sizes; this arm disables it
+    // and runs the presolve + monolithic branch-and-bound pipeline.
+    let mut monolithic =
+        IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(100_000);
+    monolithic.milp_solver.decomp_min_vars = usize::MAX;
+    for (label, problem) in [
+        ("monolithic_200x50", scale_problem(50, 4)),
+        ("monolithic_400x100", scale_problem(100, 4)),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                monolithic.milp_solver.discard_warm_start();
+                monolithic.place(&problem).unwrap()
             })
         });
     }

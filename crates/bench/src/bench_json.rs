@@ -4,17 +4,22 @@
 //!
 //! The solver snapshot measures the median wall time of one placement
 //! decision on the paper's regional instances (Section 6.5 reports ~3.3 ms
-//! with OR-Tools) through three paths: the **revised** exact path
-//! (bounded-variable revised simplex + warm-started branch-and-bound), the
-//! retained **reference** exact path (dense Big-M tableau, cold-start
-//! branch-and-bound) and the assignment **heuristic**.  It also records the
-//! branch-and-bound node and simplex pivot counts of both exact solvers, so
-//! the perf trajectory tracks algorithmic work alongside wall time.  The
-//! `solver_scale` cases stretch the same comparison to SLO-sparse corridor
-//! instances of up to 200 applications × 50 servers (thousands of MILP
-//! rows), where the sparse-LU cold path is measured against the dense
-//! reference with per-solve factorization statistics (refactorization
-//! count, peak eta-file length, LU fill-in ratio).
+//! with OR-Tools) through four paths: the **automatic** exact path (the
+//! branch-and-bound front door, which routes large block-structured models
+//! through Dantzig–Wolfe decomposition and everything else through the
+//! monolithic bounded-variable revised simplex), the **forced-monolithic**
+//! exact path (decomposition disabled, so the race between the two is
+//! explicit per case), the retained **reference** exact path (dense Big-M
+//! tableau, cold-start branch-and-bound) and the assignment **heuristic**.
+//! Every case emits one unified field set — sizes, medians, speedups,
+//! branch-and-bound/simplex/factorization work, the pricing anti-cycling
+//! ladder (devex resets, Bland fallback activations) and the
+//! column-generation counters (`columns_generated`, `pricing_rounds`,
+//! `master_pivots`, zero on monolithic solves) — so trajectory tooling
+//! never special-cases entries.  The `solver_scale` cases stretch the
+//! comparison to SLO-sparse corridor instances of up to 800 applications ×
+//! 100 servers (thousands of MILP rows); the dense reference is impractical
+//! beyond 200×50 and is skipped there (`reference_samples: 0`).
 //!
 //! The sweep snapshot measures cells/second of the quick scenario grid at
 //! `--jobs 1` and `--jobs 0` (one worker per CPU; the auto measurement is
@@ -126,6 +131,18 @@ fn regional_problem(apps_per_site: usize) -> PlacementProblem {
 /// local applications per site, chasing a low-carbon neighbour competes
 /// with its own arrivals.
 fn scale_problem(n_sites: usize, apps_per_site: usize) -> PlacementProblem {
+    scale_problem_with_slots(n_sites, apps_per_site, 6)
+}
+
+/// [`scale_problem`] with an explicit per-server memory-slot count: the
+/// densest corridor case (eight local applications per site) needs twelve
+/// slots per server to stay globally feasible while capacity remains
+/// binding.
+fn scale_problem_with_slots(
+    n_sites: usize,
+    apps_per_site: usize,
+    slots: usize,
+) -> PlacementProblem {
     const SITE_SPACING_KM: f64 = 150.0;
     const EARTH_KM_PER_DEG: f64 = 111.195;
     const SLO_MS: f64 = 10.0;
@@ -138,7 +155,11 @@ fn scale_problem(n_sites: usize, apps_per_site: usize) -> PlacementProblem {
             let intensity = 80.0 + ((site * 97) % 18) as f64 * 45.0;
             ServerSnapshot::new(site, site, ZoneId(site), DeviceKind::A2, loc)
                 .with_carbon_intensity(intensity)
-                .with_available(ResourceDemand::new(1280.0, 6.0 * 350.0, 1000.0))
+                .with_available(ResourceDemand::new(
+                    slots as f64 * 1280.0 / 6.0,
+                    slots as f64 * 350.0,
+                    slots as f64 * 1000.0 / 6.0,
+                ))
         })
         .collect();
     let apps: Vec<Application> = (0..n_sites * apps_per_site)
@@ -170,9 +191,182 @@ fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
     times[times.len() / 2]
 }
 
+/// Per-case measurement protocol for [`solver_case_entry`].
+struct CaseConfig {
+    /// Samples for the automatic, forced-monolithic and heuristic paths.
+    revised_samples: usize,
+    /// Samples for the dense Big-M reference path; `0` skips it entirely
+    /// (the corridor cases beyond 200×50, where dense O(m²)-per-pivot work
+    /// is impractical) and reports zeroed reference fields.
+    reference_samples: usize,
+    /// Discard the exact solvers' warm start before every sample, so the
+    /// median times a genuine cold solve instead of the workspace's
+    /// same-model memoization.  The small regional cases keep it off to
+    /// measure the steady-state (warm re-optimization) path the placement
+    /// service actually runs.
+    discard_warm: bool,
+}
+
+/// Measures one placement instance through every solver path and renders
+/// the **unified** case schema: the automatic exact path (decomposition at
+/// ≥ `BranchBoundSolver::DECOMP_MIN_VARS` variables on block-structured
+/// models, monolithic below), the forced-monolithic path racing it, the
+/// dense reference oracle (optional) and the assignment heuristic, plus the
+/// branch-and-bound / simplex / factorization / pricing-ladder /
+/// column-generation counters of one cold automatic solve on a fresh
+/// workspace.  On models below the decomposition threshold the two exact
+/// paths coincide, so `speedup_vs_monolithic` hovers around 1 and the
+/// column-generation counters are zero — the schema stays identical either
+/// way.
+fn solver_case_entry(name: &str, problem: &PlacementProblem, cfg: &CaseConfig) -> String {
+    let (apps, servers) = problem.size();
+    // `place()` only takes the exact path while `apps * servers` stays
+    // under the limit; the 400x100 / 800x100 corridor cases sit at 40k and
+    // 80k, so the limit must clear them or the medians silently time the
+    // heuristic fallback on both arms.
+    let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(100_000);
+    let mut monolithic =
+        IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(100_000);
+    monolithic.milp_solver.decomp_min_vars = usize::MAX;
+    let heuristic = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
+
+    // The automatic exact path, as the placement service runs it.
+    let revised_ns = median_ns(cfg.revised_samples, || {
+        if cfg.discard_warm {
+            exact.milp_solver.discard_warm_start();
+        }
+        let _ = exact.place(problem).unwrap();
+    });
+    // The same protocol with decomposition disabled: the race the
+    // decomposition path has to win at corridor scale.
+    let monolithic_ns = median_ns(cfg.revised_samples, || {
+        if cfg.discard_warm {
+            monolithic.milp_solver.discard_warm_start();
+        }
+        let _ = monolithic.place(problem).unwrap();
+    });
+    let heuristic_ns = median_ns(cfg.revised_samples, || {
+        let _ = heuristic.place(problem).unwrap();
+    });
+    // The retained dense Big-M reference path on the identical MILP.
+    let placement_model = exact.build_model(problem);
+    let reference_solver = ReferenceBranchBound::with_node_limit(20_000);
+    let reference_ns = if cfg.reference_samples > 0 {
+        median_ns(cfg.reference_samples, || {
+            let model = exact.build_model(problem);
+            let _ = reference_solver.solve(&model.model);
+        })
+    } else {
+        0
+    };
+
+    // Algorithmic work of the exact paths on the same model: a fresh
+    // workspace gives the cold-start counters, a second solve on the
+    // now-warm workspace gives the steady-state (re-optimization) count.
+    let cold_solver = exact.milp_solver.clone();
+    let revised_stats = cold_solver.solve(&placement_model.model);
+    let revised_warm_stats = cold_solver.solve(&placement_model.model);
+    let mono_solver = monolithic.milp_solver.clone();
+    let mono_stats = mono_solver.solve(&placement_model.model);
+    debug_assert!(
+        (revised_stats.objective - mono_stats.objective).abs()
+            <= 1e-6 * revised_stats.objective.abs().max(1.0),
+        "automatic and forced-monolithic solvers disagree on the benchmark model"
+    );
+    let (reference_nodes, reference_pivots) = if cfg.reference_samples > 0 {
+        let reference_stats = reference_solver.solve(&placement_model.model);
+        debug_assert!(
+            (revised_stats.objective - reference_stats.objective).abs()
+                <= 1e-6 * revised_stats.objective.abs().max(1.0),
+            "revised and reference solvers disagree on the benchmark model"
+        );
+        (reference_stats.nodes, reference_stats.pivots)
+    } else {
+        (0, 0)
+    };
+
+    let decomp = revised_stats.decomp.unwrap_or_default();
+    let speedup_vs_monolithic = monolithic_ns as f64 / revised_ns.max(1) as f64;
+    let speedup_vs_reference = reference_ns as f64 / revised_ns.max(1) as f64;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"apps\": {},\n",
+            "      \"servers\": {},\n",
+            "      \"milp_vars\": {},\n",
+            "      \"milp_rows\": {},\n",
+            "      \"exact_revised_ns_median\": {},\n",
+            "      \"exact_monolithic_ns_median\": {},\n",
+            "      \"speedup_vs_monolithic\": {:.2},\n",
+            "      \"exact_reference_ns_median\": {},\n",
+            "      \"reference_samples\": {},\n",
+            "      \"speedup_vs_reference\": {:.2},\n",
+            "      \"heuristic_ns_median\": {},\n",
+            "      \"bb_nodes\": {},\n",
+            "      \"simplex_pivots_cold\": {},\n",
+            "      \"simplex_pivots_warm\": {},\n",
+            "      \"refactorizations\": {},\n",
+            "      \"peak_eta_len\": {},\n",
+            "      \"fill_in_ratio\": {:.3},\n",
+            "      \"devex_resets\": {},\n",
+            "      \"bland_activations\": {},\n",
+            "      \"columns_generated\": {},\n",
+            "      \"pricing_rounds\": {},\n",
+            "      \"master_pivots\": {},\n",
+            "      \"reference_bb_nodes\": {},\n",
+            "      \"reference_simplex_pivots\": {}\n",
+            "    }}"
+        ),
+        name,
+        apps,
+        servers,
+        placement_model.model.num_vars(),
+        placement_model.model.num_constraints(),
+        revised_ns,
+        monolithic_ns,
+        speedup_vs_monolithic,
+        reference_ns,
+        cfg.reference_samples,
+        speedup_vs_reference,
+        heuristic_ns,
+        revised_stats.nodes,
+        revised_stats.pivots,
+        revised_warm_stats.pivots,
+        revised_stats.factor.refactorizations,
+        revised_stats.factor.peak_eta_len,
+        revised_stats.factor.fill_in_ratio,
+        revised_stats.pricing.devex_resets,
+        revised_stats.pricing.bland_activations,
+        decomp.columns_generated,
+        decomp.pricing_rounds,
+        decomp.master_pivots,
+        reference_nodes,
+        reference_pivots,
+    )
+}
+
 /// Renders the solver snapshot.  `quick` reduces the sample count.
 pub fn solver_bench_json(quick: bool) -> String {
     let samples = if quick { 11 } else { 31 };
+    let small = CaseConfig {
+        revised_samples: samples,
+        reference_samples: samples,
+        discard_warm: false,
+    };
+    let scale = CaseConfig {
+        revised_samples: if quick { 3 } else { 7 },
+        reference_samples: if quick { 1 } else { 3 },
+        discard_warm: true,
+    };
+    // The dense reference pays O(m²) per pivot on the full unpresolved
+    // model; beyond 200×50 it is impractical and the corridor cases race
+    // the decomposition against the monolithic cold path only.
+    let scale_no_reference = CaseConfig {
+        reference_samples: 0,
+        ..scale
+    };
+
     let cases = [
         SolverCase {
             name: "placement_overhead/single_app_regional_decision",
@@ -186,86 +380,26 @@ pub fn solver_bench_json(quick: bool) -> String {
 
     let mut entries = Vec::new();
     for case in &cases {
-        let (apps, servers) = case.problem.size();
-        let exact =
-            IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(1_000);
-        let heuristic = IncrementalPlacer::new(PlacementPolicy::CarbonAware).heuristic_only();
-
-        // The revised exact path, as the placement service runs it.
-        let revised_ns = median_ns(samples, || {
-            let _ = exact.place(&case.problem).unwrap();
-        });
-        // The retained dense Big-M reference path on the identical MILP.
-        let placement_model = exact.build_model(&case.problem);
-        let reference_solver = ReferenceBranchBound::with_node_limit(20_000);
-        let reference_ns = median_ns(samples, || {
-            let model = exact.build_model(&case.problem);
-            let _ = reference_solver.solve(&model.model);
-        });
-        let heuristic_ns = median_ns(samples, || {
-            let _ = heuristic.place(&case.problem).unwrap();
-        });
-
-        // Algorithmic work of both exact solvers on the same model: a fresh
-        // workspace gives the cold-start pivot count, a second solve on the
-        // now-warm workspace gives the steady-state (re-optimization) count
-        // that the timed medians above actually exercise.
-        let cold_solver = exact.milp_solver.clone();
-        let revised_stats = cold_solver.solve(&placement_model.model);
-        let revised_warm_stats = cold_solver.solve(&placement_model.model);
-        let reference_stats = reference_solver.solve(&placement_model.model);
-        debug_assert!(
-            (revised_stats.objective - reference_stats.objective).abs()
-                <= 1e-6 * revised_stats.objective.abs().max(1.0),
-            "revised and reference solvers disagree on the benchmark model"
-        );
-
-        let speedup = reference_ns as f64 / revised_ns.max(1) as f64;
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"apps\": {},\n",
-                "      \"servers\": {},\n",
-                "      \"exact_revised_ns_median\": {},\n",
-                "      \"exact_reference_ns_median\": {},\n",
-                "      \"speedup_vs_reference\": {:.2},\n",
-                "      \"heuristic_ns_median\": {},\n",
-                "      \"bb_nodes\": {},\n",
-                "      \"simplex_pivots_cold\": {},\n",
-                "      \"simplex_pivots_warm\": {},\n",
-                "      \"refactorizations\": {},\n",
-                "      \"peak_eta_len\": {},\n",
-                "      \"fill_in_ratio\": {:.3},\n",
-                "      \"reference_bb_nodes\": {},\n",
-                "      \"reference_simplex_pivots\": {}\n",
-                "    }}"
-            ),
-            case.name,
-            apps,
-            servers,
-            revised_ns,
-            reference_ns,
-            speedup,
-            heuristic_ns,
-            revised_stats.nodes,
-            revised_stats.pivots,
-            revised_warm_stats.pivots,
-            revised_stats.factor.refactorizations,
-            revised_stats.factor.peak_eta_len,
-            revised_stats.factor.fill_in_ratio,
-            reference_stats.nodes,
-            reference_stats.pivots,
-        ));
+        entries.push(solver_case_entry(case.name, &case.problem, &small));
     }
 
     let scale_cases = [
-        ("solver_scale/exact_60x15", scale_problem(15, 4)),
-        ("solver_scale/exact_120x30", scale_problem(30, 4)),
-        ("solver_scale/exact_200x50", scale_problem(50, 4)),
+        ("solver_scale/exact_60x15", scale_problem(15, 4), &scale),
+        ("solver_scale/exact_120x30", scale_problem(30, 4), &scale),
+        ("solver_scale/exact_200x50", scale_problem(50, 4), &scale),
+        (
+            "solver_scale/exact_400x100",
+            scale_problem(100, 4),
+            &scale_no_reference,
+        ),
+        (
+            "solver_scale/exact_800x100",
+            scale_problem_with_slots(100, 8, 12),
+            &scale_no_reference,
+        ),
     ];
-    for (name, problem) in &scale_cases {
-        entries.push(scale_entry(name, problem, quick));
+    for (name, problem, cfg) in &scale_cases {
+        entries.push(solver_case_entry(name, problem, cfg));
     }
 
     entries.push(epoch_replan_entry(samples));
@@ -285,84 +419,6 @@ pub fn solver_bench_json(quick: bool) -> String {
     )
 }
 
-/// Measures one SLO-sparse corridor instance (see [`scale_problem`]) through
-/// the revised cold path — presolve + sparse-LU simplex + branch-and-bound —
-/// and the dense Big-M reference path on the identical MILP.
-///
-/// Every revised sample discards the warm start first, so the median times a
-/// genuine cold solve (the sparse-LU and presolve work these cases exist to
-/// measure) rather than the workspace's same-model memoization.  The dense
-/// reference pays O(m²) per pivot on the full unpresolved model, so it runs
-/// at a reduced sample count to keep the snapshot affordable.
-fn scale_entry(name: &str, problem: &PlacementProblem, quick: bool) -> String {
-    let revised_samples = if quick { 3 } else { 7 };
-    let reference_samples = if quick { 1 } else { 3 };
-    let (apps, servers) = problem.size();
-    let exact = IncrementalPlacer::new(PlacementPolicy::CarbonAware).with_exact_size_limit(20_000);
-
-    let revised_ns = median_ns(revised_samples, || {
-        exact.milp_solver.discard_warm_start();
-        let _ = exact.place(problem).unwrap();
-    });
-    let placement_model = exact.build_model(problem);
-    let reference_solver = ReferenceBranchBound::with_node_limit(20_000);
-    let reference_ns = median_ns(reference_samples, || {
-        let model = exact.build_model(problem);
-        let _ = reference_solver.solve(&model.model);
-    });
-
-    // Algorithmic work and factorization observability of one cold solve on
-    // a fresh workspace, against the reference solver on the same model.
-    let cold_solver = exact.milp_solver.clone();
-    let revised_stats = cold_solver.solve(&placement_model.model);
-    let reference_stats = reference_solver.solve(&placement_model.model);
-    debug_assert!(
-        (revised_stats.objective - reference_stats.objective).abs()
-            <= 1e-6 * revised_stats.objective.abs().max(1.0),
-        "revised and reference solvers disagree on the scale model"
-    );
-
-    let speedup = reference_ns as f64 / revised_ns.max(1) as f64;
-    format!(
-        concat!(
-            "    {{\n",
-            "      \"name\": \"{}\",\n",
-            "      \"apps\": {},\n",
-            "      \"servers\": {},\n",
-            "      \"milp_vars\": {},\n",
-            "      \"milp_rows\": {},\n",
-            "      \"exact_revised_ns_median\": {},\n",
-            "      \"exact_reference_ns_median\": {},\n",
-            "      \"reference_samples\": {},\n",
-            "      \"speedup_vs_reference\": {:.2},\n",
-            "      \"bb_nodes\": {},\n",
-            "      \"simplex_pivots_cold\": {},\n",
-            "      \"refactorizations\": {},\n",
-            "      \"peak_eta_len\": {},\n",
-            "      \"fill_in_ratio\": {:.3},\n",
-            "      \"reference_bb_nodes\": {},\n",
-            "      \"reference_simplex_pivots\": {}\n",
-            "    }}"
-        ),
-        name,
-        apps,
-        servers,
-        placement_model.model.num_vars(),
-        placement_model.model.num_constraints(),
-        revised_ns,
-        reference_ns,
-        reference_samples,
-        speedup,
-        revised_stats.nodes,
-        revised_stats.pivots,
-        revised_stats.factor.refactorizations,
-        revised_stats.factor.peak_eta_len,
-        revised_stats.factor.fill_in_ratio,
-        reference_stats.nodes,
-        reference_stats.pivots,
-    )
-}
-
 /// Measures epoch-to-epoch re-placement through the warm-started exact
 /// path: a small European deployment re-solved at every monthly epoch as
 /// carbon intensities shift.  Consecutive epochs build structurally
@@ -378,7 +434,9 @@ fn epoch_replan_entry(samples: usize) -> String {
 
     placer.milp_solver.discard_warm_start();
     let cold_run = simulator.run_with(&placer);
+    let before = ReplanCounters::snapshot(&placer);
     let warm_run = simulator.run_with(&placer);
+    let warm = before.diff(&placer);
     debug_assert_eq!(
         cold_run.outcome, warm_run.outcome,
         "warm epoch re-solves must stay exact"
@@ -394,18 +452,22 @@ fn epoch_replan_entry(samples: usize) -> String {
             "      \"name\": \"epoch_replan/monthly_eu_3site_exact\",\n",
             "      \"epochs\": {},\n",
             "      \"exact_decisions\": {},\n",
+            "      \"moves\": {},\n",
             "      \"run_ns_median\": {},\n",
             "      \"ns_per_epoch_median\": {},\n",
             "      \"pivots_cold_run\": {},\n",
-            "      \"pivots_warm_run\": {}\n",
+            "      \"pivots_warm_run\": {},\n",
+            "{}",
             "    }}"
         ),
         epochs,
         cold_run.exact_decisions,
+        cold_run.moves,
         run_ns,
         run_ns / epochs.max(1) as u64,
         cold_run.solver_pivots,
         warm_run.solver_pivots,
+        warm.render(&placer),
     )
 }
 
@@ -426,7 +488,9 @@ fn migration_replan_entry(samples: usize) -> String {
 
     placer.milp_solver.discard_warm_start();
     let cold_run = simulator.run_with(&placer);
+    let before = ReplanCounters::snapshot(&placer);
     let warm_run = simulator.run_with(&placer);
+    let warm = before.diff(&placer);
     debug_assert_eq!(
         cold_run.outcome, warm_run.outcome,
         "warm delta re-solves must stay exact"
@@ -446,7 +510,8 @@ fn migration_replan_entry(samples: usize) -> String {
             "      \"run_ns_median\": {},\n",
             "      \"ns_per_epoch_median\": {},\n",
             "      \"pivots_cold_run\": {},\n",
-            "      \"pivots_warm_run\": {}\n",
+            "      \"pivots_warm_run\": {},\n",
+            "{}",
             "    }}"
         ),
         epochs,
@@ -456,7 +521,81 @@ fn migration_replan_entry(samples: usize) -> String {
         run_ns / epochs.max(1) as u64,
         cold_run.solver_pivots,
         warm_run.solver_pivots,
+        warm.render(&placer),
     )
+}
+
+/// Snapshot/diff helper for the replan entries: captures the placer's
+/// accumulated solver counters before the warm run, so the entry can report
+/// the *warm-run* factorization, pricing-ladder and column-generation work
+/// (all summable counters; the peak eta length and fill-in ratio are
+/// running max/latest values and are reported as of the diff point).
+struct ReplanCounters {
+    refactorizations: usize,
+    devex_resets: usize,
+    bland_activations: usize,
+    columns_generated: usize,
+    pricing_rounds: usize,
+    master_pivots: usize,
+}
+
+impl ReplanCounters {
+    fn snapshot(placer: &IncrementalPlacer) -> Self {
+        let factor = placer.milp_solver.accumulated_factor_stats();
+        let pricing = placer.milp_solver.accumulated_pricing_stats();
+        let decomp = placer.milp_solver.accumulated_decomp_stats();
+        Self {
+            refactorizations: factor.refactorizations,
+            devex_resets: pricing.devex_resets,
+            bland_activations: pricing.bland_activations,
+            columns_generated: decomp.columns_generated,
+            pricing_rounds: decomp.pricing_rounds,
+            master_pivots: decomp.master_pivots,
+        }
+    }
+
+    fn diff(&self, placer: &IncrementalPlacer) -> Self {
+        let now = Self::snapshot(placer);
+        Self {
+            refactorizations: now.refactorizations - self.refactorizations,
+            devex_resets: now.devex_resets - self.devex_resets,
+            bland_activations: now.bland_activations - self.bland_activations,
+            columns_generated: now.columns_generated - self.columns_generated,
+            pricing_rounds: now.pricing_rounds - self.pricing_rounds,
+            master_pivots: now.master_pivots - self.master_pivots,
+        }
+    }
+
+    /// Renders the unified observability tail shared by both replan
+    /// entries: model dimensions plus this counter diff.
+    fn render(&self, placer: &IncrementalPlacer) -> String {
+        let (vars, rows) = placer.milp_solver.last_model_dims();
+        let factor = placer.milp_solver.accumulated_factor_stats();
+        format!(
+            concat!(
+                "      \"milp_vars\": {},\n",
+                "      \"milp_rows\": {},\n",
+                "      \"refactorizations\": {},\n",
+                "      \"peak_eta_len\": {},\n",
+                "      \"fill_in_ratio\": {:.3},\n",
+                "      \"devex_resets\": {},\n",
+                "      \"bland_activations\": {},\n",
+                "      \"columns_generated\": {},\n",
+                "      \"pricing_rounds\": {},\n",
+                "      \"master_pivots\": {}\n",
+            ),
+            vars,
+            rows,
+            self.refactorizations,
+            factor.peak_eta_len,
+            factor.fill_in_ratio,
+            self.devex_resets,
+            self.bland_activations,
+            self.columns_generated,
+            self.pricing_rounds,
+            self.master_pivots,
+        )
+    }
 }
 
 /// Renders the sweep snapshot: quick-grid cells/second at one worker and at
@@ -598,14 +737,42 @@ mod tests {
         assert!(json.contains("solver_scale/exact_60x15"));
         assert!(json.contains("solver_scale/exact_120x30"));
         assert!(json.contains("solver_scale/exact_200x50"));
+        assert!(json.contains("solver_scale/exact_400x100"));
+        assert!(json.contains("solver_scale/exact_800x100"));
         assert!(json.contains("\"refactorizations\""));
         assert!(json.contains("\"peak_eta_len\""));
         assert!(json.contains("\"fill_in_ratio\""));
         assert!(json.contains("\"milp_rows\""));
+        assert!(json.contains("\"exact_monolithic_ns_median\""));
+        assert!(json.contains("\"speedup_vs_monolithic\""));
+        assert!(json.contains("\"devex_resets\""));
+        assert!(json.contains("\"bland_activations\""));
+        assert!(json.contains("\"columns_generated\""));
+        assert!(json.contains("\"pricing_rounds\""));
+        assert!(json.contains("\"master_pivots\""));
         assert!(json.contains("epoch_replan/monthly_eu_3site_exact"));
         assert!(json.contains("migration_replan/monthly_eu_3site_exact_paper"));
         assert!(json.contains("\"moves\""));
         assert!(json.contains("\"pivots_warm_run\""));
+        // Unified schema: every case entry carries the full field set, so
+        // the per-case fields appear once per case.
+        let case_count = json.matches("\"name\":").count();
+        for field in [
+            "\"milp_vars\":",
+            "\"milp_rows\":",
+            "\"refactorizations\":",
+            "\"devex_resets\":",
+            "\"bland_activations\":",
+            "\"columns_generated\":",
+            "\"pricing_rounds\":",
+            "\"master_pivots\":",
+        ] {
+            assert_eq!(
+                json.matches(field).count(),
+                case_count,
+                "field {field} missing from some case entries"
+            );
+        }
         // Balanced braces — a cheap structural sanity check without a JSON
         // parser in the offline environment.
         assert_eq!(

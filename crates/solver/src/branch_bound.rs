@@ -17,6 +17,7 @@
 //! `carbonedge_core::IncrementalPlacer` — reuse all buffers without
 //! reallocating.
 
+use crate::decomp::{solve_decomposed, BlockStructure, DecompState};
 use crate::model::Model;
 use crate::presolve::{presolve, PresolveOutcome};
 use crate::simplex::{LpOutcome, Prepared, SimplexSolver, SimplexWorkspace};
@@ -53,6 +54,45 @@ pub struct FactorStats {
     pub fill_in_ratio: f64,
 }
 
+/// Pricing-ladder statistics of one MILP solve: how often the devex
+/// reference framework was reset and how often the Dantzig→Bland
+/// anti-cycling fallback fired.  Both were previously invisible; surfacing
+/// them alongside [`FactorStats`] lets the bench snapshots show when the
+/// pricing machinery is struggling rather than striding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PricingStats {
+    /// Devex reference-weight resets (weights drifted past the ceiling and
+    /// were re-unified) summed across every LP solve of the search.
+    pub devex_resets: usize,
+    /// Dantzig→Bland fallback activations (one per degenerate streak that
+    /// exceeded the Bland threshold) summed across every LP solve.
+    pub bland_activations: usize,
+}
+
+impl PricingStats {
+    /// Accumulates the most recent LP solve's counters from a workspace.
+    pub(crate) fn absorb(&mut self, simplex: &SimplexWorkspace) {
+        self.devex_resets += simplex.last_devex_resets();
+        self.bland_activations += simplex.last_bland_activations();
+    }
+}
+
+/// Column-generation statistics of a decomposition-path MILP solve
+/// (`None` on the monolithic path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecompStats {
+    /// Columns activated in the restricted master across the whole search
+    /// (initial greedy seeding plus pricing rounds).
+    pub columns_generated: usize,
+    /// Pricing passes over the inactive columns (including final passes
+    /// that proved optimality by finding nothing to activate).
+    pub pricing_rounds: usize,
+    /// Simplex pivots spent inside the restricted master LP (equals
+    /// [`MilpSolution::pivots`] on the decomposition path — the pricing
+    /// subproblems are closed-form and pivot-free).
+    pub master_pivots: usize,
+}
+
 /// Result of a MILP solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MilpSolution {
@@ -68,6 +108,11 @@ pub struct MilpSolution {
     pub pivots: usize,
     /// Basis-factorization statistics of the solve.
     pub factor: FactorStats,
+    /// Pricing-ladder statistics of the solve.
+    pub pricing: PricingStats,
+    /// Column-generation statistics when the solve ran on the
+    /// Dantzig–Wolfe decomposition path; `None` on the monolithic path.
+    pub decomp: Option<DecompStats>,
 }
 
 impl MilpSolution {
@@ -78,24 +123,24 @@ impl MilpSolution {
 }
 
 /// Sentinel for "no parent" / "no branching decision" (the root node).
-const NO_VAR: u32 = u32::MAX;
+pub(crate) const NO_VAR: u32 = u32::MAX;
 
 /// One arena entry: the branching decision that distinguishes this node
 /// from its parent.
 #[derive(Debug, Clone, Copy)]
-struct NodeRec {
-    parent: u32,
-    var: u32,
-    fixed: f64,
+pub(crate) struct NodeRec {
+    pub(crate) parent: u32,
+    pub(crate) var: u32,
+    pub(crate) fixed: f64,
 }
 
 /// Heap entry; ordered so the *smallest* relaxation bound pops first
 /// (ties broken by insertion order for determinism).
 #[derive(Debug, Clone, Copy)]
-struct OpenNode {
-    bound: f64,
-    seq: u32,
-    node: u32,
+pub(crate) struct OpenNode {
+    pub(crate) bound: f64,
+    pub(crate) seq: u32,
+    pub(crate) node: u32,
 }
 
 impl PartialEq for OpenNode {
@@ -141,6 +186,25 @@ pub struct MilpWorkspace {
     /// workspace via [`BranchBoundSolver::solve`] — the per-run warm-start
     /// work a caller (e.g. the epoch re-placement engine) can surface.
     accumulated_pivots: usize,
+    /// Factorization work accumulated across every solve routed through
+    /// [`BranchBoundSolver::solve`]: refactorization counts sum, the peak
+    /// eta length is the running maximum, and the fill-in ratio tracks the
+    /// most recent solve that actually factorized.
+    accumulated_factor: FactorStats,
+    /// Pricing-ladder counters accumulated across every solve routed
+    /// through [`BranchBoundSolver::solve`].
+    accumulated_pricing: PricingStats,
+    /// Column-generation counters accumulated across every
+    /// decomposition-path solve routed through [`BranchBoundSolver::solve`]
+    /// (all zero when every solve took the monolithic path).
+    accumulated_decomp: DecompStats,
+    /// Variable/row counts of the most recent model solved through this
+    /// workspace (the raw model, before presolve or decomposition).
+    last_dims: (usize, usize),
+    /// Scratch state of the Dantzig–Wolfe decomposition path (restricted
+    /// master, activation flags, node arena) — persistent for the same
+    /// warm-restart reasons as the monolithic fields above.
+    decomp: DecompState,
     /// Memoized result of the previous search, returned verbatim (with
     /// zero pivots, since no simplex work runs) when the next model is
     /// bit-identical — matrix, right-hand sides, bounds *and* costs — and
@@ -167,6 +231,7 @@ impl MilpWorkspace {
     pub fn discard_warm_start(&mut self) {
         self.loaded = false;
         self.last_solution = None;
+        self.decomp.discard_warm_start();
     }
 
     /// Applies a node's bound diffs (the chain of branching decisions up to
@@ -207,6 +272,14 @@ pub struct BranchBoundSolver {
     /// migration re-solve streams) go straight to the simplex so their
     /// resident-basis warm starts survive byte-for-byte.
     pub presolve_min_vars: usize,
+    /// Models with at least this many variables are tried on the
+    /// Dantzig–Wolfe decomposition path ([`crate::decomp`]) first: if the
+    /// model has the assignment-with-activation block structure the
+    /// column-generation master solves it with far fewer rows, otherwise
+    /// the solve falls through to presolve + monolithic search.  Set to
+    /// `usize::MAX` to force the monolithic path, `0` to force
+    /// decomposition onto any detectable model (bench overrides).
+    pub decomp_min_vars: usize,
     /// Scratch arena reused across nodes and across successive solves.
     workspace: Mutex<MilpWorkspace>,
 }
@@ -217,6 +290,12 @@ pub struct BranchBoundSolver {
 /// the reductions.
 pub const PRESOLVE_MIN_VARS: usize = 256;
 
+/// Default [`BranchBoundSolver::decomp_min_vars`]: the same threshold as
+/// presolve — below it the linking rows are few enough that the monolithic
+/// warm-restart machinery wins; at or above it the row count is dominated
+/// by `x ≤ y` links the decomposition master drops entirely.
+pub const DECOMP_MIN_VARS: usize = 256;
+
 impl Default for BranchBoundSolver {
     fn default() -> Self {
         Self {
@@ -224,6 +303,7 @@ impl Default for BranchBoundSolver {
             max_nodes: 50_000,
             tolerance: 1e-6,
             presolve_min_vars: PRESOLVE_MIN_VARS,
+            decomp_min_vars: DECOMP_MIN_VARS,
             workspace: Mutex::new(MilpWorkspace::new()),
         }
     }
@@ -237,6 +317,7 @@ impl Clone for BranchBoundSolver {
             max_nodes: self.max_nodes,
             tolerance: self.tolerance,
             presolve_min_vars: self.presolve_min_vars,
+            decomp_min_vars: self.decomp_min_vars,
             workspace: Mutex::new(MilpWorkspace::new()),
         }
     }
@@ -256,7 +337,11 @@ impl BranchBoundSolver {
         }
     }
 
-    fn most_fractional_binary(&self, binaries: &[usize], values: &[f64]) -> Option<usize> {
+    pub(crate) fn most_fractional_binary(
+        &self,
+        binaries: &[usize],
+        values: &[f64],
+    ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for &vi in binaries {
             let val = values[vi];
@@ -290,6 +375,22 @@ impl BranchBoundSolver {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let solution = self.solve_with_workspace(model, &mut ws);
         ws.accumulated_pivots += solution.pivots;
+        ws.accumulated_factor.refactorizations += solution.factor.refactorizations;
+        ws.accumulated_factor.peak_eta_len = ws
+            .accumulated_factor
+            .peak_eta_len
+            .max(solution.factor.peak_eta_len);
+        if solution.factor.fill_in_ratio > 0.0 {
+            ws.accumulated_factor.fill_in_ratio = solution.factor.fill_in_ratio;
+        }
+        ws.accumulated_pricing.devex_resets += solution.pricing.devex_resets;
+        ws.accumulated_pricing.bland_activations += solution.pricing.bland_activations;
+        if let Some(decomp) = solution.decomp {
+            ws.accumulated_decomp.columns_generated += decomp.columns_generated;
+            ws.accumulated_decomp.pricing_rounds += decomp.pricing_rounds;
+            ws.accumulated_decomp.master_pivots += decomp.master_pivots;
+        }
+        ws.last_dims = (model.num_vars(), model.num_constraints());
         solution
     }
 
@@ -306,6 +407,45 @@ impl BranchBoundSolver {
             .accumulated_pivots
     }
 
+    /// Factorization statistics accumulated across every [`Self::solve`]
+    /// call on this solver's internal workspace (refactorizations sum, peak
+    /// eta length is the running maximum, fill-in ratio is the most recent
+    /// solve that factorized).
+    pub fn accumulated_factor_stats(&self) -> FactorStats {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .accumulated_factor
+    }
+
+    /// Pricing-ladder statistics accumulated across every [`Self::solve`]
+    /// call on this solver's internal workspace.
+    pub fn accumulated_pricing_stats(&self) -> PricingStats {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .accumulated_pricing
+    }
+
+    /// Column-generation statistics accumulated across every [`Self::solve`]
+    /// call on this solver's internal workspace (all zero when every solve
+    /// took the monolithic path).
+    pub fn accumulated_decomp_stats(&self) -> DecompStats {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .accumulated_decomp
+    }
+
+    /// `(variables, rows)` of the most recent model solved through
+    /// [`Self::solve`] — the raw model, before presolve or decomposition.
+    pub fn last_model_dims(&self) -> (usize, usize) {
+        self.workspace
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .last_dims
+    }
+
     /// Solves the MILP in a caller-provided workspace (for callers that
     /// manage their own scratch arenas or want to avoid the internal lock).
     ///
@@ -316,6 +456,16 @@ impl BranchBoundSolver {
     /// optimum — the repeated re-optimization pattern of a placement
     /// service re-solving as carbon intensities shift epoch to epoch.
     pub fn solve_with_workspace(&self, model: &Model, ws: &mut MilpWorkspace) -> MilpSolution {
+        // The decomposition path is checked on the *raw* model, before
+        // presolve: the structure detection wants the assignment rows and
+        // `x ≤ y` links exactly as the placement builder emitted them, and
+        // the master performs its own (cheaper) reduction by dropping the
+        // linking rows outright.
+        if model.num_vars() >= self.decomp_min_vars {
+            if let Some(structure) = BlockStructure::detect(model) {
+                return solve_decomposed(self, model, &structure, &mut ws.decomp);
+            }
+        }
         if model.num_vars() < self.presolve_min_vars {
             return self.search(model, ws);
         }
@@ -327,6 +477,8 @@ impl BranchBoundSolver {
                 nodes: 0,
                 pivots: 0,
                 factor: FactorStats::default(),
+                pricing: PricingStats::default(),
+                decomp: None,
             },
             PresolveOutcome::Reduced(pm) => {
                 let mut solution = self.search(&pm.model, ws);
@@ -354,6 +506,7 @@ impl BranchBoundSolver {
                     let mut solution = cached.clone();
                     solution.pivots = 0;
                     solution.factor = FactorStats::default();
+                    solution.pricing = PricingStats::default();
                     return solution;
                 }
             }
@@ -393,6 +546,7 @@ impl BranchBoundSolver {
         let mut best_obj = f64::INFINITY;
         let mut nodes = 0usize;
         let mut pivots = 0usize;
+        let mut pricing = PricingStats::default();
         let mut exhausted = true;
 
         while let Some(open) = ws.open.pop() {
@@ -410,6 +564,7 @@ impl BranchBoundSolver {
             ws.apply_bounds(open.node);
             let outcome = self.lp.solve_workspace(&ws.prep, &mut ws.simplex);
             pivots += ws.simplex.last_pivots();
+            pricing.absorb(&ws.simplex);
             match outcome {
                 LpOutcome::Optimal => {}
                 // Infeasible nodes are pruned; unbounded relaxations of a
@@ -501,6 +656,8 @@ impl BranchBoundSolver {
                 nodes,
                 pivots,
                 factor,
+                pricing,
+                decomp: None,
             }
         } else {
             MilpSolution {
@@ -514,6 +671,8 @@ impl BranchBoundSolver {
                 nodes,
                 pivots,
                 factor,
+                pricing,
+                decomp: None,
             }
         };
         ws.last_solution = Some(solution.clone());

@@ -23,6 +23,12 @@
 //!   binary variables: best-first node selection from a bound-ordered
 //!   priority queue, compact parent-diff node records, and dual-simplex
 //!   warm starts in a scratch workspace shared across nodes and solves;
+//! * [`decomp`] — a Dantzig–Wolfe column-generation path for
+//!   assignment-shaped placement MILPs: the restricted master drops the
+//!   `x ≤ y` linking rows and activates columns on demand via bound
+//!   relaxation, pricing is a closed-form pass over the inactive columns,
+//!   and integer answers come from price-and-branch; `BranchBoundSolver`
+//!   routes large block-structured models here automatically;
 //! * [`assignment`] — a specialized solver for the incremental placement
 //!   problem (a generalized assignment problem with server-activation
 //!   costs): greedy construction with regret ordering plus local search,
@@ -38,6 +44,7 @@
 
 pub mod assignment;
 pub mod branch_bound;
+pub mod decomp;
 pub mod factor;
 pub mod model;
 pub mod presolve;
@@ -45,7 +52,11 @@ pub mod reference;
 pub mod simplex;
 
 pub use assignment::{AssignmentProblem, AssignmentSolution, AssignmentSolver};
-pub use branch_bound::{BranchBoundSolver, FactorStats, MilpOutcome, MilpSolution, MilpWorkspace};
+pub use branch_bound::{
+    BranchBoundSolver, DecompStats, FactorStats, MilpOutcome, MilpSolution, MilpWorkspace,
+    PricingStats,
+};
+pub use decomp::{BlockStructure, DecompState};
 pub use factor::BasisFactor;
 pub use model::{Comparison, Constraint, LinearExpr, Model, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome, PresolvedModel};

@@ -463,6 +463,8 @@ impl ReferenceBranchBound {
                 nodes,
                 pivots,
                 factor: Default::default(),
+                pricing: Default::default(),
+                decomp: None,
             },
             None => MilpSolution {
                 outcome: if exhausted {
@@ -475,6 +477,8 @@ impl ReferenceBranchBound {
                 nodes,
                 pivots,
                 factor: Default::default(),
+                pricing: Default::default(),
+                decomp: None,
             },
         }
     }

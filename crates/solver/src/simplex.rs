@@ -260,8 +260,14 @@ impl Prepared {
         changed
     }
 
+    /// Objective coefficient of a structural column (used by the
+    /// column-generation pricing pass in [`crate::decomp`]).
+    pub(crate) fn col_cost(&self, j: usize) -> f64 {
+        self.cost[j]
+    }
+
     /// Sparse entries of a structural or slack column.
-    fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+    pub(crate) fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.col_ptr[j];
         let hi = self.col_ptr[j + 1];
         self.col_row[lo..hi]
@@ -332,6 +338,12 @@ pub struct SimplexWorkspace {
     /// artificial block).
     phase1_active: bool,
     solve_pivots: usize,
+    /// Devex reference-weight resets performed by the most recent solve
+    /// (the weights drifted past [`DEVEX_RESET`] and were re-unified).
+    solve_devex_resets: usize,
+    /// Dantzig→Bland anti-cycling fallback activations of the most recent
+    /// solve (one per degenerate streak that exceeded the Bland threshold).
+    solve_bland_activations: usize,
     /// Refactorizations performed since [`Self::reset_factor_stats`].
     refactor_count: usize,
     /// Longest eta file seen since [`Self::reset_factor_stats`].
@@ -402,6 +414,8 @@ impl SimplexWorkspace {
         self.phase1_active = false;
         self.snap_valid = false;
         self.solve_pivots = 0;
+        self.solve_devex_resets = 0;
+        self.solve_bland_activations = 0;
         self.reset_factor_stats();
     }
 
@@ -440,6 +454,89 @@ impl SimplexWorkspace {
             return false;
         }
         self.dual_ready = true;
+        self.primal_ready = true;
+        true
+    }
+
+    /// Installs a caller-constructed starting basis — `basic[r]` names the
+    /// basic column of row `r` (a structural column or the row's slack
+    /// `n + r`) — with every other column resting on its lower bound,
+    /// except the columns in `at_upper`, which rest on their (finite)
+    /// upper bound.  Marks the workspace primal-restart ready when the
+    /// implied basic point is primal feasible, so the next
+    /// [`Simplex::solve_workspace`] goes straight to phase-2 instead of
+    /// the cold dual walk.  Returns `false` — leaving the workspace
+    /// cold-start clean — when the basis is singular or the point is out
+    /// of bounds.
+    pub fn install_crash_basis(
+        &mut self,
+        prep: &Prepared,
+        basic: &[usize],
+        at_upper: &[usize],
+    ) -> bool {
+        let n = prep.n;
+        let m = prep.m;
+        if basic.len() != m || basic.iter().any(|&j| j >= n + m) {
+            return false;
+        }
+        self.phase1_active = false;
+        self.dual_ready = false;
+        self.primal_ready = false;
+        for j in 0..n {
+            if self.lower[j].is_finite() {
+                self.state[j] = AT_LOWER;
+                self.x[j] = self.lower[j];
+            } else if self.upper[j].is_finite() {
+                self.state[j] = AT_UPPER;
+                self.x[j] = self.upper[j];
+            } else {
+                self.state[j] = FREE;
+                self.x[j] = 0.0;
+            }
+        }
+        for &j in at_upper {
+            if j < n && self.upper[j].is_finite() {
+                self.state[j] = AT_UPPER;
+                self.x[j] = self.upper[j];
+            }
+        }
+        for r in 0..m {
+            let s = n + r;
+            if self.lower[s].is_finite() {
+                self.state[s] = AT_LOWER;
+                self.x[s] = self.lower[s];
+            } else if self.upper[s].is_finite() {
+                self.state[s] = AT_UPPER;
+                self.x[s] = self.upper[s];
+            } else {
+                self.state[s] = FREE;
+                self.x[s] = 0.0;
+            }
+            let a = n + m + r;
+            self.state[a] = AT_LOWER;
+            self.x[a] = 0.0;
+            self.lower[a] = 0.0;
+            self.upper[a] = 0.0;
+            self.art_active[r] = false;
+            self.art_sign[r] = 1.0;
+        }
+        for (r, &j) in basic.iter().enumerate() {
+            self.basis[r] = j;
+            self.state[j] = BASIC;
+        }
+        if !self.refactorize(prep) {
+            self.install_slack_basis(prep);
+            return false;
+        }
+        self.refresh_basics(prep);
+        for i in 0..m {
+            let b = self.basis[i];
+            if self.x[b] < self.lower[b] - FEAS_TOL || self.x[b] > self.upper[b] + FEAS_TOL {
+                self.install_slack_basis(prep);
+                return false;
+            }
+        }
+        self.devex.fill(1.0);
         self.primal_ready = true;
         true
     }
@@ -524,6 +621,25 @@ impl SimplexWorkspace {
         self.solve_pivots
     }
 
+    /// Devex reference-weight resets performed by the most recent solve.
+    pub fn last_devex_resets(&self) -> usize {
+        self.solve_devex_resets
+    }
+
+    /// Dantzig→Bland anti-cycling fallback activations of the most recent
+    /// solve.
+    pub fn last_bland_activations(&self) -> usize {
+        self.solve_bland_activations
+    }
+
+    /// The dual values (simplex multipliers) `y = c_B B^-1` of the resident
+    /// basis, indexed by row.  Valid after [`SimplexSolver::solve_workspace`]
+    /// returned [`LpOutcome::Optimal`]; the column-generation master in
+    /// [`crate::decomp`] prices candidate columns against these.
+    pub fn duals(&self) -> &[f64] {
+        &self.y
+    }
+
     /// Whether the workspace holds a dual-feasible basis usable for a warm
     /// restart.
     pub fn warm_ready(&self) -> bool {
@@ -577,8 +693,17 @@ impl SimplexWorkspace {
         self.factor.btran(&mut self.slotbuf, &mut self.y);
         let limit = self.price_limit(prep);
         for j in 0..limit {
-            if self.state[j] == BASIC {
+            let state = self.state[j];
+            if state == BASIC {
                 self.d[j] = 0.0;
+            } else if state != FREE && self.upper[j] - self.lower[j] <= 0.0 {
+                // A fixed nonbasic column can never enter, and both pricing
+                // loops skip it before reading `d[j]`, so its reduced cost
+                // is never needed.  Skipping the dot product here is what
+                // makes a column-generation restricted master (most columns
+                // pinned to `[0, 0]`) price in O(active) per pivot instead
+                // of O(total).
+                continue;
             } else {
                 let mut v = self.cost[j];
                 if j < nm {
@@ -778,6 +903,8 @@ impl SimplexSolver {
     /// `ws.last_pivots()` reports the pivots performed.
     pub fn solve_workspace(&self, prep: &Prepared, ws: &mut SimplexWorkspace) -> LpOutcome {
         ws.solve_pivots = 0;
+        ws.solve_devex_resets = 0;
+        ws.solve_bland_activations = 0;
         // Re-reference the devex weights per solve: pricing must be a
         // deterministic function of (basis, costs), not of which solves the
         // workspace served before, or warm restarts could land on a
@@ -1054,6 +1181,11 @@ impl SimplexSolver {
             // Bland's rule after a long degenerate streak to guarantee
             // termination.
             let use_bland = degenerate > bland_after;
+            if use_bland && degenerate == bland_after + 1 {
+                // First pricing pass of this degenerate streak under Bland's
+                // rule: count one anti-cycling ladder activation.
+                ws.solve_bland_activations += 1;
+            }
             let limit = ws.price_limit(prep);
             let mut entering: Option<(usize, f64)> = None;
             for j in 0..limit {
@@ -1199,6 +1331,7 @@ impl SimplexSolver {
         let gamma_q = ws.devex[q].max(1.0);
         if gamma_q > DEVEX_RESET {
             ws.devex.fill(1.0);
+            ws.solve_devex_resets += 1;
             return;
         }
         ws.compute_rho(row);

@@ -16,8 +16,8 @@ use carbonedge_geo::Coordinates;
 use carbonedge_grid::ZoneId;
 use carbonedge_net::LatencyModel;
 use carbonedge_solver::{
-    presolve, BranchBoundSolver, Comparison, DenseSimplexSolver, LinearExpr, LpOutcome, Model,
-    PresolveOutcome, ReferenceBranchBound, SimplexSolver, VarKind,
+    presolve, BlockStructure, BranchBoundSolver, Comparison, DenseSimplexSolver, LinearExpr,
+    LpOutcome, Model, PresolveOutcome, ReferenceBranchBound, SimplexSolver, VarKind,
 };
 use carbonedge_workload::{AppId, Application, DeviceKind, ModelKind};
 use proptest::prelude::*;
@@ -589,6 +589,305 @@ proptest! {
             }
         }
     }
+}
+
+/// Generates a randomized assignment-shaped placement MILP in exactly the
+/// block structure the Dantzig–Wolfe path targets: per-app assignment rows,
+/// per-server capacity rows with an activation variable, `x ≤ y` linking
+/// rows, and optional `y = 1` pins.  Costs draw from a small integer pool
+/// (degenerate ties are common) and one server is frequently an exact clone
+/// of another (duplicate columns), so the decomposition's deterministic
+/// tie-breaking gets differential coverage, not just its happy path.
+fn block_structured_model(rng: &mut StdRng) -> Model {
+    let servers = rng.gen_range(2..5usize);
+    let apps = rng.gen_range(2..7usize);
+    let cost_pool = [1.0, 1.0, 2.0, 3.0, 5.0];
+    let activation_pool = [0.0, 1.0, 1.0, 2.0];
+
+    // Per-server capacity / per-app demand in small integers.
+    let mut capacity: Vec<f64> = (0..servers).map(|_| rng.gen_range(2..7) as f64).collect();
+    let demand: Vec<f64> = (0..apps).map(|_| rng.gen_range(1..3) as f64).collect();
+    let mut feasible: Vec<Vec<bool>> = (0..apps)
+        .map(|_| (0..servers).map(|_| rng.gen_bool(0.8)).collect())
+        .collect();
+    let mut costs: Vec<Vec<f64>> = (0..apps)
+        .map(|_| {
+            (0..servers)
+                .map(|_| cost_pool[rng.gen_range(0..cost_pool.len())])
+                .collect()
+        })
+        .collect();
+    let mut activation: Vec<f64> = (0..servers)
+        .map(|_| activation_pool[rng.gen_range(0..activation_pool.len())])
+        .collect();
+    // Clone server 0 into server 1 often: exact duplicate columns.
+    if rng.gen_bool(0.4) {
+        capacity[1] = capacity[0];
+        activation[1] = activation[0];
+        for i in 0..apps {
+            feasible[i][1] = feasible[i][0];
+            costs[i][1] = costs[i][0];
+        }
+    }
+    // Every app needs at least one candidate server.
+    for row in feasible.iter_mut() {
+        if !row.iter().any(|&f| f) {
+            let j = rng.gen_range(0..servers);
+            row[j] = true;
+        }
+    }
+
+    let mut m = Model::new();
+    let mut x = vec![vec![None; servers]; apps];
+    for i in 0..apps {
+        for j in 0..servers {
+            if feasible[i][j] {
+                let v = m.add_binary();
+                m.set_objective_term(v, costs[i][j]);
+                x[i][j] = Some(v);
+            }
+        }
+    }
+    let y: Vec<_> = (0..servers)
+        .map(|j| {
+            let v = m.add_binary();
+            m.set_objective_term(v, activation[j]);
+            v
+        })
+        .collect();
+    for (j, &yv) in y.iter().enumerate() {
+        if rng.gen_bool(0.3) {
+            m.add_constraint(
+                LinearExpr::new().with(yv, 1.0),
+                Comparison::Equal,
+                1.0,
+                format!("pin{j}"),
+            );
+        }
+    }
+    for (i, row) in x.iter().enumerate() {
+        let mut expr = LinearExpr::new();
+        for v in row.iter().flatten() {
+            expr.add(*v, 1.0);
+        }
+        m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
+    }
+    for (j, &yv) in y.iter().enumerate() {
+        let mut expr = LinearExpr::new();
+        for (i, row) in x.iter().enumerate() {
+            if let Some(v) = row[j] {
+                expr.add(v, demand[i]);
+            }
+        }
+        if expr.terms.is_empty() {
+            continue;
+        }
+        expr.add(yv, -capacity[j]);
+        m.add_constraint(expr, Comparison::LessEq, 0.0, format!("cap{j}"));
+    }
+    for (i, row) in x.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            if let Some(v) = v {
+                m.add_constraint(
+                    LinearExpr::new().with(*v, 1.0).with(y[j], -1.0),
+                    Comparison::LessEq,
+                    0.0,
+                    format!("link{i}_{j}"),
+                );
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property test: on randomized block-structured placement models (with
+    /// frequent degenerate ties and duplicate columns), the Dantzig–Wolfe
+    /// decomposition, the monolithic branch-and-bound and the dense
+    /// reference oracle agree on outcome and objective within 1e-6, the
+    /// decomposition's incumbent is feasible for the *original* model
+    /// (linking rows included), and repeated decomposition solves are
+    /// bit-identical.
+    #[test]
+    fn decomposition_matches_monolithic_and_reference_on_block_models(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut decomp = BranchBoundSolver::new();
+        decomp.decomp_min_vars = 0;
+        let mut monolithic = BranchBoundSolver::new();
+        monolithic.decomp_min_vars = usize::MAX;
+        let oracle = ReferenceBranchBound::new();
+        for _ in 0..3 {
+            let model = block_structured_model(&mut rng);
+            prop_assert!(
+                BlockStructure::detect(&model).is_some(),
+                "seed {}: generator left the detectable shape",
+                seed
+            );
+            let d = decomp.solve(&model);
+            let m = monolithic.solve(&model);
+            let r = oracle.solve(&model);
+            prop_assert!(
+                d.decomp.is_some(),
+                "seed {}: decomposition path did not run",
+                seed
+            );
+            prop_assert_eq!(d.has_solution(), m.has_solution());
+            prop_assert_eq!(d.has_solution(), r.has_solution());
+            if d.has_solution() {
+                let scale = r.objective.abs().max(1.0);
+                prop_assert!(
+                    (d.objective - m.objective).abs() <= 1e-6 * scale,
+                    "seed {}: decomposition {} vs monolithic {}",
+                    seed, d.objective, m.objective
+                );
+                prop_assert!(
+                    (d.objective - r.objective).abs() <= 1e-6 * scale,
+                    "seed {}: decomposition {} vs reference {}",
+                    seed, d.objective, r.objective
+                );
+                prop_assert!(
+                    model.is_feasible(&d.values, 1e-5),
+                    "seed {}: decomposition incumbent violates the full model",
+                    seed
+                );
+                // Determinism: a fresh decomposition solver reproduces the
+                // incumbent bit-for-bit.
+                let mut fresh = BranchBoundSolver::new();
+                fresh.decomp_min_vars = 0;
+                let again = fresh.solve(&model);
+                prop_assert_eq!(again.objective, d.objective);
+                prop_assert_eq!(again.values, d.values);
+            }
+        }
+    }
+
+    /// Property test: a *warm* decomposition solver fed a stream of
+    /// cost-shifted variants of one block structure (the epoch re-solve
+    /// pattern) agrees with a cold solver on every step.
+    #[test]
+    fn warm_decomposition_stream_matches_cold_solves(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = block_structured_model(&mut rng);
+        prop_assume!(BlockStructure::detect(&base).is_some());
+        let mut warm = BranchBoundSolver::new();
+        warm.decomp_min_vars = 0;
+        for step in 0..4 {
+            let mut shifted = base.clone();
+            let terms: Vec<_> = shifted.objective().terms.clone();
+            for (k, (v, c)) in terms.into_iter().enumerate() {
+                let bump = ((k + step) % 5) as f64 * 0.25;
+                shifted.set_objective_term(v, c + bump);
+            }
+            let mut cold = BranchBoundSolver::new();
+            cold.decomp_min_vars = 0;
+            let w = warm.solve(&shifted);
+            let c = cold.solve(&shifted);
+            prop_assert_eq!(w.has_solution(), c.has_solution());
+            if w.has_solution() {
+                let scale = c.objective.abs().max(1.0);
+                prop_assert!(
+                    (w.objective - c.objective).abs() <= 1e-6 * scale,
+                    "seed {} step {}: warm {} vs cold {}",
+                    seed, step, w.objective, c.objective
+                );
+                prop_assert!(shifted.is_feasible(&w.values, 1e-5));
+            }
+        }
+    }
+}
+
+/// Composition of the large-model gates: at ≥256 variables the default
+/// solver auto-routes block-structured models to the decomposition path,
+/// while a solver with presolve forced and decomposition disabled runs the
+/// presolve+monolithic pipeline — both must produce feasible full-space
+/// solutions with the same objective.
+#[test]
+fn decomposition_and_presolve_paths_agree_on_a_large_placement() {
+    // 32 apps x 10 servers, all pairs feasible: 330 binaries, above both
+    // the presolve (256) and decomposition (256) gates.
+    let apps = 32usize;
+    let servers = 10usize;
+    let mut m = Model::new();
+    let mut x = vec![vec![None; servers]; apps];
+    for (i, row) in x.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let v = m.add_binary();
+            // Deterministic varied costs with frequent ties.
+            m.set_objective_term(v, 1.0 + ((i * 7 + j * 13) % 9) as f64);
+            *cell = Some(v);
+        }
+    }
+    let y: Vec<_> = (0..servers)
+        .map(|j| {
+            let v = m.add_binary();
+            m.set_objective_term(v, ((j % 3) + 1) as f64);
+            v
+        })
+        .collect();
+    for (i, row) in x.iter().enumerate() {
+        let mut expr = LinearExpr::new();
+        for v in row.iter().flatten() {
+            expr.add(*v, 1.0);
+        }
+        m.add_constraint(expr, Comparison::Equal, 1.0, format!("assign{i}"));
+    }
+    for (j, &yv) in y.iter().enumerate() {
+        let mut expr = LinearExpr::new();
+        for row in &x {
+            if let Some(v) = row[j] {
+                expr.add(v, 1.0);
+            }
+        }
+        expr.add(yv, -4.0);
+        m.add_constraint(expr, Comparison::LessEq, 0.0, format!("cap{j}"));
+    }
+    for (i, row) in x.iter().enumerate() {
+        for (j, v) in row.iter().enumerate() {
+            if let Some(v) = v {
+                m.add_constraint(
+                    LinearExpr::new().with(*v, 1.0).with(y[j], -1.0),
+                    Comparison::LessEq,
+                    0.0,
+                    format!("link{i}_{j}"),
+                );
+            }
+        }
+    }
+    assert!(
+        m.num_vars() >= 256,
+        "model must clear the large-model gates"
+    );
+    assert!(BlockStructure::detect(&m).is_some());
+
+    // Default solver: decomposition auto-routes (≥ DECOMP_MIN_VARS).
+    let auto = BranchBoundSolver::new().solve(&m);
+    assert!(auto.has_solution(), "large placement must be solvable");
+    assert!(
+        auto.decomp.is_some(),
+        "≥256-var block-structured model must take the decomposition path"
+    );
+    assert!(m.is_feasible(&auto.values, 1e-5));
+
+    // Presolve + monolithic pipeline on the same model.
+    let mut mono = BranchBoundSolver::new();
+    mono.decomp_min_vars = usize::MAX;
+    mono.presolve_min_vars = 0;
+    let pre = mono.solve(&m);
+    assert!(pre.has_solution());
+    assert_eq!(pre.decomp, None);
+    assert!(
+        m.is_feasible(&pre.values, 1e-5),
+        "postsolved incumbent must be feasible on the full model"
+    );
+    let scale = pre.objective.abs().max(1.0);
+    assert!(
+        (auto.objective - pre.objective).abs() <= 1e-6 * scale,
+        "decomposition {} vs presolve+monolithic {}",
+        auto.objective,
+        pre.objective
+    );
 }
 
 /// Hand-built singular-basis and degenerate-optimum cases: exact duplicate
